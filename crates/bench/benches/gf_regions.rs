@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks for the `mult_XORs` region kernel — the
+//! primitive every cost in the paper is counted in. Covers all three word
+//! widths and every available backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ppm_gf::{xor_region, Backend, RegionMul};
+
+const LEN: usize = 64 * 1024;
+
+fn bench_mult_xors(c: &mut Criterion) {
+    let src: Vec<u8> = (0..LEN).map(|i| (i * 31 + 7) as u8).collect();
+    let mut dst = vec![0u8; LEN];
+
+    let mut g = c.benchmark_group("mult_xors_64KiB");
+    g.throughput(Throughput::Bytes(LEN as u64));
+    g.sample_size(20);
+
+    for backend in [Backend::Scalar, Backend::Ssse3, Backend::Avx2] {
+        if !backend.is_available() {
+            continue;
+        }
+        let rm = RegionMul::<u8>::new(0x1D, backend);
+        g.bench_with_input(
+            BenchmarkId::new("w8", format!("{backend:?}")),
+            &rm,
+            |b, rm| {
+                b.iter(|| rm.mul_xor(&src, &mut dst));
+            },
+        );
+    }
+    let rm16 = RegionMul::<u16>::new(0x1D2C, Backend::Scalar);
+    g.bench_function("w16/Scalar", |b| b.iter(|| rm16.mul_xor(&src, &mut dst)));
+    if Backend::Ssse3.is_available() {
+        let rm16s = RegionMul::<u16>::new(0x1D2C, Backend::Ssse3);
+        g.bench_function("w16/Ssse3", |b| b.iter(|| rm16s.mul_xor(&src, &mut dst)));
+    }
+    let rm32 = RegionMul::<u32>::new(0x1D2C_3B4A, Backend::Scalar);
+    g.bench_function("w32/Scalar", |b| b.iter(|| rm32.mul_xor(&src, &mut dst)));
+    if Backend::Ssse3.is_available() {
+        let rm32c = RegionMul::<u32>::new(0x1D2C_3B4A, Backend::Ssse3);
+        g.bench_function("w32/Clmul", |b| b.iter(|| rm32c.mul_xor(&src, &mut dst)));
+    }
+    g.bench_function("xor_only", |b| b.iter(|| xor_region(&src, &mut dst)));
+    g.finish();
+}
+
+fn bench_table_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("region_table_build");
+    g.sample_size(30);
+    g.bench_function("w8", |b| {
+        b.iter(|| RegionMul::<u8>::new(0x53, Backend::Scalar))
+    });
+    g.bench_function("w16", |b| {
+        b.iter(|| RegionMul::<u16>::new(0x1234, Backend::Scalar))
+    });
+    g.bench_function("w32", |b| {
+        b.iter(|| RegionMul::<u32>::new(0x1234_5678, Backend::Scalar))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mult_xors, bench_table_build);
+criterion_main!(benches);

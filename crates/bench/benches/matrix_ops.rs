@@ -1,0 +1,47 @@
+//! Criterion benchmarks for the matrix substrate: inversion, product and
+//! independent-row selection at the sizes the decoders use (the paper's
+//! footnote 2 claims this work is negligible next to the region
+//! arithmetic — these numbers back it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppm_gf::GfWord;
+use ppm_matrix::Matrix;
+
+fn invertible(n: usize) -> Matrix<u8> {
+    // Vandermonde on distinct generator powers.
+    Matrix::from_fn(n, n, |r, c| u8::gen_pow((r as u64) * (c as u64)))
+}
+
+fn bench_inverse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matrix_inverse");
+    g.sample_size(20);
+    for n in [8usize, 24, 51, 75] {
+        let m = invertible(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| m.inverse().expect("invertible"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_product(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matrix_product_finv_s");
+    g.sample_size(20);
+    // F⁻¹(R×R) · S(R×C): the matrix-first preparation for a big SD case
+    // (n=24, r=16, m=3, s=3 -> R=51, C=333).
+    let f_inv = invertible(51);
+    let s = Matrix::<u8>::from_fn(51, 333, |r, c| u8::gen_pow((r * 7 + c) as u64));
+    g.bench_function("51x51_by_51x333", |b| b.iter(|| f_inv.mul(&s)));
+    g.finish();
+}
+
+fn bench_row_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("independent_row_selection");
+    g.sample_size(20);
+    let m = Matrix::<u8>::from_fn(75, 51, |r, c| u8::gen_pow((r * 13 + c * 3) as u64));
+    g.bench_function("75x51", |b| b.iter(|| m.select_independent_rows()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_inverse, bench_product, bench_row_selection);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the plan-side machinery: log table,
+//! partitioning (general vs Algorithm 1 fast path), plan construction,
+//! degraded-read pruning, and the incremental-update planner.
+//!
+//! These back the paper's footnote 2 (matrix work is negligible) with
+//! numbers, and quantify our SD fast-partition and `restrict_to`
+//! extensions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppm_codes::{ErasureCode, SdCode};
+use ppm_core::{DecodePlan, LogTable, Partition, Strategy, UpdatePlan};
+use ppm_gf::Backend;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_partition(c: &mut Criterion) {
+    let code = SdCode::<u8>::with_generator_coeffs(16, 16, 3, 3).unwrap();
+    let h = code.parity_check_matrix();
+    let mut rng = StdRng::seed_from_u64(1);
+    let sc = code
+        .decodable_worst_case(1, &mut rng, 300)
+        .expect("scenario");
+
+    let mut g = c.benchmark_group("partition_sd16x16_m3s3");
+    g.sample_size(30);
+    g.bench_function("log_table", |b| b.iter(|| LogTable::build(&h, &sc)));
+    g.bench_function("general", |b| b.iter(|| Partition::build(&h, &sc)));
+    g.bench_function("sd_fast", |b| {
+        b.iter(|| Partition::build_sd(&code, &h, &sc))
+    });
+    g.finish();
+}
+
+fn bench_plan_build(c: &mut Criterion) {
+    let code = SdCode::<u8>::with_generator_coeffs(16, 16, 3, 3).unwrap();
+    let h = code.parity_check_matrix();
+    let mut rng = StdRng::seed_from_u64(2);
+    let sc = code
+        .decodable_worst_case(1, &mut rng, 300)
+        .expect("scenario");
+
+    let mut g = c.benchmark_group("plan_build_sd16x16_m3s3");
+    g.sample_size(20);
+    for (name, strategy) in [
+        ("traditional_c1", Strategy::TraditionalNormal),
+        ("ppm_c4", Strategy::PpmNormalRest),
+        ("ppm_auto", Strategy::PpmAuto),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| DecodePlan::build(&h, &sc, strategy, Backend::Scalar).unwrap())
+        });
+    }
+    let full = DecodePlan::build(&h, &sc, Strategy::PpmNormalRest, Backend::Scalar).unwrap();
+    let one = [sc.faulty()[0]];
+    g.bench_function("restrict_to_one", |b| b.iter(|| full.restrict_to(&one)));
+    g.finish();
+}
+
+fn bench_update_plan(c: &mut Criterion) {
+    let code = SdCode::<u8>::with_generator_coeffs(12, 8, 2, 2).unwrap();
+    let mut g = c.benchmark_group("update_plan_sd12x8_m2s2");
+    g.sample_size(20);
+    g.bench_function("build", |b| {
+        b.iter(|| UpdatePlan::build(&code, Backend::Scalar).unwrap())
+    });
+    let plan = UpdatePlan::build(&code, Backend::Scalar).unwrap();
+    let d = code.data_sectors()[0];
+    g.bench_function("parity_touched", |b| {
+        b.iter(|| plan.parity_touched(d).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partition,
+    bench_plan_build,
+    bench_update_plan
+);
+criterion_main!(benches);

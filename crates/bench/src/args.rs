@@ -1,0 +1,90 @@
+//! Minimal command-line parsing shared by the figure binaries.
+
+/// Common experiment knobs. Every figure binary accepts:
+///
+/// * `--stripe-mib <N>` — stripe size in MiB (default 4; the paper uses 32,
+///   pass `--stripe-mib 32` to match it exactly),
+/// * `--reps <N>` — timing repetitions, best-of (default 3; paper averages
+///   10 runs),
+/// * `--threads <N>` — thread budget `T` (default 4, the paper's cap),
+/// * `--full` — run the paper's full parameter sweep instead of the
+///   representative subset,
+/// * `--seed <N>` — RNG seed for workloads and failure scenarios.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpArgs {
+    /// Stripe size in bytes.
+    pub stripe_bytes: usize,
+    /// Timing repetitions (best-of).
+    pub reps: usize,
+    /// Thread budget `T`.
+    pub threads: usize,
+    /// Full sweep instead of the representative subset.
+    pub full: bool,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            stripe_bytes: 4 << 20,
+            reps: 3,
+            threads: 4,
+            full: false,
+            seed: 2015,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args()`, panicking with a usage message on
+    /// malformed input.
+    pub fn parse() -> Self {
+        let mut out = ExpArgs::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut num = |what: &str| -> u64 {
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{what} expects a number"))
+            };
+            match flag.as_str() {
+                "--stripe-mib" => out.stripe_bytes = (num("--stripe-mib") as usize) << 20,
+                "--reps" => out.reps = num("--reps") as usize,
+                "--threads" => out.threads = num("--threads") as usize,
+                "--seed" => out.seed = num("--seed"),
+                "--full" => out.full = true,
+                "--help" | "-h" => {
+                    eprintln!("flags: --stripe-mib <N> --reps <N> --threads <N> --seed <N> --full");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        assert!(
+            out.reps > 0 && out.threads > 0,
+            "reps and threads must be positive"
+        );
+        out
+    }
+
+    /// MiB as a float, for labels.
+    pub fn stripe_mib(&self) -> f64 {
+        self.stripe_bytes as f64 / (1 << 20) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = ExpArgs::default();
+        assert_eq!(a.stripe_bytes, 4 << 20);
+        assert_eq!(a.reps, 3);
+        assert_eq!(a.threads, 4);
+        assert!(!a.full);
+        assert!((a.stripe_mib() - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,76 @@
+//! Plain-text table output for the figure binaries.
+
+/// A simple fixed-width table printer: header once, then rows; every cell
+/// is right-aligned to its column width.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// Prints the header and remembers column widths (at least the header
+    /// width, at least 8).
+    pub fn new(headers: &[&str]) -> Self {
+        let widths: Vec<usize> = headers.iter().map(|h| h.len().max(8)).collect();
+        let t = Table { widths };
+        t.print_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        t.print_rule();
+        t
+    }
+
+    /// Prints one data row.
+    pub fn row(&self, cells: &[String]) {
+        self.print_row(cells);
+    }
+
+    fn print_row(&self, cells: &[String]) {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = self.widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+
+    fn print_rule(&self) {
+        let line: Vec<String> = self.widths.iter().map(|w| "-".repeat(*w)).collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a ratio as a percentage string, e.g. `0.8578 -> "85.78%"`.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Formats an improvement as a signed percentage, e.g. `0.61 -> "+61.0%"`.
+pub fn signed_pct(x: f64) -> String {
+    format!("{:+.1}%", 100.0 * x)
+}
+
+/// Formats seconds as adaptive ms/s.
+pub fn secs(x: f64) -> String {
+    if x >= 1.0 {
+        format!("{x:.2}s")
+    } else {
+        format!("{:.2}ms", x * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(pct(0.8578), "85.78%");
+        assert_eq!(signed_pct(0.6109), "+61.1%");
+        assert_eq!(secs(0.00123), "1.23ms");
+        assert_eq!(secs(2.5), "2.50s");
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        let t = Table::new(&["n", "C4/C1"]);
+        t.row(&["6".into(), "85.78%".into()]);
+    }
+}

@@ -1,0 +1,228 @@
+//! The [`ErasureCode`] trait and shared stripe-layout vocabulary.
+
+use ppm_gf::GfWord;
+use ppm_matrix::Matrix;
+
+/// Geometry of a stripe: `n` strips (one per disk) of `r` sectors each.
+///
+/// Sectors are numbered the way the paper numbers the columns of `H`:
+/// sector `l = i·n + j` is the one in row `i` of disk `j` (row-major across
+/// disks). All codes in this crate use this numbering for both their
+/// parity-check matrices and their failure scenarios.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StripeLayout {
+    /// Number of strips (disks) in the stripe — the paper's `n`.
+    pub n: usize,
+    /// Number of sectors per strip — the paper's `r`.
+    pub r: usize,
+}
+
+impl StripeLayout {
+    /// Creates a layout.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(n: usize, r: usize) -> Self {
+        assert!(n > 0 && r > 0, "stripe layout must be non-empty");
+        StripeLayout { n, r }
+    }
+
+    /// Total sectors in the stripe (`C_H = n · r`).
+    pub fn sectors(&self) -> usize {
+        self.n * self.r
+    }
+
+    /// Sector index of the cell in stripe-row `row`, disk `col`.
+    pub fn sector(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.r && col < self.n);
+        row * self.n + col
+    }
+
+    /// Stripe-row of a sector index.
+    pub fn row_of(&self, sector: usize) -> usize {
+        sector / self.n
+    }
+
+    /// Disk (column) of a sector index.
+    pub fn col_of(&self, sector: usize) -> usize {
+        sector % self.n
+    }
+}
+
+/// Why a sector holds redundancy (or doesn't).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ParityKind {
+    /// User data.
+    Data,
+    /// Traditional device-level parity (SD/RS "disk parity", computed from
+    /// every data block in its stripe row).
+    Disk,
+    /// SD/PMDS sector parity (computed across the whole stripe).
+    Sector,
+    /// LRC local parity (computed from one local group).
+    Local,
+    /// LRC global parity (computed from all data blocks in its row).
+    Global,
+}
+
+/// Errors from code construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodeError {
+    /// A structural parameter was out of range; the message says which.
+    InvalidParams(String),
+    /// No coefficient assignment passing the construction's self-checks was
+    /// found within the search budget.
+    SearchExhausted(String),
+}
+
+impl std::fmt::Display for CodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodeError::InvalidParams(m) => write!(f, "invalid code parameters: {m}"),
+            CodeError::SearchExhausted(m) => write!(f, "coefficient search exhausted: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+/// A linear erasure code described by its parity-check matrix.
+///
+/// The contract: for a stripe vector `B` of `layout().sectors()` words,
+/// `parity_check_matrix() · B = 0` holds exactly when the parity sectors
+/// are consistent with the data sectors. The matrix has one column per
+/// sector (in [`StripeLayout`] order) and `parity_sectors().len()` rows, so
+/// encoding — solving for the parity sectors given the data sectors — is a
+/// square linear system.
+pub trait ErasureCode<W: GfWord> {
+    /// Human-readable instance name, e.g. `SD^{1,1}_{4,4}(8|1,2)`.
+    fn name(&self) -> String;
+
+    /// Stripe geometry.
+    fn layout(&self) -> StripeLayout;
+
+    /// The parity-check matrix `H` (`R_H × n·r`).
+    fn parity_check_matrix(&self) -> Matrix<W>;
+
+    /// Sector indices that hold redundancy, in ascending order. Its length
+    /// equals the number of rows of `H`.
+    fn parity_sectors(&self) -> Vec<usize>;
+
+    /// Classification of each sector (defaults to `Data`/`Disk` split; the
+    /// concrete codes refine this).
+    fn kind_of(&self, sector: usize) -> ParityKind;
+
+    /// Sector indices that hold user data, in ascending order.
+    fn data_sectors(&self) -> Vec<usize> {
+        let parity = self.parity_sectors();
+        (0..self.layout().sectors())
+            .filter(|s| parity.binary_search(s).is_err())
+            .collect()
+    }
+
+    /// True if every parity block is computed from the same number of
+    /// blocks — the paper's symmetric/asymmetric split. Derived from the
+    /// generator view: solve each parity sector in terms of data sectors
+    /// and compare the equation supports.
+    fn is_symmetric(&self) -> bool {
+        let h = self.parity_check_matrix();
+        let parity = self.parity_sectors();
+        let data = self.data_sectors();
+        let f = h.select_columns(&parity);
+        let s = h.select_columns(&data);
+        let Some(f_inv) = f.inverse() else {
+            // Not encodable as-is; treat as asymmetric (can't compare).
+            return false;
+        };
+        // Each row of F⁻¹·S expresses one parity sector as a combination
+        // of data sectors; symmetric parity = all rows have equal support.
+        let gen = f_inv.mul(&s);
+        let mut counts = (0..gen.rows()).map(|r| gen.row_nonzeros(r));
+        match counts.next() {
+            None => true,
+            Some(first) => counts.all(|c| c == first),
+        }
+    }
+}
+
+/// References to codes are codes, so `&dyn ErasureCode<W>` (and plain
+/// borrows) flow into the generic encode/decode entry points.
+impl<W: GfWord, T: ErasureCode<W> + ?Sized> ErasureCode<W> for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn layout(&self) -> StripeLayout {
+        (**self).layout()
+    }
+    fn parity_check_matrix(&self) -> Matrix<W> {
+        (**self).parity_check_matrix()
+    }
+    fn parity_sectors(&self) -> Vec<usize> {
+        (**self).parity_sectors()
+    }
+    fn kind_of(&self, sector: usize) -> ParityKind {
+        (**self).kind_of(sector)
+    }
+    fn data_sectors(&self) -> Vec<usize> {
+        (**self).data_sectors()
+    }
+    fn is_symmetric(&self) -> bool {
+        (**self).is_symmetric()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe_and_borrow_transparent() {
+        let sd = crate::SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        let dynamic: &dyn ErasureCode<u8> = &sd;
+        assert_eq!(dynamic.name(), ErasureCode::<u8>::name(&sd));
+        assert_eq!(
+            dynamic.parity_sectors(),
+            ErasureCode::<u8>::parity_sectors(&sd)
+        );
+        // &dyn also satisfies the generic bound.
+        fn takes_code<W: GfWord, C: ErasureCode<W>>(c: &C) -> usize {
+            c.layout().sectors()
+        }
+        assert_eq!(takes_code(&dynamic), 16);
+    }
+
+    #[test]
+    fn layout_indexing_roundtrips() {
+        let l = StripeLayout::new(6, 4);
+        assert_eq!(l.sectors(), 24);
+        for row in 0..4 {
+            for col in 0..6 {
+                let s = l.sector(row, col);
+                assert_eq!(l.row_of(s), row);
+                assert_eq!(l.col_of(s), col);
+            }
+        }
+    }
+
+    #[test]
+    fn layout_matches_paper_numbering() {
+        // Paper: "The column i*n + j of H corresponds to the sector
+        // b_{i*n+j} in row i and column j".
+        let l = StripeLayout::new(4, 4);
+        assert_eq!(l.sector(0, 2), 2); // b2
+        assert_eq!(l.sector(1, 2), 6); // b6
+        assert_eq!(l.sector(3, 1), 13); // b13
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_layout_panics() {
+        let _ = StripeLayout::new(0, 4);
+    }
+
+    #[test]
+    fn code_error_display() {
+        let e = CodeError::InvalidParams("m too large".into());
+        assert!(e.to_string().contains("m too large"));
+    }
+}

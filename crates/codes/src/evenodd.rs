@@ -1,0 +1,186 @@
+//! EVENODD (Blaum, Brady, Bruck, Menon — IEEE ToC 1995), the classic
+//! XOR-only RAID-6 code the paper's background cites as a symmetric-parity
+//! scheme.
+//!
+//! For a prime `p`, an EVENODD array has `p` data disks plus one row-parity
+//! disk and one diagonal-parity disk (`n = p + 2`), with `r = p − 1` rows.
+//! All coefficients are 0/1 — encoding and decoding are pure XOR:
+//!
+//! * **row parity**: `P[i] = ⊕_j D[i][j]`,
+//! * **diagonal parity**: `Q[l] = S ⊕ (⊕ of diagonal l)`, where diagonal
+//!   `l` holds the cells with `(i + j) ≡ l (mod p)` and
+//!   `S` is the XOR of the *missing* diagonal `(i + j) ≡ p − 1 (mod p)`.
+//!
+//! As parity-check equations over GF(2^w) (coefficients confined to
+//! {0, 1}), each diagonal row XORs its diagonal, the `S` diagonal, and
+//! `Q[l]` — exactly the classical definition rearranged to `H·B = 0`.
+//! EVENODD tolerates any two disk failures (verified exhaustively in the
+//! tests).
+
+use crate::{CodeError, ErasureCode, ParityKind, StripeLayout};
+use ppm_gf::GfWord;
+use ppm_matrix::Matrix;
+
+/// Primality check for the small moduli these codes use.
+pub(crate) fn is_prime(p: usize) -> bool {
+    if p < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= p {
+        if p.is_multiple_of(d) {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+/// An EVENODD instance over prime `p`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvenOddCode<W: GfWord> {
+    p: usize,
+    _marker: std::marker::PhantomData<W>,
+}
+
+impl<W: GfWord> EvenOddCode<W> {
+    /// Builds EVENODD over prime `p ≥ 3`: `p + 2` disks, `p − 1` rows.
+    pub fn new(p: usize) -> Result<Self, CodeError> {
+        if p < 3 || !is_prime(p) {
+            return Err(CodeError::InvalidParams(format!(
+                "EVENODD needs a prime p >= 3, got {p}"
+            )));
+        }
+        Ok(EvenOddCode {
+            p,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// The prime parameter `p`.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+}
+
+impl<W: GfWord> ErasureCode<W> for EvenOddCode<W> {
+    fn name(&self) -> String {
+        format!("EVENODD(p={},w={})", self.p, W::WIDTH)
+    }
+
+    fn layout(&self) -> StripeLayout {
+        StripeLayout::new(self.p + 2, self.p - 1)
+    }
+
+    fn parity_check_matrix(&self) -> Matrix<W> {
+        let p = self.p;
+        let layout = self.layout();
+        let (n, r) = (layout.n, layout.r);
+        let mut h = Matrix::zero(2 * r, n * r);
+        // Row-parity equations: data disks 0..p and row-parity disk p.
+        for i in 0..r {
+            for j in 0..=p {
+                h.set(i, layout.sector(i, j), W::ONE);
+            }
+        }
+        // Diagonal equations l = 0..p-2: diagonal l, the S diagonal
+        // (i+j ≡ p−1), and Q[l] on disk p+1. A cell on both diagonals
+        // would XOR twice (i.e. cancel), but for l < p−1 that cannot
+        // happen, so plain assignment is safe.
+        for l in 0..r {
+            for i in 0..r {
+                for j in 0..p {
+                    if (i + j) % p == l || (i + j) % p == p - 1 {
+                        h.set(l + r, layout.sector(i, j), W::ONE);
+                    }
+                }
+            }
+            h.set(l + r, layout.sector(l, p + 1), W::ONE);
+        }
+        h
+    }
+
+    fn parity_sectors(&self) -> Vec<usize> {
+        let layout = self.layout();
+        let mut parity = Vec::with_capacity(2 * layout.r);
+        for row in 0..layout.r {
+            parity.push(layout.sector(row, self.p));
+            parity.push(layout.sector(row, self.p + 1));
+        }
+        parity.sort_unstable();
+        parity
+    }
+
+    fn kind_of(&self, sector: usize) -> ParityKind {
+        let col = self.layout().col_of(sector);
+        if col < self.p {
+            ParityKind::Data
+        } else {
+            ParityKind::Disk
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FailureScenario;
+
+    #[test]
+    fn primality() {
+        assert!(is_prime(2) && is_prime(3) && is_prime(5) && is_prime(17));
+        assert!(!is_prime(0) && !is_prime(1) && !is_prime(9) && !is_prime(15));
+    }
+
+    #[test]
+    fn geometry() {
+        let code = EvenOddCode::<u8>::new(5).unwrap();
+        let layout = code.layout();
+        assert_eq!((layout.n, layout.r), (7, 4));
+        let h = code.parity_check_matrix();
+        assert_eq!(h.rows(), 8);
+        assert_eq!(h.cols(), 28);
+        assert_eq!(code.parity_sectors().len(), 8);
+    }
+
+    #[test]
+    fn coefficients_are_binary() {
+        let code = EvenOddCode::<u8>::new(5).unwrap();
+        let h = code.parity_check_matrix();
+        for row in 0..h.rows() {
+            assert!(h.row(row).iter().all(|&v| v <= 1));
+        }
+    }
+
+    #[test]
+    fn any_two_disk_failures_decodable() {
+        for p in [3usize, 5, 7] {
+            let code = EvenOddCode::<u8>::new(p).unwrap();
+            let h = code.parity_check_matrix();
+            let layout = code.layout();
+            for a in 0..layout.n {
+                for b in a + 1..layout.n {
+                    let sc = FailureScenario::whole_disks(layout, &[a, b]);
+                    let f = h.select_columns(sc.faulty());
+                    assert_eq!(f.rank(), sc.len(), "p={p}: disks {a},{b} must decode");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encodable() {
+        let code = EvenOddCode::<u8>::new(5).unwrap();
+        let f = code
+            .parity_check_matrix()
+            .select_columns(&code.parity_sectors());
+        assert!(f.is_invertible());
+    }
+
+    #[test]
+    fn non_prime_rejected() {
+        assert!(EvenOddCode::<u8>::new(4).is_err());
+        assert!(EvenOddCode::<u8>::new(2).is_err());
+        assert!(EvenOddCode::<u8>::new(9).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! Erasure-code constructions for the PPM workspace.
+//!
+//! The PPM paper classifies erasure codes by whether every parity block is
+//! computed from the same number of blocks (*symmetric parity* — RS, Cauchy
+//! RS, EVENODD, RDP, STAR) or not (*asymmetric parity* — SD, PMDS, LRC).
+//! This crate implements, from their published definitions, every code the
+//! paper evaluates:
+//!
+//! * [`SdCode`] — Plank et al.'s SD codes (FAST'13): `m` disk-parity strips
+//!   plus `s` dedicated sector parities per stripe,
+//! * [`PmdsCode`] — Blaum et al.'s PMDS codes, handled as the SD-family
+//!   construction (the paper: "Since PMDS code is a subset of SD code, the
+//!   experimental results of SD code also reflect that of PMDS code"),
+//! * [`LrcCode`] — Azure-style `(k, l, g)` Local Reconstruction Codes,
+//! * [`RsCode`] — Cauchy Reed–Solomon, the symmetric-parity baseline,
+//! * [`EvenOddCode`] / [`RdpCode`] / [`StarCode`] — the XOR-only RAID
+//!   schemes the paper's background cites (Blaum et al. '95; Corbett et
+//!   al. FAST'04; Huang & Xu FAST'05).
+//!
+//! Every code exposes its parity-check matrix `H` (the `R_H × C_H` matrix
+//! with `H · B = 0` for a valid stripe `B`) through the [`ErasureCode`]
+//! trait; the decoders in `ppm-core` work purely on `H` plus a
+//! [`FailureScenario`], so they apply uniformly to all of these codes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod code;
+mod evenodd;
+mod lrc;
+mod pmds;
+mod rdp;
+mod rs;
+mod scenario;
+mod sd;
+mod star;
+
+pub use code::{CodeError, ErasureCode, ParityKind, StripeLayout};
+pub use evenodd::EvenOddCode;
+pub use lrc::LrcCode;
+pub use pmds::PmdsCode;
+pub use rdp::RdpCode;
+pub use rs::RsCode;
+pub use scenario::FailureScenario;
+pub use sd::SdCode;
+pub use star::StarCode;

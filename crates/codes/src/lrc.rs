@@ -1,0 +1,320 @@
+//! Azure-style `(k, l, g)` Local Reconstruction Codes (Huang et al.,
+//! USENIX ATC'12), the paper's cloud-side asymmetric-parity code.
+//!
+//! A stripe has `k` data strips, `l` local-parity strips and `g`
+//! global-parity strips (`n = k + l + g`), each of `r` rows; equations are
+//! row-local (every stripe row is an independent `(k, l, g)` codeword):
+//!
+//! * local parity `λ` of row `i` is the XOR of the row's data blocks in
+//!   group `λ` (the `k/l` data disks `[λ·k/l, (λ+1)·k/l)`),
+//! * global parity `γ` of row `i` is a Cauchy-coefficient combination of
+//!   all `k` data blocks of the row.
+//!
+//! Local parities are computed from `k/l` blocks while global parities use
+//! all `k`, which is exactly the asymmetry the PPM paper exploits: a local
+//! group with a single erasure forms an independent 1×1 sub-matrix that a
+//! thread can repair concurrently with the others.
+
+use crate::{CodeError, ErasureCode, FailureScenario, ParityKind, StripeLayout};
+use ppm_gf::GfWord;
+use ppm_matrix::Matrix;
+use rand::prelude::*;
+
+/// A `(k, l, g)`-LRC instance with `r` rows per strip.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LrcCode<W: GfWord> {
+    k: usize,
+    l: usize,
+    g: usize,
+    r: usize,
+    _marker: std::marker::PhantomData<W>,
+}
+
+impl<W: GfWord> LrcCode<W> {
+    /// Builds a `(k, l, g)`-LRC with `r` rows per strip.
+    ///
+    /// Requires `l ≥ 1`, `l | k`, and enough field elements for the Cauchy
+    /// coefficients (`k + g ≤ 2^w`).
+    pub fn new(k: usize, l: usize, g: usize, r: usize) -> Result<Self, CodeError> {
+        if k == 0 || r == 0 {
+            return Err(CodeError::InvalidParams("k and r must be positive".into()));
+        }
+        if l == 0 {
+            return Err(CodeError::InvalidParams(
+                "LRC needs at least one local group (l >= 1)".into(),
+            ));
+        }
+        if !k.is_multiple_of(l) {
+            return Err(CodeError::InvalidParams(format!(
+                "local groups must be even: l={l} does not divide k={k}"
+            )));
+        }
+        if (k + g) as u64 > (1u64 << W::WIDTH) {
+            return Err(CodeError::InvalidParams(format!(
+                "k+g = {} exceeds GF(2^{})",
+                k + g,
+                W::WIDTH
+            )));
+        }
+        Ok(LrcCode {
+            k,
+            l,
+            g,
+            r,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Data strips `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Local-parity strips `l`.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Global-parity strips `g`.
+    pub fn g(&self) -> usize {
+        self.g
+    }
+
+    /// Data disks per local group.
+    pub fn group_size(&self) -> usize {
+        self.k / self.l
+    }
+
+    /// Storage cost `n / k` (the x-axis of the paper's Figure 11).
+    pub fn storage_cost(&self) -> f64 {
+        (self.k + self.l + self.g) as f64 / self.k as f64
+    }
+
+    /// Cauchy coefficient of global parity `γ` for data disk `j`:
+    /// `1 / (x_γ + y_j)` with `x_γ = k + γ`, `y_j = j` — all distinct, so
+    /// every square submatrix of the global-coefficient matrix is
+    /// invertible.
+    fn global_coeff(&self, gamma: usize, j: usize) -> W {
+        let x = W::from_u64((self.k + gamma) as u64);
+        let y = W::from_u64(j as u64);
+        x.gf_add(y).gf_inv()
+    }
+
+    /// The maximum-tolerable *spread* outage: one random disk per local
+    /// group (data or the group's local parity) plus every global-parity
+    /// disk — `l + g` failures in total. Each group's failure is locally
+    /// repairable (a 1×1 independent sub-matrix under PPM) and the global
+    /// parities are recomputed afterwards, so the pattern is always
+    /// decodable and exercises both of LRC's repair paths. This is the
+    /// failure model fig11 uses; see EXPERIMENTS.md.
+    pub fn spread_disk_failures<R: Rng + ?Sized>(&self, rng: &mut R) -> FailureScenario {
+        let layout = self.layout();
+        let group = self.group_size();
+        let mut disks = Vec::with_capacity(self.l + self.g);
+        for lam in 0..self.l {
+            // Group lam's data disks plus its local-parity disk.
+            let pick = rng.random_range(0..=group);
+            disks.push(if pick == group {
+                self.k + lam
+            } else {
+                lam * group + pick
+            });
+        }
+        for gam in 0..self.g {
+            disks.push(self.k + self.l + gam);
+        }
+        FailureScenario::whole_disks(layout, &disks)
+    }
+
+    /// Draws sets of `count` failed disks until one is decodable, up to
+    /// `max_tries`. The paper's LRC experiments decode the maximum
+    /// tolerable pattern; `count = l + g` reproduces that.
+    pub fn decodable_disk_failures<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+        max_tries: usize,
+    ) -> Option<FailureScenario> {
+        let layout = self.layout();
+        let h = self.parity_check_matrix();
+        for _ in 0..max_tries {
+            let mut disks: Vec<usize> = (0..layout.n).collect();
+            disks.shuffle(rng);
+            disks.truncate(count);
+            let sc = FailureScenario::whole_disks(layout, &disks);
+            let f = h.select_columns(sc.faulty());
+            if f.rank() == sc.len() {
+                return Some(sc);
+            }
+        }
+        None
+    }
+}
+
+impl<W: GfWord> ErasureCode<W> for LrcCode<W> {
+    fn name(&self) -> String {
+        format!(
+            "({},{},{})-LRC(r={},w={})",
+            self.k,
+            self.l,
+            self.g,
+            self.r,
+            W::WIDTH
+        )
+    }
+
+    fn layout(&self) -> StripeLayout {
+        StripeLayout::new(self.k + self.l + self.g, self.r)
+    }
+
+    fn parity_check_matrix(&self) -> Matrix<W> {
+        let layout = self.layout();
+        let n = layout.n;
+        let per_row = self.l + self.g;
+        let mut h = Matrix::zero(per_row * self.r, n * self.r);
+        let group = self.group_size();
+        for i in 0..self.r {
+            for lam in 0..self.l {
+                let row = i * per_row + lam;
+                for j in lam * group..(lam + 1) * group {
+                    h.set(row, i * n + j, W::ONE);
+                }
+                h.set(row, i * n + self.k + lam, W::ONE);
+            }
+            for gam in 0..self.g {
+                let row = i * per_row + self.l + gam;
+                for j in 0..self.k {
+                    h.set(row, i * n + j, self.global_coeff(gam, j));
+                }
+                h.set(row, i * n + self.k + self.l + gam, W::ONE);
+            }
+        }
+        h
+    }
+
+    fn parity_sectors(&self) -> Vec<usize> {
+        let layout = self.layout();
+        let mut parity = Vec::with_capacity((self.l + self.g) * self.r);
+        for row in 0..self.r {
+            for d in self.k..layout.n {
+                parity.push(layout.sector(row, d));
+            }
+        }
+        parity.sort_unstable();
+        parity
+    }
+
+    fn kind_of(&self, sector: usize) -> ParityKind {
+        let col = self.layout().col_of(sector);
+        if col < self.k {
+            ParityKind::Data
+        } else if col < self.k + self.l {
+            ParityKind::Local
+        } else {
+            ParityKind::Global
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    fn paper_422() -> LrcCode<u8> {
+        // The (4,2,2)-LRC of the paper's Figure 1(b).
+        LrcCode::new(4, 2, 2, 3).expect("valid (4,2,2)-LRC")
+    }
+
+    #[test]
+    fn figure1_lrc_shape() {
+        let code = paper_422();
+        let layout = code.layout();
+        assert_eq!(layout.n, 8);
+        let h = code.parity_check_matrix();
+        assert_eq!(h.rows(), (2 + 2) * 3);
+        assert_eq!(h.cols(), 8 * 3);
+        // Paper: "each local parity block is calculated by 2 data blocks,
+        // each global parity block by 4".
+        assert_eq!(code.group_size(), 2);
+    }
+
+    #[test]
+    fn local_rows_are_xor_equations() {
+        let code = paper_422();
+        let h = code.parity_check_matrix();
+        // Row 0 = local group 0 of stripe-row 0: data disks 0,1 + parity disk 4.
+        assert_eq!(h.row_support(0), vec![0, 1, 4]);
+        assert!(h.row(0).iter().all(|&v| v == 0 || v == 1));
+        // Row 1 = local group 1: disks 2,3 + parity disk 5.
+        assert_eq!(h.row_support(1), vec![2, 3, 5]);
+    }
+
+    #[test]
+    fn global_rows_cover_all_data() {
+        let code = paper_422();
+        let h = code.parity_check_matrix();
+        // Row 2 = global parity 0 of stripe-row 0: all data + disk 6.
+        assert_eq!(h.row_support(2), vec![0, 1, 2, 3, 6]);
+        assert_eq!(h.row_support(3), vec![0, 1, 2, 3, 7]);
+    }
+
+    #[test]
+    fn lrc_is_asymmetric_and_rs_shape_symmetric() {
+        assert!(!paper_422().is_symmetric());
+        // l = 1 degenerates: one local group of size k = same width as a
+        // global row; still asymmetric only if widths differ.
+        let wide = LrcCode::<u8>::new(4, 1, 0, 2).unwrap();
+        assert!(
+            wide.is_symmetric(),
+            "single-group, no-global LRC is symmetric"
+        );
+    }
+
+    #[test]
+    fn kinds_and_parities() {
+        let code = paper_422();
+        let layout = code.layout();
+        assert_eq!(code.kind_of(layout.sector(0, 0)), ParityKind::Data);
+        assert_eq!(code.kind_of(layout.sector(1, 4)), ParityKind::Local);
+        assert_eq!(code.kind_of(layout.sector(2, 7)), ParityKind::Global);
+        assert_eq!(code.parity_sectors().len(), 4 * 3);
+    }
+
+    #[test]
+    fn storage_cost_matches_figure11_axis() {
+        assert!((LrcCode::<u8>::new(40, 2, 2, 1).unwrap().storage_cost() - 1.1).abs() < 1e-9);
+        assert!((LrcCode::<u8>::new(8, 2, 2, 1).unwrap().storage_cost() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_tolerable_disk_failures_decodable() {
+        let code = paper_422();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sc = code
+            .decodable_disk_failures(code.l() + code.g(), &mut rng, 200)
+            .expect("l+g disk failures must be decodable for some pattern");
+        assert_eq!(sc.failed_disks(code.layout()).len(), 4);
+    }
+
+    #[test]
+    fn spread_failures_always_decodable() {
+        let code = paper_422();
+        let h = code.parity_check_matrix();
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..25 {
+            let sc = code.spread_disk_failures(&mut rng);
+            assert_eq!(sc.failed_disks(code.layout()).len(), 4);
+            let f = h.select_columns(sc.faulty());
+            assert_eq!(f.rank(), sc.len(), "spread pattern must decode");
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(LrcCode::<u8>::new(5, 2, 2, 4).is_err()); // l does not divide k
+        assert!(LrcCode::<u8>::new(0, 1, 1, 4).is_err());
+        assert!(LrcCode::<u8>::new(4, 0, 2, 4).is_err());
+        assert!(LrcCode::<u8>::new(300, 2, 2, 4).is_err()); // field too small
+    }
+}

@@ -1,0 +1,177 @@
+//! RDP — Row-Diagonal Parity (Corbett et al., FAST'04), the other XOR
+//! RAID-6 scheme the paper's background cites.
+//!
+//! For a prime `p`, an RDP array has `p − 1` data disks, one row-parity
+//! disk and one diagonal-parity disk (`n = p + 1`), with `r = p − 1` rows.
+//! Unlike EVENODD, RDP's diagonals *include* the row-parity disk, which is
+//! what makes its reconstruction chain purely sequential XORs:
+//!
+//! * **row parity** (disk `p − 1`): `P[i] = ⊕_{j<p−1} D[i][j]`,
+//! * **diagonal parity** (disk `p`): diagonal `l` holds the cells
+//!   `(i, j)` with `(i + j) ≡ l (mod p)` for `j ≤ p − 1` (data + row
+//!   parity); the diagonal `p − 1` is the *missing* diagonal and has no
+//!   parity.
+
+use crate::evenodd::is_prime;
+use crate::{CodeError, ErasureCode, ParityKind, StripeLayout};
+use ppm_gf::GfWord;
+use ppm_matrix::Matrix;
+
+/// An RDP instance over prime `p`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RdpCode<W: GfWord> {
+    p: usize,
+    _marker: std::marker::PhantomData<W>,
+}
+
+impl<W: GfWord> RdpCode<W> {
+    /// Builds RDP over prime `p ≥ 3`: `p + 1` disks, `p − 1` rows.
+    pub fn new(p: usize) -> Result<Self, CodeError> {
+        if p < 3 || !is_prime(p) {
+            return Err(CodeError::InvalidParams(format!(
+                "RDP needs a prime p >= 3, got {p}"
+            )));
+        }
+        Ok(RdpCode {
+            p,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// The prime parameter `p`.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+}
+
+impl<W: GfWord> ErasureCode<W> for RdpCode<W> {
+    fn name(&self) -> String {
+        format!("RDP(p={},w={})", self.p, W::WIDTH)
+    }
+
+    fn layout(&self) -> StripeLayout {
+        StripeLayout::new(self.p + 1, self.p - 1)
+    }
+
+    fn parity_check_matrix(&self) -> Matrix<W> {
+        let p = self.p;
+        let layout = self.layout();
+        let (n, r) = (layout.n, layout.r);
+        let mut h = Matrix::zero(2 * r, n * r);
+        // Row-parity equations: disks 0..p-1 (data + row parity).
+        for i in 0..r {
+            for j in 0..p {
+                h.set(i, layout.sector(i, j), W::ONE);
+            }
+        }
+        // Diagonal equations l = 0..p-2 over disks 0..p-1 (including the
+        // row-parity disk), plus the diagonal parity cell (l, p).
+        for l in 0..r {
+            for i in 0..r {
+                for j in 0..p {
+                    if (i + j) % p == l {
+                        h.set(l + r, layout.sector(i, j), W::ONE);
+                    }
+                }
+            }
+            h.set(l + r, layout.sector(l, p), W::ONE);
+        }
+        h
+    }
+
+    fn parity_sectors(&self) -> Vec<usize> {
+        let layout = self.layout();
+        let mut parity = Vec::with_capacity(2 * layout.r);
+        for row in 0..layout.r {
+            parity.push(layout.sector(row, self.p - 1));
+            parity.push(layout.sector(row, self.p));
+        }
+        parity.sort_unstable();
+        parity
+    }
+
+    fn kind_of(&self, sector: usize) -> ParityKind {
+        let col = self.layout().col_of(sector);
+        if col < self.p - 1 {
+            ParityKind::Data
+        } else {
+            ParityKind::Disk
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FailureScenario;
+
+    #[test]
+    fn geometry() {
+        let code = RdpCode::<u8>::new(5).unwrap();
+        let layout = code.layout();
+        assert_eq!((layout.n, layout.r), (6, 4));
+        let h = code.parity_check_matrix();
+        assert_eq!(h.rows(), 8);
+        assert_eq!(h.cols(), 24);
+    }
+
+    #[test]
+    fn row_equations_include_row_parity_only() {
+        let code = RdpCode::<u8>::new(5).unwrap();
+        let h = code.parity_check_matrix();
+        // Row eq 0 touches disks 0..4 of row 0, not the diagonal disk 5.
+        assert_eq!(h.row_support(0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn diagonals_include_row_parity_disk() {
+        let code = RdpCode::<u8>::new(5).unwrap();
+        let h = code.parity_check_matrix();
+        let layout = code.layout();
+        // Diagonal 4 (l=4 doesn't exist; check l=0): cells with i+j ≡ 0
+        // (mod 5), j <= 4: (0,0), (1,4), (2,3), (3,2) + parity (0,5).
+        let expect: Vec<usize> = vec![
+            layout.sector(0, 0),
+            layout.sector(0, 5),
+            layout.sector(1, 4),
+            layout.sector(2, 3),
+            layout.sector(3, 2),
+        ];
+        let mut got = h.row_support(4);
+        got.sort_unstable();
+        let mut expect = expect;
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn any_two_disk_failures_decodable() {
+        for p in [3usize, 5, 7] {
+            let code = RdpCode::<u8>::new(p).unwrap();
+            let h = code.parity_check_matrix();
+            let layout = code.layout();
+            for a in 0..layout.n {
+                for b in a + 1..layout.n {
+                    let sc = FailureScenario::whole_disks(layout, &[a, b]);
+                    let f = h.select_columns(sc.faulty());
+                    assert_eq!(f.rank(), sc.len(), "p={p}: disks {a},{b} must decode");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encodable() {
+        let code = RdpCode::<u8>::new(7).unwrap();
+        let f = code
+            .parity_check_matrix()
+            .select_columns(&code.parity_sectors());
+        assert!(f.is_invertible());
+    }
+
+    #[test]
+    fn non_prime_rejected() {
+        assert!(RdpCode::<u8>::new(4).is_err());
+        assert!(RdpCode::<u8>::new(1).is_err());
+    }
+}

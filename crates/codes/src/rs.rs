@@ -1,0 +1,201 @@
+//! Cauchy Reed–Solomon codes — the symmetric-parity baseline.
+//!
+//! The paper compares optimized SD decoding against RS "with m + 1"
+//! parity strips over GF(2^8/16/32) (Figure 8). An `(n, k)`-RS stripe here
+//! has `k` data strips and `m = n − k` parity strips of `r` rows each;
+//! every stripe row is an independent codeword, checked by `m` equations
+//! with Cauchy coefficients. A Cauchy matrix has every square submatrix
+//! invertible, so any `m` strip failures are decodable (the MDS property)
+//! without any coefficient search.
+
+use crate::{CodeError, ErasureCode, FailureScenario, ParityKind, StripeLayout};
+use ppm_gf::GfWord;
+use ppm_matrix::Matrix;
+use rand::prelude::*;
+
+/// An `(k + m, k)` Cauchy Reed–Solomon code with `r` rows per strip.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RsCode<W: GfWord> {
+    k: usize,
+    m: usize,
+    r: usize,
+    _marker: std::marker::PhantomData<W>,
+}
+
+impl<W: GfWord> RsCode<W> {
+    /// Builds an RS code with `k` data strips, `m` parity strips and `r`
+    /// rows per strip. Requires `m + n ≤ 2^w` for distinct Cauchy points.
+    pub fn new(k: usize, m: usize, r: usize) -> Result<Self, CodeError> {
+        if k == 0 || m == 0 || r == 0 {
+            return Err(CodeError::InvalidParams("k, m, r must be positive".into()));
+        }
+        let n = k + m;
+        if (m + n) as u64 > (1u64 << W::WIDTH) {
+            return Err(CodeError::InvalidParams(format!(
+                "m+n = {} exceeds GF(2^{})",
+                m + n,
+                W::WIDTH
+            )));
+        }
+        Ok(RsCode {
+            k,
+            m,
+            r,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Data strips `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Parity strips `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Cauchy coefficient for check `q`, disk `j`:
+    /// `1 / (x_q + y_j)` with `x_q = n + q`, `y_j = j`.
+    fn coeff(&self, q: usize, j: usize) -> W {
+        let x = W::from_u64((self.k + self.m + q) as u64);
+        let y = W::from_u64(j as u64);
+        x.gf_add(y).gf_inv()
+    }
+
+    /// A random scenario of `count ≤ m` whole-disk failures; always
+    /// decodable thanks to the MDS property.
+    pub fn random_disk_failures<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+    ) -> FailureScenario {
+        assert!(
+            count <= self.m,
+            "RS({},{}) tolerates at most {} failures",
+            self.k + self.m,
+            self.k,
+            self.m
+        );
+        let mut disks: Vec<usize> = (0..self.k + self.m).collect();
+        disks.shuffle(rng);
+        disks.truncate(count);
+        FailureScenario::whole_disks(self.layout(), &disks)
+    }
+}
+
+impl<W: GfWord> ErasureCode<W> for RsCode<W> {
+    fn name(&self) -> String {
+        format!(
+            "RS({},{})(r={},w={})",
+            self.k + self.m,
+            self.k,
+            self.r,
+            W::WIDTH
+        )
+    }
+
+    fn layout(&self) -> StripeLayout {
+        StripeLayout::new(self.k + self.m, self.r)
+    }
+
+    fn parity_check_matrix(&self) -> Matrix<W> {
+        let layout = self.layout();
+        let n = layout.n;
+        let mut h = Matrix::zero(self.m * self.r, n * self.r);
+        for q in 0..self.m {
+            for i in 0..self.r {
+                for j in 0..n {
+                    h.set(q * self.r + i, i * n + j, self.coeff(q, j));
+                }
+            }
+        }
+        h
+    }
+
+    fn parity_sectors(&self) -> Vec<usize> {
+        let layout = self.layout();
+        let mut parity = Vec::with_capacity(self.m * self.r);
+        for row in 0..self.r {
+            for d in self.k..layout.n {
+                parity.push(layout.sector(row, d));
+            }
+        }
+        parity.sort_unstable();
+        parity
+    }
+
+    fn kind_of(&self, sector: usize) -> ParityKind {
+        if self.layout().col_of(sector) < self.k {
+            ParityKind::Data
+        } else {
+            ParityKind::Disk
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn rs_is_symmetric() {
+        // The paper's defining example of a symmetric-parity code.
+        let code = RsCode::<u8>::new(4, 2, 4).unwrap();
+        assert!(code.is_symmetric());
+    }
+
+    #[test]
+    fn any_m_disk_failures_decodable() {
+        // MDS: every combination of m = 2 failed disks out of 6 decodes.
+        let code = RsCode::<u8>::new(4, 2, 3).unwrap();
+        let h = code.parity_check_matrix();
+        let layout = code.layout();
+        for d0 in 0..6 {
+            for d1 in d0 + 1..6 {
+                let sc = FailureScenario::whole_disks(layout, &[d0, d1]);
+                let f = h.select_columns(sc.faulty());
+                assert_eq!(f.rank(), sc.len(), "disks {d0},{d1} must be decodable");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_check_shape() {
+        let code = RsCode::<u16>::new(6, 3, 4).unwrap();
+        let h = code.parity_check_matrix();
+        assert_eq!(h.rows(), 3 * 4);
+        assert_eq!(h.cols(), 9 * 4);
+        assert_eq!(code.parity_sectors().len(), 12);
+        // Equations are row-local: each check row touches exactly n sectors.
+        for row in 0..h.rows() {
+            assert_eq!(h.row_nonzeros(row), 9);
+        }
+    }
+
+    #[test]
+    fn random_failures_within_tolerance() {
+        let code = RsCode::<u8>::new(5, 3, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let sc = code.random_disk_failures(3, &mut rng);
+        assert_eq!(sc.failed_disks(code.layout()).len(), 3);
+        let f = code.parity_check_matrix().select_columns(sc.faulty());
+        assert_eq!(f.rank(), sc.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerates at most")]
+    fn too_many_failures_panics() {
+        let code = RsCode::<u8>::new(4, 2, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = code.random_disk_failures(3, &mut rng);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(RsCode::<u8>::new(0, 2, 2).is_err());
+        assert!(RsCode::<u8>::new(4, 0, 2).is_err());
+        assert!(RsCode::<u8>::new(250, 10, 2).is_err()); // field too small
+    }
+}

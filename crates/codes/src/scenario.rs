@@ -1,0 +1,255 @@
+//! Failure scenarios: which sectors of a stripe are lost.
+//!
+//! The paper drives its evaluation with a random-integer generator [28]:
+//! `m` random faulty disks plus `s` additional faulty sectors confined to
+//! `z` stripe-rows (`1 ≤ z ≤ s`) — "the worst case" for an
+//! `SD^{m,s}_{n,r}` instance. [`FailureScenario`] captures any such set of
+//! lost sectors and provides the generators the experiments use.
+
+use crate::StripeLayout;
+use rand::prelude::*;
+
+/// A set of erased (faulty) sectors of one stripe, kept sorted.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FailureScenario {
+    faulty: Vec<usize>,
+}
+
+impl FailureScenario {
+    /// Builds a scenario from sector indices (sorted and deduplicated).
+    pub fn new(mut faulty: Vec<usize>) -> Self {
+        faulty.sort_unstable();
+        faulty.dedup();
+        FailureScenario { faulty }
+    }
+
+    /// The faulty sector indices, ascending.
+    pub fn faulty(&self) -> &[usize] {
+        &self.faulty
+    }
+
+    /// Number of faulty sectors.
+    pub fn len(&self) -> usize {
+        self.faulty.len()
+    }
+
+    /// True if nothing failed.
+    pub fn is_empty(&self) -> bool {
+        self.faulty.is_empty()
+    }
+
+    /// True if `sector` is faulty.
+    pub fn contains(&self, sector: usize) -> bool {
+        self.faulty.binary_search(&sector).is_ok()
+    }
+
+    /// The surviving sector indices, ascending, for a stripe of `total`
+    /// sectors.
+    pub fn surviving(&self, total: usize) -> Vec<usize> {
+        (0..total).filter(|s| !self.contains(*s)).collect()
+    }
+
+    /// Merges two scenarios.
+    pub fn union(&self, other: &FailureScenario) -> FailureScenario {
+        let mut all = self.faulty.clone();
+        all.extend_from_slice(&other.faulty);
+        FailureScenario::new(all)
+    }
+
+    /// Every sector of the given disks (complete device failures).
+    pub fn whole_disks(layout: StripeLayout, disks: &[usize]) -> Self {
+        let mut faulty = Vec::with_capacity(disks.len() * layout.r);
+        for &d in disks {
+            assert!(d < layout.n, "disk {d} out of range");
+            for row in 0..layout.r {
+                faulty.push(layout.sector(row, d));
+            }
+        }
+        FailureScenario::new(faulty)
+    }
+
+    /// `count` distinct random sectors.
+    pub fn random<R: Rng + ?Sized>(layout: StripeLayout, count: usize, rng: &mut R) -> Self {
+        let total = layout.sectors();
+        assert!(count <= total, "cannot fail {count} of {total} sectors");
+        let mut all: Vec<usize> = (0..total).collect();
+        all.shuffle(rng);
+        all.truncate(count);
+        FailureScenario::new(all)
+    }
+
+    /// The paper's SD worst case: `m` random whole-disk failures plus `s`
+    /// additional faulty sectors on surviving disks, spread over exactly
+    /// `z` stripe-rows (each chosen row gets at least one).
+    ///
+    /// # Panics
+    /// Panics when the geometry cannot host the request
+    /// (`m ≥ n`, `z > s`, `z > r`, or `s > z·(n−m)`).
+    pub fn sd_worst_case<R: Rng + ?Sized>(
+        layout: StripeLayout,
+        m: usize,
+        s: usize,
+        z: usize,
+        rng: &mut R,
+    ) -> Self {
+        let (n, r) = (layout.n, layout.r);
+        assert!(
+            m < n,
+            "m={m} must leave at least one surviving disk (n={n})"
+        );
+        if s == 0 {
+            assert_eq!(z, 0, "z must be 0 when s is 0");
+        } else {
+            assert!(z >= 1 && z <= s, "need 1 <= z <= s (z={z}, s={s})");
+            assert!(z <= r, "z={z} rows exceed r={r}");
+            assert!(
+                s <= z * (n - m),
+                "cannot place {s} sector errors on {z} rows of {} surviving disks",
+                n - m
+            );
+        }
+
+        // m random faulty disks.
+        let mut disks: Vec<usize> = (0..n).collect();
+        disks.shuffle(rng);
+        disks.truncate(m);
+        let mut scenario = FailureScenario::whole_disks(layout, &disks);
+
+        if s > 0 {
+            // z random rows; distribute the s sector errors with >= 1 per row.
+            let mut rows: Vec<usize> = (0..r).collect();
+            rows.shuffle(rng);
+            rows.truncate(z);
+            let mut per_row = vec![1usize; z];
+            for _ in 0..s - z {
+                // Add to any row with spare surviving cells.
+                loop {
+                    let i = rng.random_range(0..z);
+                    if per_row[i] < n - m {
+                        per_row[i] += 1;
+                        break;
+                    }
+                }
+            }
+            let surviving_disks: Vec<usize> = (0..n).filter(|d| !disks.contains(d)).collect();
+            let mut extra = Vec::with_capacity(s);
+            for (row, &cnt) in rows.iter().zip(&per_row) {
+                let mut cells = surviving_disks.clone();
+                cells.shuffle(rng);
+                for &d in cells.iter().take(cnt) {
+                    extra.push(layout.sector(*row, d));
+                }
+            }
+            scenario = scenario.union(&FailureScenario::new(extra));
+        }
+        scenario
+    }
+
+    /// Number of distinct stripe-rows that contain a faulty sector which is
+    /// *not* part of a whole-disk failure — the paper's `z`, recomputed.
+    pub fn sector_error_rows(&self, layout: StripeLayout) -> usize {
+        let failed_disks = self.failed_disks(layout);
+        let mut rows: Vec<usize> = self
+            .faulty
+            .iter()
+            .filter(|&&sct| !failed_disks.contains(&layout.col_of(sct)))
+            .map(|&sct| layout.row_of(sct))
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows.len()
+    }
+
+    /// The disks whose every sector is faulty.
+    pub fn failed_disks(&self, layout: StripeLayout) -> Vec<usize> {
+        (0..layout.n)
+            .filter(|&d| (0..layout.r).all(|row| self.contains(layout.sector(row, d))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xF00D)
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let s = FailureScenario::new(vec![5, 1, 5, 3]);
+        assert_eq!(s.faulty(), &[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(3));
+        assert!(!s.contains(2));
+    }
+
+    #[test]
+    fn surviving_complements_faulty() {
+        let s = FailureScenario::new(vec![0, 2]);
+        assert_eq!(s.surviving(5), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn whole_disks_fails_every_row() {
+        let layout = StripeLayout::new(4, 3);
+        let s = FailureScenario::whole_disks(layout, &[1]);
+        assert_eq!(s.faulty(), &[1, 5, 9]);
+        assert_eq!(s.failed_disks(layout), vec![1]);
+    }
+
+    #[test]
+    fn sd_worst_case_counts_and_rows() {
+        let layout = StripeLayout::new(8, 16);
+        for (m, s, z) in [(1, 1, 1), (2, 3, 1), (3, 3, 3), (2, 3, 2)] {
+            let mut r = rng();
+            for _ in 0..20 {
+                let sc = FailureScenario::sd_worst_case(layout, m, s, z, &mut r);
+                assert_eq!(sc.len(), m * layout.r + s, "m={m} s={s} z={z}");
+                assert_eq!(sc.failed_disks(layout).len(), m);
+                assert_eq!(sc.sector_error_rows(layout), z, "m={m} s={s} z={z}");
+            }
+        }
+    }
+
+    #[test]
+    fn sd_worst_case_sector_errors_avoid_failed_disks() {
+        let layout = StripeLayout::new(6, 8);
+        let mut r = rng();
+        let sc = FailureScenario::sd_worst_case(layout, 2, 3, 2, &mut r);
+        let disks = sc.failed_disks(layout);
+        let extra: Vec<usize> = sc
+            .faulty()
+            .iter()
+            .copied()
+            .filter(|&sct| !disks.contains(&layout.col_of(sct)))
+            .collect();
+        assert_eq!(extra.len(), 3);
+    }
+
+    #[test]
+    fn random_draws_distinct() {
+        let layout = StripeLayout::new(5, 5);
+        let mut r = rng();
+        let s = FailureScenario::random(layout, 10, &mut r);
+        assert_eq!(s.len(), 10);
+        assert!(s.faulty().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "surviving disk")]
+    fn all_disks_failed_panics() {
+        let layout = StripeLayout::new(4, 4);
+        let mut r = rng();
+        let _ = FailureScenario::sd_worst_case(layout, 4, 0, 0, &mut r);
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = FailureScenario::new(vec![1, 2]);
+        let b = FailureScenario::new(vec![2, 3]);
+        assert_eq!(a.union(&b).faulty(), &[1, 2, 3]);
+    }
+}

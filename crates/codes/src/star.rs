@@ -1,0 +1,170 @@
+//! STAR (Huang & Xu, FAST'05) — the triple-fault-tolerant XOR code cited
+//! in the paper's background.
+//!
+//! STAR extends EVENODD with a third, *anti-diagonal* parity column: for
+//! a prime `p` there are `p` data disks and three parity disks — row
+//! parity, diagonal parity (slope +1, with the EVENODD adjuster `S`) and
+//! anti-diagonal parity (slope −1, with its own adjuster `S'`) — over
+//! `r = p − 1` rows (`n = p + 3`). Any three simultaneous disk failures
+//! are decodable (verified exhaustively in the tests for p ∈ {5, 7}).
+
+use crate::evenodd::is_prime;
+use crate::{CodeError, ErasureCode, ParityKind, StripeLayout};
+use ppm_gf::GfWord;
+use ppm_matrix::Matrix;
+
+/// A STAR instance over prime `p`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StarCode<W: GfWord> {
+    p: usize,
+    _marker: std::marker::PhantomData<W>,
+}
+
+impl<W: GfWord> StarCode<W> {
+    /// Builds STAR over prime `p ≥ 3`: `p + 3` disks, `p − 1` rows.
+    pub fn new(p: usize) -> Result<Self, CodeError> {
+        if p < 3 || !is_prime(p) {
+            return Err(CodeError::InvalidParams(format!(
+                "STAR needs a prime p >= 3, got {p}"
+            )));
+        }
+        Ok(StarCode {
+            p,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// The prime parameter `p`.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+}
+
+impl<W: GfWord> ErasureCode<W> for StarCode<W> {
+    fn name(&self) -> String {
+        format!("STAR(p={},w={})", self.p, W::WIDTH)
+    }
+
+    fn layout(&self) -> StripeLayout {
+        StripeLayout::new(self.p + 3, self.p - 1)
+    }
+
+    fn parity_check_matrix(&self) -> Matrix<W> {
+        let p = self.p;
+        let layout = self.layout();
+        let (n, r) = (layout.n, layout.r);
+        let mut h = Matrix::zero(3 * r, n * r);
+        // Row parity (disk p).
+        for i in 0..r {
+            for j in 0..=p {
+                h.set(i, layout.sector(i, j), W::ONE);
+            }
+        }
+        // Diagonal parity (disk p+1): diagonal l plus the S adjuster
+        // diagonal (i + j ≡ p − 1 mod p), as in EVENODD.
+        for l in 0..r {
+            for i in 0..r {
+                for j in 0..p {
+                    let d = (i + j) % p;
+                    if d == l || d == p - 1 {
+                        h.set(r + l, layout.sector(i, j), W::ONE);
+                    }
+                }
+            }
+            h.set(r + l, layout.sector(l, p + 1), W::ONE);
+        }
+        // Anti-diagonal parity (disk p+2): slope −1 with its own adjuster
+        // (i − j ≡ p − 1 mod p).
+        for l in 0..r {
+            for i in 0..r {
+                for j in 0..p {
+                    let d = (i + p - (j % p)) % p;
+                    if d == l || d == p - 1 {
+                        h.set(2 * r + l, layout.sector(i, j), W::ONE);
+                    }
+                }
+            }
+            h.set(2 * r + l, layout.sector(l, p + 2), W::ONE);
+        }
+        h
+    }
+
+    fn parity_sectors(&self) -> Vec<usize> {
+        let layout = self.layout();
+        let mut parity = Vec::with_capacity(3 * layout.r);
+        for row in 0..layout.r {
+            for d in self.p..self.p + 3 {
+                parity.push(layout.sector(row, d));
+            }
+        }
+        parity.sort_unstable();
+        parity
+    }
+
+    fn kind_of(&self, sector: usize) -> ParityKind {
+        if self.layout().col_of(sector) < self.p {
+            ParityKind::Data
+        } else {
+            ParityKind::Disk
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FailureScenario;
+
+    #[test]
+    fn geometry() {
+        let code = StarCode::<u8>::new(5).unwrap();
+        let layout = code.layout();
+        assert_eq!((layout.n, layout.r), (8, 4));
+        let h = code.parity_check_matrix();
+        assert_eq!(h.rows(), 12);
+        assert_eq!(h.cols(), 32);
+        assert_eq!(code.parity_sectors().len(), 12);
+    }
+
+    #[test]
+    fn any_three_disk_failures_decodable() {
+        for p in [5usize, 7] {
+            let code = StarCode::<u8>::new(p).unwrap();
+            let h = code.parity_check_matrix();
+            let layout = code.layout();
+            for a in 0..layout.n {
+                for b in a + 1..layout.n {
+                    for c in b + 1..layout.n {
+                        let sc = FailureScenario::whole_disks(layout, &[a, b, c]);
+                        let f = h.select_columns(sc.faulty());
+                        assert_eq!(f.rank(), sc.len(), "p={p}: disks {a},{b},{c} must decode");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encodable() {
+        let code = StarCode::<u8>::new(5).unwrap();
+        let f = code
+            .parity_check_matrix()
+            .select_columns(&code.parity_sectors());
+        assert!(f.is_invertible());
+    }
+
+    #[test]
+    fn coefficients_are_binary() {
+        let code = StarCode::<u8>::new(5).unwrap();
+        let h = code.parity_check_matrix();
+        for row in 0..h.rows() {
+            assert!(h.row(row).iter().all(|&v| v <= 1), "row {row}");
+        }
+    }
+
+    #[test]
+    fn non_prime_rejected() {
+        assert!(StarCode::<u8>::new(6).is_err());
+        assert!(StarCode::<u8>::new(1).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Decoding errors.
+
+/// Why a decode (or plan construction) failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The failure pattern exceeds what the parity-check matrix can
+    /// recover: the faulty columns have rank `rank < needed`.
+    Unrecoverable {
+        /// Number of faulty blocks that must be solved for.
+        needed: usize,
+        /// Rank of the faulty-column system actually available.
+        rank: usize,
+    },
+    /// The scenario references sector indices outside the stripe.
+    SectorOutOfRange {
+        /// The offending sector index.
+        sector: usize,
+        /// Number of sectors in the stripe.
+        total: usize,
+    },
+    /// A parity-update was requested for a sector that holds parity, not
+    /// data (parity sectors are derived, never written directly).
+    NotADataSector {
+        /// The offending sector index.
+        sector: usize,
+    },
+    /// The stripe's geometry does not match the plan's.
+    GeometryMismatch {
+        /// What the plan was built for.
+        expected: usize,
+        /// What the stripe provides.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Unrecoverable { needed, rank } => write!(
+                f,
+                "failure pattern is unrecoverable: {needed} faulty blocks but only rank {rank}"
+            ),
+            DecodeError::SectorOutOfRange { sector, total } => {
+                write!(f, "sector {sector} out of range (stripe has {total})")
+            }
+            DecodeError::NotADataSector { sector } => {
+                write!(
+                    f,
+                    "sector {sector} holds parity; only data sectors can be updated"
+                )
+            }
+            DecodeError::GeometryMismatch { expected, actual } => {
+                write!(f, "stripe has {actual} sectors, plan expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DecodeError::Unrecoverable { needed: 5, rank: 4 };
+        assert!(e.to_string().contains("unrecoverable"));
+        let e = DecodeError::SectorOutOfRange {
+            sector: 20,
+            total: 16,
+        };
+        assert!(e.to_string().contains("20"));
+        let e = DecodeError::GeometryMismatch {
+            expected: 16,
+            actual: 12,
+        };
+        assert!(e.to_string().contains("12"));
+    }
+}

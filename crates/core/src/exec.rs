@@ -1,0 +1,666 @@
+//! Plan execution: the region-arithmetic data path, serial or parallel.
+//!
+//! A [`Decoder`] owns a bounded thread pool of `T` threads (Algorithm 1's
+//! "arrange T (T ≤ p) threads"). Phase A dispatches the `p` independent
+//! sub-plans across the pool; each produces its recovered sector buffers
+//! from the surviving sectors only, so they are embarrassingly parallel.
+//! Once all are installed, phase B decodes `H_rest` with the recovered
+//! blocks as additional inputs.
+
+use crate::plan::{DecodePlan, Program, RegionCache, Strategy, SubPlan};
+use crate::DecodeError;
+use ppm_codes::{ErasureCode, FailureScenario};
+use ppm_gf::{Backend, GfWord, RegionMul};
+use ppm_matrix::Matrix;
+use ppm_stripe::Stripe;
+use rayon::prelude::*;
+
+/// Decoder configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecoderConfig {
+    /// Thread budget `T` for the independent phase. `1` disables the pool
+    /// entirely. The paper restrains `T ≤ min{4, core count}` to avoid
+    /// thread-overloading; [`DecoderConfig::default`] follows that rule.
+    pub threads: usize,
+    /// Region-operation backend (SIMD/scalar) used by plans built through
+    /// this decoder.
+    pub backend: Backend,
+}
+
+impl Default for DecoderConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        DecoderConfig {
+            threads: cores.min(4),
+            backend: Backend::Auto,
+        }
+    }
+}
+
+/// Executes decode plans, optionally in parallel.
+#[derive(Debug)]
+pub struct Decoder {
+    config: DecoderConfig,
+    pool: Option<rayon::ThreadPool>,
+}
+
+impl Decoder {
+    /// Creates a decoder; builds its thread pool when `threads > 1`.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero or the pool cannot be created.
+    pub fn new(config: DecoderConfig) -> Self {
+        assert!(config.threads > 0, "decoder needs at least one thread");
+        let pool = (config.threads > 1).then(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(config.threads)
+                .thread_name(|i| format!("ppm-decode-{i}"))
+                .build()
+                .expect("thread pool creation")
+        });
+        Decoder { config, pool }
+    }
+
+    /// The configuration this decoder was built with.
+    pub fn config(&self) -> DecoderConfig {
+        self.config
+    }
+
+    /// Builds a [`DecodePlan`] using this decoder's backend.
+    pub fn plan<W: GfWord>(
+        &self,
+        h: &Matrix<W>,
+        scenario: &FailureScenario,
+        strategy: Strategy,
+    ) -> Result<DecodePlan<W>, DecodeError> {
+        DecodePlan::build(h, scenario, strategy, self.config.backend)
+    }
+
+    /// Executes `plan` against `stripe`, overwriting the faulty sectors
+    /// with their recovered contents.
+    pub fn decode<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &mut Stripe,
+    ) -> Result<(), DecodeError> {
+        if stripe.layout().sectors() != plan.total_sectors() {
+            return Err(DecodeError::GeometryMismatch {
+                expected: plan.total_sectors(),
+                actual: stripe.layout().sectors(),
+            });
+        }
+
+        // Phase A: the p independent sub-matrices, in parallel when a pool
+        // exists and there is more than one of them.
+        let outputs: Vec<Vec<(usize, Vec<u8>)>> = match &self.pool {
+            Some(pool) if plan.phase_a.len() > 1 => pool.install(|| {
+                plan.phase_a
+                    .par_iter()
+                    .map(|sp| run_subplan(sp, &plan.regions, stripe))
+                    .collect()
+            }),
+            _ => plan
+                .phase_a
+                .iter()
+                .map(|sp| run_subplan(sp, &plan.regions, stripe))
+                .collect(),
+        };
+        for (sector, buf) in outputs.into_iter().flatten() {
+            stripe.write_sector(sector, &buf);
+        }
+
+        // Phase B: H_rest, reading the just-recovered blocks.
+        if let Some(sp) = &plan.phase_b {
+            for (sector, buf) in run_subplan(sp, &plan.regions, stripe) {
+                stripe.write_sector(sector, &buf);
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`Decoder::decode`], but additionally splits the *remaining*
+    /// sub-matrix's region work into `chunk_bytes` slices spread across
+    /// the thread pool.
+    ///
+    /// This is an extension beyond the paper: PPM parallelizes only
+    /// across independent sub-matrices, so `H_rest` is a serial Amdahl
+    /// bottleneck (§III-C stops at "the remaining sub-matrix is decoded
+    /// after the p matrix decoding operations have finished"). Chunking
+    /// exploits that `mult_XORs` is byte-wise independent: every output
+    /// region slice depends only on the same slice of its inputs. The
+    /// `ablation` bench quantifies the effect.
+    ///
+    /// Falls back to [`Decoder::decode`] when the decoder has no pool.
+    ///
+    /// # Panics
+    /// Panics unless `chunk_bytes` is a positive multiple of 8 (the region
+    /// alignment).
+    pub fn decode_chunked<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &mut Stripe,
+        chunk_bytes: usize,
+    ) -> Result<(), DecodeError> {
+        assert!(
+            chunk_bytes > 0 && chunk_bytes.is_multiple_of(8),
+            "chunk size must be a positive multiple of 8"
+        );
+        let Some(pool) = &self.pool else {
+            return self.decode(plan, stripe);
+        };
+        if stripe.layout().sectors() != plan.total_sectors() {
+            return Err(DecodeError::GeometryMismatch {
+                expected: plan.total_sectors(),
+                actual: stripe.layout().sectors(),
+            });
+        }
+
+        // Phase A: across sub-plans, exactly as in `decode`.
+        let outputs: Vec<Vec<(usize, Vec<u8>)>> = if plan.phase_a.len() > 1 {
+            pool.install(|| {
+                plan.phase_a
+                    .par_iter()
+                    .map(|sp| run_subplan(sp, &plan.regions, stripe))
+                    .collect()
+            })
+        } else {
+            plan.phase_a
+                .iter()
+                .map(|sp| run_subplan(sp, &plan.regions, stripe))
+                .collect()
+        };
+        for (sector, buf) in outputs.into_iter().flatten() {
+            stripe.write_sector(sector, &buf);
+        }
+
+        // Phase B: within-region chunking.
+        if let Some(sp) = &plan.phase_b {
+            for (sector, buf) in run_subplan_chunked(sp, &plan.regions, stripe, pool, chunk_bytes) {
+                stripe.write_sector(sector, &buf);
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes many stripes that share one failure scenario, spreading
+    /// the *stripes* across the thread pool (each decoded serially).
+    ///
+    /// Storage systems repair whole devices stripe by stripe; the stripes
+    /// are independent, so this outer-level parallelism composes with —
+    /// and for large repair jobs dominates — PPM's intra-stripe
+    /// parallelism. One plan, built once, serves every stripe (it only
+    /// refers to sector indices and coefficients).
+    pub fn decode_batch<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripes: &mut [Stripe],
+    ) -> Result<(), DecodeError> {
+        // Validate everything up front so a mid-batch failure cannot
+        // leave some stripes decoded and others untouched.
+        for stripe in stripes.iter() {
+            if stripe.layout().sectors() != plan.total_sectors() {
+                return Err(DecodeError::GeometryMismatch {
+                    expected: plan.total_sectors(),
+                    actual: stripe.layout().sectors(),
+                });
+            }
+        }
+        let serial = Decoder {
+            config: self.config,
+            pool: None,
+        };
+        match &self.pool {
+            Some(pool) if stripes.len() > 1 => pool.install(|| {
+                stripes
+                    .par_iter_mut()
+                    .try_for_each(|stripe| serial.decode(plan, stripe))
+            }),
+            _ => stripes
+                .iter_mut()
+                .try_for_each(|stripe| serial.decode(plan, stripe)),
+        }
+    }
+
+    /// Convenience: plan and decode in one call.
+    pub fn decode_scenario<W: GfWord>(
+        &self,
+        h: &Matrix<W>,
+        scenario: &FailureScenario,
+        strategy: Strategy,
+        stripe: &mut Stripe,
+    ) -> Result<DecodePlan<W>, DecodeError> {
+        let plan = self.plan(h, scenario, strategy)?;
+        self.decode(&plan, stripe)?;
+        Ok(plan)
+    }
+}
+
+/// Runs one sub-plan, returning `(sector, recovered bytes)` pairs. Reads
+/// the stripe immutably so independent sub-plans can run concurrently.
+fn run_subplan<W: GfWord>(
+    sp: &SubPlan<W>,
+    regions: &RegionCache<W>,
+    stripe: &Stripe,
+) -> Vec<(usize, Vec<u8>)> {
+    let sb = stripe.sector_bytes();
+    match &sp.program {
+        Program::MatrixFirst { outputs } => outputs
+            .iter()
+            .map(|(sector, terms)| {
+                let mut buf = vec![0u8; sb];
+                for &(c, src) in terms {
+                    regions.get(c).mul_xor(stripe.sector(src), &mut buf);
+                }
+                (*sector, buf)
+            })
+            .collect(),
+        Program::Normal { t_terms, f_terms } => {
+            let scratch: Vec<Vec<u8>> = t_terms
+                .iter()
+                .map(|terms| {
+                    let mut buf = vec![0u8; sb];
+                    for &(c, src) in terms {
+                        regions.get(c).mul_xor(stripe.sector(src), &mut buf);
+                    }
+                    buf
+                })
+                .collect();
+            f_terms
+                .iter()
+                .map(|(sector, terms)| {
+                    let mut buf = vec![0u8; sb];
+                    for &(c, e) in terms {
+                        regions.get(c).mul_xor(&scratch[e], &mut buf);
+                    }
+                    (*sector, buf)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Accumulates `terms` into a fresh buffer, slicing the region into
+/// `chunk`-byte pieces processed across `pool`. `source(j)` yields the
+/// input region for term source `j`.
+fn chunked_sum<'a, W: GfWord>(
+    terms: &[(W, usize)],
+    regions: &RegionCache<W>,
+    source: impl Fn(usize) -> &'a [u8] + Sync,
+    len: usize,
+    pool: &rayon::ThreadPool,
+    chunk: usize,
+) -> Vec<u8> {
+    let mut buf = vec![0u8; len];
+    pool.install(|| {
+        buf.par_chunks_mut(chunk).enumerate().for_each(|(i, dst)| {
+            let off = i * chunk;
+            for &(c, src) in terms {
+                regions
+                    .get(c)
+                    .mul_xor(&source(src)[off..off + dst.len()], dst);
+            }
+        });
+    });
+    buf
+}
+
+/// Runs one sub-plan with within-region chunking (see
+/// [`Decoder::decode_chunked`]).
+fn run_subplan_chunked<W: GfWord>(
+    sp: &SubPlan<W>,
+    regions: &RegionCache<W>,
+    stripe: &Stripe,
+    pool: &rayon::ThreadPool,
+    chunk: usize,
+) -> Vec<(usize, Vec<u8>)> {
+    let sb = stripe.sector_bytes();
+    match &sp.program {
+        Program::MatrixFirst { outputs } => outputs
+            .iter()
+            .map(|(sector, terms)| {
+                (
+                    *sector,
+                    chunked_sum(terms, regions, |j| stripe.sector(j), sb, pool, chunk),
+                )
+            })
+            .collect(),
+        Program::Normal { t_terms, f_terms } => {
+            let scratch: Vec<Vec<u8>> = t_terms
+                .iter()
+                .map(|terms| chunked_sum(terms, regions, |j| stripe.sector(j), sb, pool, chunk))
+                .collect();
+            f_terms
+                .iter()
+                .map(|(sector, terms)| {
+                    (
+                        *sector,
+                        chunked_sum(terms, regions, |e| scratch[e].as_slice(), sb, pool, chunk),
+                    )
+                })
+                .collect()
+        }
+    }
+}
+
+/// Encodes a stripe in place: computes every parity sector from the data
+/// sectors. Per the paper (§II-B footnote 1), encoding is the decoding
+/// special case where all parity blocks are "faulty".
+pub fn encode<W: GfWord, C: ErasureCode<W>>(
+    code: &C,
+    decoder: &Decoder,
+    stripe: &mut Stripe,
+) -> Result<DecodePlan<W>, DecodeError> {
+    let scenario = FailureScenario::new(code.parity_sectors());
+    let h = code.parity_check_matrix();
+    decoder.decode_scenario(&h, &scenario, Strategy::PpmAuto, stripe)
+}
+
+/// Verifies `H · B = 0` over the stripe's regions: every parity-check
+/// equation must XOR-sum to the zero region.
+pub fn parity_consistent<W: GfWord>(h: &Matrix<W>, stripe: &Stripe, backend: Backend) -> bool {
+    assert_eq!(h.cols(), stripe.layout().sectors(), "geometry mismatch");
+    let sb = stripe.sector_bytes();
+    let mut cache: std::collections::HashMap<u64, RegionMul<W>> = Default::default();
+    let mut acc = vec![0u8; sb];
+    for row in 0..h.rows() {
+        acc.fill(0);
+        for col in 0..h.cols() {
+            let c = h.get(row, col);
+            if c == W::ZERO {
+                continue;
+            }
+            cache
+                .entry(c.to_u64())
+                .or_insert_with(|| RegionMul::new(c, backend))
+                .mul_xor(stripe.sector(col), &mut acc);
+        }
+        if acc.iter().any(|&b| b != 0) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_codes::{LrcCode, RsCode, SdCode};
+    use ppm_stripe::random_data_stripe;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn decoder(threads: usize) -> Decoder {
+        Decoder::new(DecoderConfig {
+            threads,
+            backend: Backend::Scalar,
+        })
+    }
+
+    fn roundtrip<W: GfWord, C: ErasureCode<W>>(
+        code: &C,
+        scenario: &FailureScenario,
+        threads: usize,
+        strategy: Strategy,
+        seed: u64,
+    ) {
+        let dec = decoder(threads);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stripe = random_data_stripe(code, 64, &mut rng);
+        encode(code, &dec, &mut stripe).expect("encode");
+        let h = code.parity_check_matrix();
+        assert!(
+            parity_consistent(&h, &stripe, Backend::Scalar),
+            "encode must satisfy H·B=0"
+        );
+
+        let pristine = stripe.clone();
+        stripe.erase(scenario);
+        assert_ne!(stripe, pristine, "erasure must change the stripe");
+        let plan = dec
+            .decode_scenario(&h, scenario, strategy, &mut stripe)
+            .expect("decode");
+        assert_eq!(
+            stripe, pristine,
+            "decode must restore every sector ({strategy:?})"
+        );
+        assert_eq!(plan.faulty(), scenario.faulty());
+    }
+
+    #[test]
+    fn paper_example_roundtrips_all_strategies() {
+        let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        let sc = FailureScenario::new(vec![2, 6, 10, 13, 14]);
+        for strategy in Strategy::CONCRETE.into_iter().chain([Strategy::PpmAuto]) {
+            for threads in [1, 2, 4] {
+                roundtrip(&code, &sc, threads, strategy, 42);
+            }
+        }
+    }
+
+    #[test]
+    fn sd_worst_cases_roundtrip() {
+        let code = SdCode::<u8>::search(6, 8, 2, 2, 3, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for z in 1..=2 {
+            let sc = code.decodable_worst_case(z, &mut rng, 100).unwrap();
+            roundtrip(&code, &sc, 4, Strategy::PpmAuto, 100 + z as u64);
+            roundtrip(&code, &sc, 1, Strategy::TraditionalNormal, 200 + z as u64);
+        }
+    }
+
+    #[test]
+    fn rs_disk_failures_roundtrip() {
+        let code = RsCode::<u8>::new(5, 3, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let sc = code.random_disk_failures(3, &mut rng);
+        roundtrip(&code, &sc, 4, Strategy::PpmAuto, 7);
+        roundtrip(&code, &sc, 1, Strategy::TraditionalMatrixFirst, 8);
+    }
+
+    #[test]
+    fn lrc_disk_failures_roundtrip() {
+        let code = LrcCode::<u8>::new(6, 2, 2, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let sc = code.decodable_disk_failures(4, &mut rng, 500).unwrap();
+        roundtrip(&code, &sc, 4, Strategy::PpmAuto, 9);
+        roundtrip(&code, &sc, 2, Strategy::PpmNormalRest, 10);
+    }
+
+    #[test]
+    fn gf16_and_gf32_roundtrip() {
+        let code16 = SdCode::<u16>::with_generator_coeffs(5, 4, 1, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        if let Some(sc) = code16.decodable_worst_case(1, &mut rng, 50) {
+            roundtrip(&code16, &sc, 2, Strategy::PpmAuto, 11);
+        }
+        let code32 = SdCode::<u32>::with_generator_coeffs(5, 4, 1, 1).unwrap();
+        if let Some(sc) = code32.decodable_worst_case(1, &mut rng, 50) {
+            roundtrip(&code32, &sc, 2, Strategy::PpmAuto, 12);
+        }
+    }
+
+    #[test]
+    fn decode_chunked_matches_decode() {
+        let code = SdCode::<u8>::search(6, 6, 2, 2, 3, 3).unwrap();
+        let h = code.parity_check_matrix();
+        let mut rng = StdRng::seed_from_u64(55);
+        let sc = code.decodable_worst_case(1, &mut rng, 100).unwrap();
+        let dec = decoder(3);
+        let mut stripe = random_data_stripe(&code, 96, &mut rng);
+        encode(&code, &dec, &mut stripe).unwrap();
+        let pristine = stripe.clone();
+        // Chunk sizes exercising: sub-sector, exact divisor, non-divisor
+        // tail, larger than a sector.
+        for chunk in [8usize, 32, 40, 96, 1024] {
+            let plan = dec.plan(&h, &sc, Strategy::PpmAuto).unwrap();
+            let mut broken = pristine.clone();
+            broken.erase(&sc);
+            dec.decode_chunked(&plan, &mut broken, chunk).unwrap();
+            assert_eq!(broken, pristine, "chunk={chunk}");
+        }
+        // Every strategy shape: traditional (single Normal/MatrixFirst
+        // program, no phase A) and the partitioned variants.
+        for strategy in Strategy::CONCRETE {
+            let plan = dec.plan(&h, &sc, strategy).unwrap();
+            let mut broken = pristine.clone();
+            broken.erase(&sc);
+            dec.decode_chunked(&plan, &mut broken, 40).unwrap();
+            assert_eq!(broken, pristine, "{strategy:?}");
+        }
+        // A restricted plan decodes chunked, too.
+        let plan = dec
+            .plan(&h, &sc, Strategy::PpmNormalRest)
+            .unwrap()
+            .restrict_to(&sc.faulty()[..2]);
+        let mut broken = pristine.clone();
+        broken.erase(&sc);
+        dec.decode_chunked(&plan, &mut broken, 32).unwrap();
+        for &w in &sc.faulty()[..2] {
+            assert_eq!(broken.sector(w), pristine.sector(w));
+        }
+        // Single-threaded decoder: falls back to plain decode.
+        let serial = decoder(1);
+        let plan = serial.plan(&h, &sc, Strategy::PpmAuto).unwrap();
+        let mut broken = pristine.clone();
+        broken.erase(&sc);
+        serial.decode_chunked(&plan, &mut broken, 64).unwrap();
+        assert_eq!(broken, pristine);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn decode_chunked_rejects_misaligned_chunk() {
+        let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        let h = code.parity_check_matrix();
+        let dec = decoder(2);
+        let plan = dec
+            .plan(&h, &FailureScenario::new(vec![2]), Strategy::PpmAuto)
+            .unwrap();
+        let mut stripe = Stripe::zeroed(code.layout(), 64);
+        let _ = dec.decode_chunked(&plan, &mut stripe, 12);
+    }
+
+    #[test]
+    fn decode_geometry_mismatch_rejected() {
+        let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        let h = code.parity_check_matrix();
+        let dec = decoder(1);
+        let plan = dec
+            .plan(&h, &FailureScenario::new(vec![2]), Strategy::PpmAuto)
+            .unwrap();
+        let mut wrong = Stripe::zeroed(ppm_codes::StripeLayout::new(3, 3), 64);
+        let err = dec.decode(&plan, &mut wrong).unwrap_err();
+        assert!(matches!(err, DecodeError::GeometryMismatch { .. }));
+    }
+
+    #[test]
+    fn decode_batch_decodes_every_stripe() {
+        let code = SdCode::<u8>::new(6, 4, 2, 1, vec![1, 2, 4]).unwrap();
+        let h = code.parity_check_matrix();
+        let dec = decoder(3);
+        let mut rng = StdRng::seed_from_u64(66);
+        let sc = code.decodable_worst_case(1, &mut rng, 100).unwrap();
+        let plan = dec.plan(&h, &sc, Strategy::PpmAuto).unwrap();
+
+        let mut pristine = Vec::new();
+        let mut broken = Vec::new();
+        for i in 0..5 {
+            let mut s = random_data_stripe(&code, 64, &mut StdRng::seed_from_u64(200 + i));
+            encode(&code, &dec, &mut s).unwrap();
+            let mut b = s.clone();
+            b.erase(&sc);
+            pristine.push(s);
+            broken.push(b);
+        }
+        dec.decode_batch(&plan, &mut broken).unwrap();
+        assert_eq!(broken, pristine);
+
+        // A geometry mismatch anywhere rejects the whole batch up front.
+        let mut mixed = vec![
+            pristine[0].clone(),
+            Stripe::zeroed(ppm_codes::StripeLayout::new(3, 3), 64),
+        ];
+        assert!(matches!(
+            dec.decode_batch(&plan, &mut mixed).unwrap_err(),
+            DecodeError::GeometryMismatch { .. }
+        ));
+        assert_eq!(mixed[0], pristine[0], "validated batch must be untouched");
+    }
+
+    /// A restricted (degraded-read) plan recovers exactly the wanted
+    /// sectors and leaves the rest erased.
+    #[test]
+    fn restricted_plan_decodes_wanted_sectors() {
+        let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        let h = code.parity_check_matrix();
+        let sc = FailureScenario::new(vec![2, 6, 10, 13, 14]);
+        let dec = decoder(2);
+        let mut rng = StdRng::seed_from_u64(91);
+        let mut stripe = random_data_stripe(&code, 64, &mut rng);
+        encode(&code, &dec, &mut stripe).unwrap();
+        let pristine = stripe.clone();
+
+        let full = dec.plan(&h, &sc, Strategy::PpmNormalRest).unwrap();
+        for wanted in [vec![2usize], vec![13], vec![6, 14]] {
+            let plan = full.restrict_to(&wanted);
+            let mut broken = pristine.clone();
+            broken.erase(&sc);
+            dec.decode(&plan, &mut broken).unwrap();
+            for &w in &wanted {
+                assert_eq!(broken.sector(w), pristine.sector(w), "wanted {w}");
+            }
+            // Unwanted, non-input faulty sectors stay erased. b14 is never
+            // an input, so check it when it isn't requested.
+            if !wanted.contains(&14) && !plan.faulty().contains(&14) {
+                assert!(broken.sector(14).iter().all(|&b| b == 0));
+            }
+        }
+    }
+
+    #[test]
+    fn parity_consistent_detects_corruption() {
+        let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        let dec = decoder(1);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut stripe = random_data_stripe(&code, 64, &mut rng);
+        encode(&code, &dec, &mut stripe).unwrap();
+        let h = code.parity_check_matrix();
+        assert!(parity_consistent(&h, &stripe, Backend::Scalar));
+        stripe.sector_mut(0)[0] ^= 1;
+        assert!(!parity_consistent(&h, &stripe, Backend::Scalar));
+    }
+
+    #[test]
+    fn zero_failures_decode_is_noop() {
+        let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        let dec = decoder(2);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut stripe = random_data_stripe(&code, 64, &mut rng);
+        encode(&code, &dec, &mut stripe).unwrap();
+        let pristine = stripe.clone();
+        let h = code.parity_check_matrix();
+        dec.decode_scenario(
+            &h,
+            &FailureScenario::new(vec![]),
+            Strategy::PpmAuto,
+            &mut stripe,
+        )
+        .unwrap();
+        assert_eq!(stripe, pristine);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = Decoder::new(DecoderConfig {
+            threads: 0,
+            backend: Backend::Scalar,
+        });
+    }
+
+    #[test]
+    fn default_config_caps_at_four_threads() {
+        let c = DecoderConfig::default();
+        assert!(c.threads >= 1 && c.threads <= 4);
+    }
+}

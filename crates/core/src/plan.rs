@@ -1,0 +1,874 @@
+//! Decode plans: the matrix work of decoding, done once per failure
+//! scenario and reusable across stripes.
+//!
+//! A [`DecodePlan`] captures Steps 1–3 of both the traditional method and
+//! PPM (derive/partition `H`, extract `F` and `S`, invert, choose a
+//! calculation sequence) as straight-line *programs* of `mult_XORs`
+//! region operations. Executing a plan (see [`Decoder`](crate::Decoder))
+//! touches only sector buffers — mirroring the paper's observation that
+//! the matrix manipulation is negligible next to the region arithmetic
+//! (footnote 2), so the plan may be amortized or rebuilt per decode
+//! without affecting the comparison.
+
+use crate::{DecodeError, Partition};
+use ppm_codes::FailureScenario;
+use ppm_gf::{Backend, GfWord, RegionMul};
+use ppm_matrix::Matrix;
+use std::collections::HashMap;
+
+/// The two orders in which `F⁻¹ · S · BS` can be evaluated (paper §II-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CalcSequence {
+    /// *Normal sequence*: compute `T = S · BS` first, then `F⁻¹ · T`.
+    /// Costs `u(F⁻¹) + u(S)` mult_XORs.
+    Normal,
+    /// *Matrix-first sequence*: form `G = F⁻¹ · S` (cheap matrix×matrix),
+    /// then `G · BS`. Costs `u(F⁻¹ · S)` mult_XORs. Equivalent to the
+    /// generator-matrix method.
+    MatrixFirst,
+}
+
+/// A decoding strategy, named by the cost term of paper §III-B it incurs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Traditional decoding, normal sequence — cost `C₁`, no parallelism.
+    /// This is what the open-source SD coder does.
+    TraditionalNormal,
+    /// Traditional decoding, matrix-first sequence — cost `C₂`, no
+    /// parallelism.
+    TraditionalMatrixFirst,
+    /// PPM partition; matrix-first for the independent sub-matrices *and*
+    /// for `H_rest` — cost `C₃`.
+    PpmMatrixFirstRest,
+    /// PPM partition; matrix-first for the independent sub-matrices,
+    /// normal sequence for `H_rest` — cost `C₄`, the paper's usual choice.
+    PpmNormalRest,
+    /// Evaluate `C₁..C₄` for the concrete scenario and take the cheapest
+    /// plan (preferring the partitioned ones on ties, for their
+    /// parallelism). This is the full PPM algorithm.
+    PpmAuto,
+}
+
+impl Strategy {
+    /// All concrete (non-auto) strategies, in the cost-model order
+    /// `C₁, C₂, C₃, C₄`.
+    pub const CONCRETE: [Strategy; 4] = [
+        Strategy::TraditionalNormal,
+        Strategy::TraditionalMatrixFirst,
+        Strategy::PpmMatrixFirstRest,
+        Strategy::PpmNormalRest,
+    ];
+}
+
+/// A straight-line region program recovering some faulty sectors.
+#[derive(Clone, Debug)]
+pub(crate) enum Program<W: GfWord> {
+    /// `BF_f = Σ_j G[f,j] · BS_j` directly into each output.
+    MatrixFirst {
+        /// Per faulty sector: `(sector, [(coeff, source sector)])`.
+        outputs: Vec<(usize, Vec<(W, usize)>)>,
+    },
+    /// `T_e = Σ_j S[e,j] · BS_j`, then `BF_f = Σ_e F⁻¹[f,e] · T_e`.
+    Normal {
+        /// Per selected equation: terms over stripe sectors.
+        t_terms: Vec<Vec<(W, usize)>>,
+        /// Per faulty sector: `(sector, [(coeff, scratch index)])`.
+        f_terms: Vec<(usize, Vec<(W, usize)>)>,
+    },
+}
+
+impl<W: GfWord> Program<W> {
+    /// Number of mult_XORs the program performs (the paper's `C` for this
+    /// sub-matrix).
+    pub(crate) fn mult_xors(&self) -> usize {
+        match self {
+            Program::MatrixFirst { outputs } => outputs.iter().map(|(_, t)| t.len()).sum(),
+            Program::Normal { t_terms, f_terms } => {
+                t_terms.iter().map(Vec::len).sum::<usize>()
+                    + f_terms.iter().map(|(_, t)| t.len()).sum::<usize>()
+            }
+        }
+    }
+
+    /// The faulty sectors this program writes.
+    pub(crate) fn output_sectors(&self) -> impl Iterator<Item = usize> + '_ {
+        let outs: &[(usize, Vec<(W, usize)>)] = match self {
+            Program::MatrixFirst { outputs } => outputs,
+            Program::Normal { f_terms, .. } => f_terms,
+        };
+        outs.iter().map(|(s, _)| *s)
+    }
+
+    /// Every stripe sector the program reads.
+    pub(crate) fn stripe_sources(&self) -> impl Iterator<Item = usize> + '_ {
+        let reads: &[Vec<(W, usize)>] = match self {
+            Program::MatrixFirst { .. } => &[],
+            Program::Normal { t_terms, .. } => t_terms,
+        };
+        let direct = match self {
+            Program::MatrixFirst { outputs } => Some(outputs),
+            Program::Normal { .. } => None,
+        };
+        reads.iter().flatten().map(|(_, src)| *src).chain(
+            direct
+                .into_iter()
+                .flatten()
+                .flat_map(|(_, t)| t.iter().map(|(_, s)| *s)),
+        )
+    }
+
+    /// A copy of the program producing only the `keep` output sectors
+    /// (dead scratch regions are dropped and re-indexed).
+    pub(crate) fn prune_outputs(&self, keep: &std::collections::BTreeSet<usize>) -> Program<W> {
+        match self {
+            Program::MatrixFirst { outputs } => Program::MatrixFirst {
+                outputs: outputs
+                    .iter()
+                    .filter(|(s, _)| keep.contains(s))
+                    .cloned()
+                    .collect(),
+            },
+            Program::Normal { t_terms, f_terms } => {
+                let f_kept: Vec<(usize, Vec<(W, usize)>)> = f_terms
+                    .iter()
+                    .filter(|(s, _)| keep.contains(s))
+                    .cloned()
+                    .collect();
+                // Scratch regions still referenced, in ascending order.
+                let used: Vec<usize> = {
+                    let mut u: Vec<usize> = f_kept
+                        .iter()
+                        .flat_map(|(_, t)| t.iter().map(|(_, e)| *e))
+                        .collect();
+                    u.sort_unstable();
+                    u.dedup();
+                    u
+                };
+                let remap: std::collections::HashMap<usize, usize> = used
+                    .iter()
+                    .enumerate()
+                    .map(|(new, &old)| (old, new))
+                    .collect();
+                Program::Normal {
+                    t_terms: used.iter().map(|&e| t_terms[e].clone()).collect(),
+                    f_terms: f_kept
+                        .into_iter()
+                        .map(|(s, terms)| {
+                            (s, terms.into_iter().map(|(c, e)| (c, remap[&e])).collect())
+                        })
+                        .collect(),
+                }
+            }
+        }
+    }
+
+    fn coefficients(&self) -> impl Iterator<Item = W> + '_ {
+        let (a, b): (&[Vec<(W, usize)>], Option<_>) = match self {
+            Program::MatrixFirst { outputs } => (&[], Some(outputs)),
+            Program::Normal { t_terms, f_terms } => (t_terms.as_slice(), Some(f_terms)),
+        };
+        a.iter().flatten().map(|(c, _)| *c).chain(
+            b.into_iter()
+                .flatten()
+                .flat_map(|(_, t)| t.iter().map(|(c, _)| *c)),
+        )
+    }
+}
+
+/// One sub-matrix's worth of work (an independent `Hᵢ` or `H_rest`).
+#[derive(Clone, Debug)]
+pub(crate) struct SubPlan<W: GfWord> {
+    pub(crate) program: Program<W>,
+}
+
+/// Precomputed [`RegionMul`] per distinct coefficient of a plan.
+#[derive(Debug)]
+pub(crate) struct RegionCache<W: GfWord> {
+    map: HashMap<u64, RegionMul<W>>,
+}
+
+impl<W: GfWord> RegionCache<W> {
+    fn build(coeffs: impl Iterator<Item = W>, backend: Backend) -> Self {
+        let mut map = HashMap::new();
+        for c in coeffs {
+            map.entry(c.to_u64())
+                .or_insert_with(|| RegionMul::new(c, backend));
+        }
+        RegionCache { map }
+    }
+
+    /// Looks up the multiplier for `c` (must have been collected at build).
+    pub(crate) fn get(&self, c: W) -> &RegionMul<W> {
+        &self.map[&c.to_u64()]
+    }
+}
+
+/// A complete, executable decoding plan for one failure scenario.
+///
+/// Build with [`DecodePlan::build`] (or via
+/// [`Decoder::plan`](crate::Decoder::plan)), execute with
+/// [`Decoder::decode`](crate::Decoder::decode). The plan is immutable and
+/// `Sync`; one plan can decode any number of stripes of the same geometry.
+#[derive(Debug)]
+pub struct DecodePlan<W: GfWord> {
+    pub(crate) phase_a: Vec<SubPlan<W>>,
+    pub(crate) phase_b: Option<SubPlan<W>>,
+    pub(crate) regions: RegionCache<W>,
+    total_sectors: usize,
+    faulty: Vec<usize>,
+    strategy: Strategy,
+    backend: Backend,
+    cost: usize,
+}
+
+impl<W: GfWord> DecodePlan<W> {
+    /// Builds a plan for recovering `scenario` under parity-check matrix
+    /// `h`, using `strategy` and preparing region tables for `backend`.
+    pub fn build(
+        h: &Matrix<W>,
+        scenario: &FailureScenario,
+        strategy: Strategy,
+        backend: Backend,
+    ) -> Result<DecodePlan<W>, DecodeError> {
+        Self::build_with(h, scenario, strategy, backend, None)
+    }
+
+    /// Like [`DecodePlan::build`], but partitions with the SD-specific
+    /// Algorithm 1 shortcut ([`Partition::build_sd`]) instead of the
+    /// general footprint scan. Produces an equivalent plan; only the
+    /// partitioning bookkeeping is cheaper.
+    pub fn build_sd(
+        code: &ppm_codes::SdCode<W>,
+        h: &Matrix<W>,
+        scenario: &FailureScenario,
+        strategy: Strategy,
+        backend: Backend,
+    ) -> Result<DecodePlan<W>, DecodeError> {
+        if let Some(&bad) = scenario.faulty().iter().find(|&&s| s >= h.cols()) {
+            return Err(DecodeError::SectorOutOfRange {
+                sector: bad,
+                total: h.cols(),
+            });
+        }
+        let part = Partition::build_sd(code, h, scenario);
+        Self::build_with(h, scenario, strategy, backend, Some(&part))
+    }
+
+    fn build_with(
+        h: &Matrix<W>,
+        scenario: &FailureScenario,
+        strategy: Strategy,
+        backend: Backend,
+        precomputed: Option<&Partition>,
+    ) -> Result<DecodePlan<W>, DecodeError> {
+        if let Some(&bad) = scenario.faulty().iter().find(|&&s| s >= h.cols()) {
+            return Err(DecodeError::SectorOutOfRange {
+                sector: bad,
+                total: h.cols(),
+            });
+        }
+
+        if let Strategy::PpmAuto = strategy {
+            // The paper's sequence optimization: evaluate the candidate
+            // calculation sequences and keep the cheapest, preferring the
+            // partitioned plans (parallelism) on ties — iterate C₄, C₃,
+            // C₂, C₁ and keep strict improvements only.
+            let mut best: Option<DecodePlan<W>> = None;
+            for s in [
+                Strategy::PpmNormalRest,
+                Strategy::PpmMatrixFirstRest,
+                Strategy::TraditionalMatrixFirst,
+                Strategy::TraditionalNormal,
+            ] {
+                let plan = Self::build_with(h, scenario, s, backend, precomputed)?;
+                if best.as_ref().is_none_or(|b| plan.cost < b.cost) {
+                    best = Some(plan);
+                }
+            }
+            return Ok(best.expect("at least one candidate"));
+        }
+
+        let faulty = scenario.faulty().to_vec();
+        let (phase_a, phase_b) = if faulty.is_empty() {
+            (Vec::new(), None)
+        } else {
+            match strategy {
+                Strategy::TraditionalNormal | Strategy::TraditionalMatrixFirst => {
+                    let seq = if strategy == Strategy::TraditionalNormal {
+                        CalcSequence::Normal
+                    } else {
+                        CalcSequence::MatrixFirst
+                    };
+                    let all_rows: Vec<usize> = (0..h.rows()).collect();
+                    let sources = scenario.surviving(h.cols());
+                    let sub = build_subsystem(h, &all_rows, &faulty, &sources, seq)?;
+                    (Vec::new(), Some(sub))
+                }
+                Strategy::PpmMatrixFirstRest | Strategy::PpmNormalRest => {
+                    let owned;
+                    let part = match precomputed {
+                        Some(p) => p,
+                        None => {
+                            owned = Partition::build(h, scenario);
+                            &owned
+                        }
+                    };
+                    let surviving = scenario.surviving(h.cols());
+                    // Independent sub-matrices always use matrix-first:
+                    // every element on their faulty columns is non-zero,
+                    // so u(Fᵢ) + u(Sᵢ) > u(Fᵢ⁻¹·Sᵢ) (paper §III-B).
+                    let mut phase_a = Vec::with_capacity(part.independent.len());
+                    for sub in &part.independent {
+                        phase_a.push(build_subsystem(
+                            h,
+                            &sub.rows,
+                            &sub.faulty,
+                            &surviving,
+                            CalcSequence::MatrixFirst,
+                        )?);
+                    }
+                    let phase_b = match &part.rest {
+                        None => None,
+                        Some(rest) => {
+                            let seq = if strategy == Strategy::PpmNormalRest {
+                                CalcSequence::Normal
+                            } else {
+                                CalcSequence::MatrixFirst
+                            };
+                            // Recovered independent blocks are inputs here.
+                            let mut sources = surviving.clone();
+                            sources.extend(part.independent_faulty());
+                            sources.sort_unstable();
+                            Some(build_subsystem(h, &rest.rows, &rest.faulty, &sources, seq)?)
+                        }
+                    };
+                    (phase_a, phase_b)
+                }
+                Strategy::PpmAuto => unreachable!("handled above"),
+            }
+        };
+
+        let cost = phase_a.iter().map(|s| s.program.mult_xors()).sum::<usize>()
+            + phase_b.as_ref().map_or(0, |s| s.program.mult_xors());
+        let coeffs = phase_a
+            .iter()
+            .chain(&phase_b)
+            .flat_map(|s| s.program.coefficients())
+            .collect::<Vec<_>>();
+        Ok(DecodePlan {
+            phase_a,
+            phase_b,
+            regions: RegionCache::build(coeffs.into_iter(), backend),
+            total_sectors: h.cols(),
+            faulty,
+            strategy,
+            backend,
+            cost,
+        })
+    }
+
+    /// Derives a *degraded-read* plan recovering only the `wanted` faulty
+    /// sectors (plus whatever intermediate blocks they transitively need).
+    ///
+    /// PPM's partition makes the dependency structure explicit: an
+    /// independent sub-matrix is kept only if it recovers a wanted sector
+    /// or produces an input of the (pruned) remaining sub-matrix; within
+    /// every kept program, outputs for unwanted sectors are dropped.
+    /// For an LRC single-block degraded read this collapses the plan to
+    /// one local-group repair — the scenario the paper's introduction
+    /// motivates ("local parity to reduce disk I/O … and degraded read
+    /// latency").
+    ///
+    /// Decoding the restricted plan writes only the retained sectors;
+    /// other faulty sectors stay erased.
+    ///
+    /// ```
+    /// use ppm_codes::{ErasureCode, FailureScenario, SdCode};
+    /// use ppm_core::{DecodePlan, Strategy};
+    /// use ppm_gf::Backend;
+    ///
+    /// // The paper's example: b2 is independent, b13 depends on everything.
+    /// let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+    /// let h = code.parity_check_matrix();
+    /// let scenario = FailureScenario::new(vec![2, 6, 10, 13, 14]);
+    /// let full = DecodePlan::build(&h, &scenario, Strategy::PpmNormalRest,
+    ///                              Backend::Scalar).unwrap();
+    /// let read_b2 = full.restrict_to(&[2]);
+    /// assert_eq!(read_b2.mult_xors(), 3);      // one 1x1 local repair
+    /// let read_b13 = full.restrict_to(&[13]);
+    /// assert!(read_b13.mult_xors() < full.mult_xors());
+    /// ```
+    pub fn restrict_to(&self, wanted: &[usize]) -> DecodePlan<W> {
+        let wanted: std::collections::BTreeSet<usize> = wanted
+            .iter()
+            .copied()
+            .filter(|s| self.faulty.binary_search(s).is_ok())
+            .collect();
+
+        // Prune phase B to the wanted rest-outputs; collect which faulty
+        // sectors it still reads (they must be produced by phase A).
+        let mut rest_inputs: std::collections::BTreeSet<usize> = Default::default();
+        let phase_b = self.phase_b.as_ref().and_then(|sp| {
+            let keep: std::collections::BTreeSet<usize> = sp
+                .program
+                .output_sectors()
+                .filter(|s| wanted.contains(s))
+                .collect();
+            if keep.is_empty() {
+                return None;
+            }
+            let program = sp.program.prune_outputs(&keep);
+            for src in program.stripe_sources() {
+                if self.faulty.binary_search(&src).is_ok() {
+                    rest_inputs.insert(src);
+                }
+            }
+            Some(SubPlan { program })
+        });
+
+        // Keep phase-A sub-plans that produce a wanted sector or a rest
+        // input, pruned to exactly those outputs.
+        let phase_a: Vec<SubPlan<W>> = self
+            .phase_a
+            .iter()
+            .filter_map(|sp| {
+                let keep: std::collections::BTreeSet<usize> = sp
+                    .program
+                    .output_sectors()
+                    .filter(|s| wanted.contains(s) || rest_inputs.contains(s))
+                    .collect();
+                if keep.is_empty() {
+                    None
+                } else {
+                    Some(SubPlan {
+                        program: sp.program.prune_outputs(&keep),
+                    })
+                }
+            })
+            .collect();
+
+        let cost = phase_a.iter().map(|s| s.program.mult_xors()).sum::<usize>()
+            + phase_b.as_ref().map_or(0, |s| s.program.mult_xors());
+        let mut faulty: Vec<usize> = phase_a
+            .iter()
+            .chain(&phase_b)
+            .flat_map(|s| s.program.output_sectors())
+            .collect();
+        faulty.sort_unstable();
+        let coeffs: Vec<W> = phase_a
+            .iter()
+            .chain(&phase_b)
+            .flat_map(|s| s.program.coefficients())
+            .collect();
+        DecodePlan {
+            phase_a,
+            phase_b,
+            regions: RegionCache::build(coeffs.into_iter(), self.backend),
+            total_sectors: self.total_sectors,
+            faulty,
+            strategy: self.strategy,
+            backend: self.backend,
+            cost,
+        }
+    }
+
+    /// The degree of parallelism `p`: how many independent sub-matrices
+    /// run concurrently in phase A.
+    pub fn parallelism(&self) -> usize {
+        self.phase_a.len()
+    }
+
+    /// Per-independent-sub-matrix mult_XORs costs (`c₀ … c_{p−1}` of
+    /// §III-C). The paper's ideal parallel saving is `Σcᵢ − c_max`; the
+    /// experiment harness uses these to model multi-core execution.
+    pub fn independent_costs(&self) -> Vec<usize> {
+        self.phase_a.iter().map(|s| s.program.mult_xors()).collect()
+    }
+
+    /// mult_XORs of the remaining sub-matrix `H_rest` (0 if null).
+    pub fn rest_cost(&self) -> usize {
+        self.phase_b.as_ref().map_or(0, |s| s.program.mult_xors())
+    }
+
+    /// Total mult_XORs this plan performs — the paper's computational
+    /// cost `C` for the chosen strategy.
+    pub fn mult_xors(&self) -> usize {
+        self.cost
+    }
+
+    /// The strategy the plan was built with (for `PpmAuto`, the winning
+    /// concrete strategy).
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The faulty sectors this plan recovers.
+    pub fn faulty(&self) -> &[usize] {
+        &self.faulty
+    }
+
+    /// Number of sectors in the stripe geometry this plan expects.
+    pub fn total_sectors(&self) -> usize {
+        self.total_sectors
+    }
+
+    /// The distinct *surviving* sectors this plan reads — the repair's
+    /// disk I/O in sectors. (Recovered phase-A blocks consumed by
+    /// `H_rest` are produced in memory, not read from devices, so they
+    /// are excluded.)
+    ///
+    /// This is the metric behind LRC's design: a single-block degraded
+    /// read under a `(k, l, g)`-LRC plan reads its `k/l`-disk local group,
+    /// while the same read under RS touches the whole stripe row (paper
+    /// §I: local parity "to reduce disk I/O, network overhead, and
+    /// degraded read latency").
+    pub fn sectors_read(&self) -> usize {
+        let mut read: Vec<usize> = self
+            .phase_a
+            .iter()
+            .chain(&self.phase_b)
+            .flat_map(|sp| sp.program.stripe_sources())
+            .filter(|s| self.faulty.binary_search(s).is_err())
+            .collect();
+        read.sort_unstable();
+        read.dedup();
+        read.len()
+    }
+}
+
+/// Builds one sub-matrix program: select a square invertible system from
+/// the candidate rows, invert, and emit the chosen sequence.
+fn build_subsystem<W: GfWord>(
+    h: &Matrix<W>,
+    candidate_rows: &[usize],
+    faulty: &[usize],
+    sources: &[usize],
+    seq: CalcSequence,
+) -> Result<SubPlan<W>, DecodeError> {
+    let f_all = h.select_rows(candidate_rows).select_columns(faulty);
+    let picked = f_all.select_independent_rows();
+    if picked.len() < faulty.len() {
+        return Err(DecodeError::Unrecoverable {
+            needed: faulty.len(),
+            rank: picked.len(),
+        });
+    }
+    let rows: Vec<usize> = picked.iter().map(|&i| candidate_rows[i]).collect();
+    let f_inv = f_all
+        .select_rows(&picked)
+        .inverse()
+        .expect("independent row selection yields invertible square");
+    let s = h.select_rows(&rows).select_columns(sources);
+
+    let program = match seq {
+        CalcSequence::MatrixFirst => {
+            let g = f_inv.mul(&s);
+            let outputs = faulty
+                .iter()
+                .enumerate()
+                .map(|(fi, &sector)| {
+                    let terms = (0..sources.len())
+                        .filter_map(|j| {
+                            let c = g.get(fi, j);
+                            (c != W::ZERO).then_some((c, sources[j]))
+                        })
+                        .collect();
+                    (sector, terms)
+                })
+                .collect();
+            Program::MatrixFirst { outputs }
+        }
+        CalcSequence::Normal => {
+            let t_terms = (0..rows.len())
+                .map(|e| {
+                    (0..sources.len())
+                        .filter_map(|j| {
+                            let c = s.get(e, j);
+                            (c != W::ZERO).then_some((c, sources[j]))
+                        })
+                        .collect()
+                })
+                .collect();
+            let f_terms = faulty
+                .iter()
+                .enumerate()
+                .map(|(fi, &sector)| {
+                    let terms = (0..rows.len())
+                        .filter_map(|e| {
+                            let c = f_inv.get(fi, e);
+                            (c != W::ZERO).then_some((c, e))
+                        })
+                        .collect();
+                    (sector, terms)
+                })
+                .collect();
+            Program::Normal { t_terms, f_terms }
+        }
+    };
+    Ok(SubPlan { program })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_codes::{ErasureCode, SdCode};
+
+    fn paper_case() -> (Matrix<u8>, FailureScenario) {
+        let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        (
+            code.parity_check_matrix(),
+            FailureScenario::new(vec![2, 6, 10, 13, 14]),
+        )
+    }
+
+    /// §II-B: C₁ = 35 and C₂ = 31 for the Figure 2 example.
+    #[test]
+    fn figure2_c1_c2() {
+        let (h, sc) = paper_case();
+        let c1 = DecodePlan::build(&h, &sc, Strategy::TraditionalNormal, Backend::Scalar)
+            .unwrap()
+            .mult_xors();
+        let c2 = DecodePlan::build(&h, &sc, Strategy::TraditionalMatrixFirst, Backend::Scalar)
+            .unwrap()
+            .mult_xors();
+        assert_eq!(c1, 35);
+        assert_eq!(c2, 31);
+    }
+
+    /// §III-B: the example's PPM cost reduction is (C₁−C₄)/C₁ = 17.14%.
+    #[test]
+    fn figure3_c4_reduction() {
+        let (h, sc) = paper_case();
+        let c1 = DecodePlan::build(&h, &sc, Strategy::TraditionalNormal, Backend::Scalar)
+            .unwrap()
+            .mult_xors();
+        let c4 = DecodePlan::build(&h, &sc, Strategy::PpmNormalRest, Backend::Scalar)
+            .unwrap()
+            .mult_xors();
+        assert_eq!(c1, 35);
+        assert_eq!(c4, 29); // C₁ − C₄ = m²(z+1)(r−z) = 6
+        let reduction = (c1 - c4) as f64 / c1 as f64;
+        assert!((reduction - 0.1714).abs() < 0.001, "got {reduction}");
+    }
+
+    #[test]
+    fn ppm_plans_have_parallelism_3() {
+        let (h, sc) = paper_case();
+        for s in [
+            Strategy::PpmMatrixFirstRest,
+            Strategy::PpmNormalRest,
+            Strategy::PpmAuto,
+        ] {
+            let plan = DecodePlan::build(&h, &sc, s, Backend::Scalar).unwrap();
+            assert_eq!(plan.parallelism(), 3, "{s:?}");
+            assert!(plan.phase_b.is_some());
+        }
+    }
+
+    #[test]
+    fn auto_picks_minimum_cost() {
+        let (h, sc) = paper_case();
+        let costs: Vec<usize> = Strategy::CONCRETE
+            .iter()
+            .map(|&s| {
+                DecodePlan::build(&h, &sc, s, Backend::Scalar)
+                    .unwrap()
+                    .mult_xors()
+            })
+            .collect();
+        let auto = DecodePlan::build(&h, &sc, Strategy::PpmAuto, Backend::Scalar).unwrap();
+        assert_eq!(auto.mult_xors(), *costs.iter().min().unwrap());
+    }
+
+    /// Degraded read of an independent block keeps exactly one 1×1
+    /// sub-plan; of a dependent block, phase B plus its inputs.
+    #[test]
+    fn restrict_to_prunes_structurally() {
+        let (h, sc) = paper_case();
+        let full = DecodePlan::build(&h, &sc, Strategy::PpmNormalRest, Backend::Scalar).unwrap();
+        assert_eq!(full.mult_xors(), 29);
+
+        // b2 is independent: one group, 3 mult_XORs, no rest.
+        let only_b2 = full.restrict_to(&[2]);
+        assert_eq!(only_b2.parallelism(), 1);
+        assert_eq!(only_b2.faulty(), &[2]);
+        assert!(only_b2.phase_b.is_none());
+        assert_eq!(only_b2.mult_xors(), 3);
+
+        // b13 is dependent: rest kept (outputs pruned to b13), and all
+        // three independent groups retained as its inputs.
+        let only_b13 = full.restrict_to(&[13]);
+        assert_eq!(only_b13.parallelism(), 3);
+        assert!(only_b13.phase_b.is_some());
+        assert!(only_b13.faulty().contains(&13));
+        assert!(!only_b13.faulty().contains(&14));
+        assert!(only_b13.mult_xors() < full.mult_xors());
+
+        // Restricting to everything changes nothing material.
+        let all = full.restrict_to(&[2, 6, 10, 13, 14]);
+        assert_eq!(all.mult_xors(), full.mult_xors());
+        assert_eq!(all.parallelism(), full.parallelism());
+
+        // Unknown sectors are ignored.
+        let none = full.restrict_to(&[0, 1]);
+        assert_eq!(none.mult_xors(), 0);
+        assert_eq!(none.parallelism(), 0);
+    }
+
+    /// The Algorithm 1 fast path must yield plans with identical cost and
+    /// parallelism to the general path.
+    #[test]
+    fn build_sd_equivalent_to_general() {
+        let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        let h = code.parity_check_matrix();
+        let sc = FailureScenario::new(vec![2, 6, 10, 13, 14]);
+        for s in Strategy::CONCRETE.into_iter().chain([Strategy::PpmAuto]) {
+            let general = DecodePlan::build(&h, &sc, s, Backend::Scalar).unwrap();
+            let fast = DecodePlan::build_sd(&code, &h, &sc, s, Backend::Scalar).unwrap();
+            assert_eq!(fast.mult_xors(), general.mult_xors(), "{s:?}");
+            assert_eq!(fast.parallelism(), general.parallelism(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn empty_scenario_plans_to_nothing() {
+        let (h, _) = paper_case();
+        let plan = DecodePlan::build(
+            &h,
+            &FailureScenario::new(vec![]),
+            Strategy::PpmAuto,
+            Backend::Scalar,
+        )
+        .unwrap();
+        assert_eq!(plan.parallelism(), 0);
+        assert_eq!(plan.mult_xors(), 0);
+        assert!(plan.phase_b.is_none());
+    }
+
+    #[test]
+    fn out_of_range_sector_rejected() {
+        let (h, _) = paper_case();
+        let err = DecodePlan::build(
+            &h,
+            &FailureScenario::new(vec![99]),
+            Strategy::PpmAuto,
+            Backend::Scalar,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::SectorOutOfRange {
+                sector: 99,
+                total: 16
+            }
+        );
+    }
+
+    #[test]
+    fn unrecoverable_pattern_rejected() {
+        let (h, _) = paper_case();
+        // 6 faulty blocks with only 5 equations can never be recovered.
+        let sc = FailureScenario::new(vec![0, 1, 2, 3, 4, 5]);
+        let err =
+            DecodePlan::build(&h, &sc, Strategy::TraditionalNormal, Backend::Scalar).unwrap_err();
+        assert!(matches!(err, DecodeError::Unrecoverable { needed: 6, .. }));
+    }
+
+    /// The paper's inequality: independent sub-matrices are always cheaper
+    /// matrix-first, so C₃ ≤ C₁-with-partition; more precisely C₂ ≤ C₃
+    /// never needs to hold, but C₄ ≤ C₁ and C₃ ≥ C₂ do for SD worst cases.
+    #[test]
+    fn cost_order_on_paper_example() {
+        let (h, sc) = paper_case();
+        let c: Vec<usize> = Strategy::CONCRETE
+            .iter()
+            .map(|&s| {
+                DecodePlan::build(&h, &sc, s, Backend::Scalar)
+                    .unwrap()
+                    .mult_xors()
+            })
+            .collect();
+        let (c1, c2, c3, c4) = (c[0], c[1], c[2], c[3]);
+        assert!(c4 < c1, "C4={c4} must beat C1={c1}");
+        assert!(
+            c2 < c3,
+            "paper: C3 - C2 = m(r-1)(mz+s) > 0; got C2={c2}, C3={c3}"
+        );
+        // Figure-2 instance: C3 = 37 per the formulas in §III-B.
+        assert_eq!(c3, 37);
+    }
+}
+
+#[cfg(test)]
+mod restrict_matrix_first_tests {
+    use super::*;
+    use ppm_codes::{ErasureCode, SdCode};
+
+    /// Pruning a plan whose H_rest uses the matrix-first sequence
+    /// exercises Program::MatrixFirst's prune/stripe_sources paths.
+    #[test]
+    fn restrict_matrix_first_rest() {
+        let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        let h = code.parity_check_matrix();
+        let sc = FailureScenario::new(vec![2, 6, 10, 13, 14]);
+        let full =
+            DecodePlan::build(&h, &sc, Strategy::PpmMatrixFirstRest, Backend::Scalar).unwrap();
+        let only_b14 = full.restrict_to(&[14]);
+        assert!(only_b14.faulty().contains(&14));
+        assert!(!only_b14.faulty().contains(&13));
+        assert!(only_b14.mult_xors() < full.mult_xors());
+        // The matrix-first rest reads recovered blocks directly, so the
+        // independent groups feeding it are retained.
+        assert_eq!(only_b14.parallelism(), 3);
+    }
+}
+
+#[cfg(test)]
+mod io_tests {
+    use super::*;
+    use ppm_codes::{ErasureCode, LrcCode, RsCode};
+
+    /// The LRC degraded-read I/O claim: one lost block reads its local
+    /// group (k/l sectors) under LRC, but k sectors under RS.
+    #[test]
+    fn degraded_read_io_lrc_vs_rs() {
+        let lrc = LrcCode::<u8>::new(12, 2, 2, 4).unwrap();
+        let lost = FailureScenario::new(vec![lrc.layout().sector(1, 3)]);
+        let plan = DecodePlan::build(
+            &lrc.parity_check_matrix(),
+            &lost,
+            Strategy::PpmAuto,
+            Backend::Scalar,
+        )
+        .unwrap();
+        assert_eq!(plan.sectors_read(), lrc.group_size(), "LRC local repair");
+
+        let rs = RsCode::<u8>::new(12, 4, 4).unwrap();
+        let lost = FailureScenario::new(vec![rs.layout().sector(1, 3)]);
+        let plan = DecodePlan::build(
+            &rs.parity_check_matrix(),
+            &lost,
+            Strategy::PpmAuto,
+            Backend::Scalar,
+        )
+        .unwrap();
+        // Each Cauchy check equation spans all n disks of its row, so a
+        // single-block repair reads the other n − 1 = 15 sectors.
+        assert_eq!(plan.sectors_read(), 15, "RS reads a full row");
+    }
+
+    /// Recovered intermediates don't count as device reads; restriction
+    /// can only reduce the I/O.
+    #[test]
+    fn sectors_read_excludes_recovered_blocks() {
+        let code = ppm_codes::SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        let h = code.parity_check_matrix();
+        let sc = FailureScenario::new(vec![2, 6, 10, 13, 14]);
+        let plan = DecodePlan::build(&h, &sc, Strategy::PpmNormalRest, Backend::Scalar).unwrap();
+        // All 11 surviving sectors participate in the worst case.
+        assert_eq!(plan.sectors_read(), 11);
+        let restricted = plan.restrict_to(&[2]);
+        assert_eq!(restricted.sectors_read(), 3, "local 1x1 repair reads 3");
+        assert!(plan.restrict_to(&[13]).sectors_read() <= 11);
+    }
+}

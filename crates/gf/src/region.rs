@@ -1,0 +1,450 @@
+//! Region operations: the `mult_XORs` primitive of the PPM paper.
+//!
+//! `mult_XORs(d0, d1, a)` multiplies a region `d0` of bytes by a w-bit
+//! constant `a` in GF(2^w) and XOR-sums the product into the same-sized
+//! region `d1`. The paper measures every encoding/decoding strategy by how
+//! many of these it performs, so this is the hot kernel of the whole
+//! workspace.
+//!
+//! A [`RegionMul`] precomputes, for its constant, one 256-entry product
+//! table per byte of the word (`table_k[b] = a · (b · x^{8k})`), exploiting
+//! the linearity of GF(2^w) multiplication: a word is the XOR of its bytes
+//! shifted into place, so its product is the XOR of one lookup per byte.
+//! Buffers hold words in little-endian byte order and must be a multiple of
+//! the word size in length.
+
+use crate::simd;
+use crate::word::GfWord;
+use crate::Backend;
+
+/// XORs `src` into `dst` (`dst ^= src`), 64 bits at a time.
+///
+/// This is the coefficient-1 fast path of `mult_XORs`; parity equations of
+/// XOR-based codes (local parities of LRC, the `a₀ = 1` disk parity of SD)
+/// consist entirely of these.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn xor_region(src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "region length mismatch");
+    let mut s8 = src.chunks_exact(8);
+    let mut d8 = dst.chunks_exact_mut(8);
+    for (s, d) in (&mut s8).zip(&mut d8) {
+        let x = u64::from_ne_bytes(s.try_into().unwrap())
+            ^ u64::from_ne_bytes((&*d).try_into().unwrap());
+        d.copy_from_slice(&x.to_ne_bytes());
+    }
+    for (s, d) in s8.remainder().iter().zip(d8.into_remainder()) {
+        *d ^= *s;
+    }
+}
+
+/// A precomputed multiply-by-constant over byte regions in GF(2^w).
+///
+/// Constructing one costs a few hundred XORs (the tables are built
+/// incrementally from the 8·`BYTES` basis products `a · x^i`); applying it
+/// costs one table lookup per byte. Decoding plans cache one `RegionMul`
+/// per distinct non-zero matrix coefficient.
+pub struct RegionMul<W: GfWord> {
+    a: W,
+    kind: Kind,
+    backend: Backend,
+    /// `256 * W::BYTES` entries; empty for the 0/1 fast paths.
+    tables: Box<[W]>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Zero,
+    One,
+    Table,
+}
+
+impl<W: GfWord> RegionMul<W> {
+    /// Prepares multiplication by `a` using the given [`Backend`].
+    ///
+    /// # Panics
+    /// Panics if a forced SIMD backend is not available on this CPU.
+    pub fn new(a: W, backend: Backend) -> Self {
+        let backend = match backend {
+            Backend::Auto => Backend::detect(),
+            other => {
+                assert!(
+                    other.is_available(),
+                    "backend {other:?} not available on this CPU"
+                );
+                other
+            }
+        };
+        let kind = if a == W::ZERO {
+            Kind::Zero
+        } else if a == W::ONE {
+            Kind::One
+        } else {
+            Kind::Table
+        };
+        let tables = match kind {
+            Kind::Table => build_tables(a),
+            _ => Box::default(),
+        };
+        RegionMul {
+            a,
+            kind,
+            backend,
+            tables,
+        }
+    }
+
+    /// The constant this region multiplier applies.
+    pub fn constant(&self) -> W {
+        self.a
+    }
+
+    /// `dst ^= a · src` — the paper's `mult_XORs(src, dst, a)`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or are not a multiple of the word size.
+    pub fn mul_xor(&self, src: &[u8], dst: &mut [u8]) {
+        self.check(src, dst);
+        match self.kind {
+            Kind::Zero => {}
+            Kind::One => xor_region(src, dst),
+            Kind::Table => self.table_apply(src, dst, true),
+        }
+    }
+
+    /// `dst = a · src` (overwrites the destination).
+    ///
+    /// # Panics
+    /// Panics if lengths differ or are not a multiple of the word size.
+    pub fn mul_copy(&self, src: &[u8], dst: &mut [u8]) {
+        self.check(src, dst);
+        match self.kind {
+            Kind::Zero => dst.fill(0),
+            Kind::One => dst.copy_from_slice(src),
+            Kind::Table => self.table_apply(src, dst, false),
+        }
+    }
+
+    fn check(&self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "region length mismatch");
+        assert_eq!(
+            src.len() % W::BYTES,
+            0,
+            "region length {} is not a multiple of the {}-byte word",
+            src.len(),
+            W::BYTES
+        );
+    }
+
+    fn table_apply(&self, src: &[u8], dst: &mut [u8], accumulate: bool) {
+        if W::WIDTH == 8 {
+            // SAFETY: W::WIDTH == 8 implies W = u8 (the trait is sealed over
+            // u8/u16/u32), so the table memory is exactly 256 bytes of u8.
+            let t8: &[u8] = unsafe {
+                std::slice::from_raw_parts(self.tables.as_ptr().cast::<u8>(), self.tables.len())
+            };
+            if simd::try_mul_u8(self.backend, t8, src, dst, accumulate) {
+                return;
+            }
+            if accumulate {
+                for (s, d) in src.iter().zip(dst.iter_mut()) {
+                    *d ^= t8[*s as usize];
+                }
+            } else {
+                for (s, d) in src.iter().zip(dst.iter_mut()) {
+                    *d = t8[*s as usize];
+                }
+            }
+            return;
+        }
+        if W::WIDTH == 32
+            && simd::try_mul_u32(self.backend, self.a.to_u64() as u32, src, dst, accumulate)
+        {
+            return;
+        }
+        if W::WIDTH == 16 {
+            // SAFETY: W::WIDTH == 16 implies W = u16 (sealed trait), so the
+            // table memory is exactly 512 u16 entries.
+            let t16: &[u16] = unsafe {
+                std::slice::from_raw_parts(self.tables.as_ptr().cast::<u16>(), self.tables.len())
+            };
+            if simd::try_mul_u16(self.backend, t16, src, dst, accumulate) {
+                return;
+            }
+        }
+        scalar_apply::<W>(&self.tables, src, dst, accumulate);
+    }
+}
+
+impl<W: GfWord> std::fmt::Debug for RegionMul<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegionMul")
+            .field("a", &self.a)
+            .field("kind", &self.kind)
+            .field("backend", &self.backend)
+            .finish()
+    }
+}
+
+/// Builds the split product tables for a non-trivial constant.
+///
+/// `tables[k*256 + b] = a · (b << 8k)`. Each 256-entry table is filled
+/// incrementally: the entry for `b` is the entry for `b` with its lowest
+/// set bit cleared, XOR the basis product for that bit.
+fn build_tables<W: GfWord>(a: W) -> Box<[W]> {
+    let mut t = vec![W::ZERO; 256 * W::BYTES];
+    let mut cur = a; // a · x^(8k + j), advanced as we walk k and j
+    for k in 0..W::BYTES {
+        let tk = &mut t[k * 256..(k + 1) * 256];
+        let mut basis = [W::ZERO; 8];
+        for slot in &mut basis {
+            *slot = cur;
+            cur = cur.xtimes();
+        }
+        for b in 1..256usize {
+            let low = b.trailing_zeros() as usize;
+            tk[b] = tk[b & (b - 1)].gf_add(basis[low]);
+        }
+    }
+    t.into_boxed_slice()
+}
+
+fn scalar_apply<W: GfWord>(tables: &[W], src: &[u8], dst: &mut [u8], accumulate: bool) {
+    let b = W::BYTES;
+    for (s, d) in src.chunks_exact(b).zip(dst.chunks_exact_mut(b)) {
+        let mut acc = W::ZERO;
+        for (k, &byte) in s.iter().enumerate() {
+            acc = acc.gf_add(tables[k * 256 + byte as usize]);
+        }
+        let out = if accumulate {
+            acc.gf_add(load_le::<W>(d))
+        } else {
+            acc
+        };
+        store_le(out, d);
+    }
+}
+
+#[inline]
+fn load_le<W: GfWord>(b: &[u8]) -> W {
+    let mut x = 0u64;
+    for (i, &v) in b.iter().enumerate() {
+        x |= (v as u64) << (8 * i);
+    }
+    W::from_u64(x)
+}
+
+#[inline]
+fn store_le<W: GfWord>(x: W, b: &mut [u8]) {
+    let v = x.to_u64();
+    for (i, out) in b.iter_mut().enumerate() {
+        *out = (v >> (8 * i)) as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wordwise_reference<W: GfWord>(a: W, src: &[u8], dst: &mut [u8]) {
+        for (s, d) in src
+            .chunks_exact(W::BYTES)
+            .zip(dst.chunks_exact_mut(W::BYTES))
+        {
+            let prod = a.gf_mul(load_le::<W>(s));
+            store_le(prod.gf_add(load_le::<W>(d)), d);
+        }
+    }
+
+    fn pseudo_bytes(n: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect()
+    }
+
+    fn check_all_widths(len: usize, a64: u64) {
+        macro_rules! go {
+            ($W:ty) => {{
+                let a = <$W as GfWord>::from_u64(a64);
+                let src = pseudo_bytes(len, 42);
+                let mut dst = pseudo_bytes(len, 77);
+                let mut expect = dst.clone();
+                wordwise_reference::<$W>(a, &src, &mut expect);
+                let rm = RegionMul::<$W>::new(a, Backend::Scalar);
+                rm.mul_xor(&src, &mut dst);
+                assert_eq!(dst, expect, "w={} a={a64:#x}", <$W as GfWord>::WIDTH);
+            }};
+        }
+        go!(u8);
+        go!(u16);
+        go!(u32);
+    }
+
+    #[test]
+    fn scalar_region_matches_wordwise_reference() {
+        for a in [0u64, 1, 2, 3, 0x1D, 0xAB, 0xFE] {
+            check_all_widths(64, a);
+        }
+        check_all_widths(8, 0x53);
+    }
+
+    #[test]
+    fn mul_copy_matches_mul_xor_from_zero() {
+        let src = pseudo_bytes(96, 9);
+        let rm = RegionMul::<u16>::new(0x1234, Backend::Scalar);
+        let mut a = vec![0u8; 96];
+        let mut b = pseudo_bytes(96, 5);
+        rm.mul_xor(&src, &mut a);
+        rm.mul_copy(&src, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_and_one_fast_paths() {
+        let src = pseudo_bytes(32, 3);
+        let orig = pseudo_bytes(32, 4);
+
+        let mut dst = orig.clone();
+        RegionMul::<u8>::new(0, Backend::Scalar).mul_xor(&src, &mut dst);
+        assert_eq!(dst, orig, "a=0 must leave dst unchanged");
+
+        let mut dst = orig.clone();
+        RegionMul::<u8>::new(1, Backend::Scalar).mul_xor(&src, &mut dst);
+        let expect: Vec<u8> = src.iter().zip(&orig).map(|(s, d)| s ^ d).collect();
+        assert_eq!(dst, expect, "a=1 must be plain XOR");
+
+        let mut dst = orig.clone();
+        RegionMul::<u8>::new(0, Backend::Scalar).mul_copy(&src, &mut dst);
+        assert!(dst.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn simd_backends_match_scalar() {
+        for backend in [Backend::Ssse3, Backend::Avx2] {
+            if !backend.is_available() {
+                continue;
+            }
+            // Lengths probing the vector remainder handling.
+            for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 64, 100, 4096] {
+                let src = pseudo_bytes(len, 11);
+                let base = pseudo_bytes(len, 13);
+                for a in [2u8, 0x1D, 0x80, 0xFF] {
+                    let mut scalar = base.clone();
+                    RegionMul::<u8>::new(a, Backend::Scalar).mul_xor(&src, &mut scalar);
+                    let mut vect = base.clone();
+                    RegionMul::<u8>::new(a, backend).mul_xor(&src, &mut vect);
+                    assert_eq!(scalar, vect, "backend={backend:?} len={len} a={a:#x}");
+
+                    let mut scalar = base.clone();
+                    RegionMul::<u8>::new(a, Backend::Scalar).mul_copy(&src, &mut scalar);
+                    let mut vect = base.clone();
+                    RegionMul::<u8>::new(a, backend).mul_copy(&src, &mut vect);
+                    assert_eq!(scalar, vect, "copy backend={backend:?} len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_w16_matches_scalar() {
+        if !Backend::Ssse3.is_available() {
+            return;
+        }
+        for backend in [Backend::Ssse3, Backend::Avx2, Backend::Auto] {
+            if !backend.is_available() {
+                continue;
+            }
+            // Lengths probing the 32-byte vector body and the 2-byte tail.
+            for len in [0usize, 2, 30, 32, 34, 64, 66, 1024] {
+                let src = pseudo_bytes(len, 31);
+                let base = pseudo_bytes(len, 37);
+                for a in [1u16, 2, 0x1D2C, 0x8000, 0xFFFF] {
+                    let mut scalar = base.clone();
+                    RegionMul::<u16>::new(a, Backend::Scalar).mul_xor(&src, &mut scalar);
+                    let mut vect = base.clone();
+                    RegionMul::<u16>::new(a, backend).mul_xor(&src, &mut vect);
+                    assert_eq!(scalar, vect, "xor backend={backend:?} len={len} a={a:#x}");
+
+                    let mut scalar = base.clone();
+                    RegionMul::<u16>::new(a, Backend::Scalar).mul_copy(&src, &mut scalar);
+                    let mut vect = base.clone();
+                    RegionMul::<u16>::new(a, backend).mul_copy(&src, &mut vect);
+                    assert_eq!(scalar, vect, "copy backend={backend:?} len={len} a={a:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xor_region_handles_tails() {
+        for len in [0usize, 1, 7, 8, 9, 23] {
+            let src = pseudo_bytes(len, 21);
+            let mut dst = pseudo_bytes(len, 22);
+            let expect: Vec<u8> = src.iter().zip(&dst).map(|(s, d)| s ^ d).collect();
+            xor_region(&src, &mut dst);
+            assert_eq!(dst, expect, "len={len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "region length mismatch")]
+    fn length_mismatch_panics() {
+        let rm = RegionMul::<u8>::new(3, Backend::Scalar);
+        rm.mul_xor(&[0u8; 4], &mut [0u8; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_length_panics() {
+        let rm = RegionMul::<u32>::new(3, Backend::Scalar);
+        rm.mul_xor(&[0u8; 6], &mut [0u8; 6]);
+    }
+}
+
+#[cfg(test)]
+mod clmul_tests {
+    use super::*;
+
+    fn pseudo_bytes(n: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect()
+    }
+
+    /// The PCLMUL GF(2^32) kernel must agree with the scalar split tables
+    /// for adversarial constants and data.
+    #[test]
+    fn clmul_w32_matches_scalar() {
+        for backend in [Backend::Ssse3, Backend::Avx2, Backend::Auto] {
+            if !backend.is_available() {
+                continue;
+            }
+            for len in [0usize, 4, 8, 60, 256, 1000] {
+                let src = pseudo_bytes(len, 91);
+                let base = pseudo_bytes(len, 92);
+                for a in [2u32, 3, 0x8000_0000, 0xFFFF_FFFF, 0x0040_0007, 0xDEAD_BEEF] {
+                    let mut scalar = base.clone();
+                    RegionMul::<u32>::new(a, Backend::Scalar).mul_xor(&src, &mut scalar);
+                    let mut vect = base.clone();
+                    RegionMul::<u32>::new(a, backend).mul_xor(&src, &mut vect);
+                    assert_eq!(scalar, vect, "xor backend={backend:?} len={len} a={a:#x}");
+
+                    let mut scalar = base.clone();
+                    RegionMul::<u32>::new(a, Backend::Scalar).mul_copy(&src, &mut scalar);
+                    let mut vect = base.clone();
+                    RegionMul::<u32>::new(a, backend).mul_copy(&src, &mut vect);
+                    assert_eq!(scalar, vect, "copy backend={backend:?} len={len} a={a:#x}");
+                }
+            }
+        }
+    }
+}

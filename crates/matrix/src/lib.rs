@@ -1,0 +1,38 @@
+//! Dense matrix algebra over GF(2^w) for parity-check-matrix erasure coding.
+//!
+//! Erasure codes in this workspace are defined by a parity-check matrix `H`
+//! with `H · B = 0` for every valid stripe `B`. Decoding extracts the faulty
+//! columns into `F`, the surviving columns into `S`, and computes
+//! `BF = F⁻¹ · S · BS`. This crate supplies exactly the operations that
+//! pipeline needs:
+//!
+//! * construction ([`Matrix::from_fn`], [`Matrix::identity`], …) and
+//!   row/column extraction ([`Matrix::select_columns`],
+//!   [`Matrix::select_rows`]),
+//! * multiplication and Gauss–Jordan inversion ([`Matrix::mul`],
+//!   [`Matrix::inverse`]),
+//! * rank computation and independent-row selection
+//!   ([`Matrix::rank`], [`Matrix::select_independent_rows`]) used to pick a
+//!   square invertible `F` when there are more equations than erasures,
+//! * the non-zero count `u(M)` ([`Matrix::nonzeros`]) that the PPM paper's
+//!   computational-cost model `C₁..C₄` is built on.
+//!
+//! # Example
+//!
+//! ```
+//! use ppm_matrix::Matrix;
+//!
+//! // A 2x2 Vandermonde over GF(2^8) and its inverse.
+//! let m = Matrix::<u8>::from_rows(&[vec![1, 1], vec![1, 2]]);
+//! let inv = m.inverse().expect("invertible");
+//! assert_eq!(m.mul(&inv), Matrix::identity(2));
+//! assert_eq!(m.nonzeros(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matrix;
+mod solve;
+
+pub use matrix::Matrix;

@@ -1,0 +1,312 @@
+//! The dense row-major [`Matrix`] type and its basic operations.
+
+use ppm_gf::GfWord;
+
+/// A dense matrix over GF(2^w), stored row-major.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Matrix<W: GfWord> {
+    rows: usize,
+    cols: usize,
+    data: Vec<W>,
+}
+
+impl<W: GfWord> Matrix<W> {
+    /// An all-zero `rows × cols` matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![W::ZERO; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, W::ONE);
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> W) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from explicit rows.
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged or there are none (the column count
+    /// would be ambiguous).
+    pub fn from_rows(rows: &[Vec<W>]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True for square matrices.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// The entry at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> W {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the entry at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: W) {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[W] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [W] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterates over the rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[W]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// `u(M)`: the number of non-zero coefficients — the unit the PPM
+    /// paper's computational-cost model counts mult_XORs in.
+    pub fn nonzeros(&self) -> usize {
+        self.data.iter().filter(|&&v| v != W::ZERO).count()
+    }
+
+    /// Non-zero count of a single row.
+    pub fn row_nonzeros(&self, r: usize) -> usize {
+        self.row(r).iter().filter(|&&v| v != W::ZERO).count()
+    }
+
+    /// Positions (column indices) of the non-zero entries of row `r`.
+    pub fn row_support(&self, r: usize) -> Vec<usize> {
+        self.row(r)
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != W::ZERO)
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// True if every entry is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&v| v == W::ZERO)
+    }
+
+    /// Extracts the given columns, in order, into a new matrix.
+    pub fn select_columns(&self, cols: &[usize]) -> Matrix<W> {
+        Matrix::from_fn(self.rows, cols.len(), |r, i| self.get(r, cols[i]))
+    }
+
+    /// Extracts the given rows, in order, into a new matrix.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix<W> {
+        Matrix::from_fn(rows.len(), self.cols, |i, c| self.get(rows[i], c))
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn mul(&self, rhs: &Matrix<W>) -> Matrix<W> {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == W::ZERO {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row: &mut [W] = out.row_mut(r);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o = (*o).gf_add(a.gf_mul(b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[W]) -> Vec<W> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch");
+        self.iter_rows()
+            .map(|row| {
+                row.iter()
+                    .zip(v)
+                    .fold(W::ZERO, |acc, (&a, &b)| acc.gf_add(a.gf_mul(b)))
+            })
+            .collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix<W> {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Stacks `self` on top of `other`.
+    ///
+    /// # Panics
+    /// Panics if column counts differ.
+    pub fn vstack(&self, other: &Matrix<W>) -> Matrix<W> {
+        assert_eq!(self.cols, other.cols, "column count mismatch");
+        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl<W: GfWord> std::fmt::Debug for Matrix<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  [")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", self.get(r, c).to_u64())?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let m = Matrix::<u8>::from_rows(&[vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(m.mul(&Matrix::identity(3)), m);
+        assert_eq!(Matrix::<u8>::identity(2).mul(&m), m);
+    }
+
+    #[test]
+    fn mul_small_known() {
+        // Over GF(2^8): [[1,2],[3,4]] * [[5],[6]] = [[5^(2*6)],[(3*5)^(4*6)]]
+        let a = Matrix::<u8>::from_rows(&[vec![1, 2], vec![3, 4]]);
+        let b = Matrix::<u8>::from_rows(&[vec![5], vec![6]]);
+        let p = a.mul(&b);
+        assert_eq!(p.get(0, 0), 5 ^ 2u8.gf_mul(6));
+        assert_eq!(p.get(1, 0), 3u8.gf_mul(5) ^ 4u8.gf_mul(6));
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let a = Matrix::<u16>::from_rows(&[vec![1, 2, 3], vec![0, 7, 9]]);
+        let v = vec![10u16, 20, 30];
+        let as_col = Matrix::from_fn(3, 1, |r, _| v[r]);
+        let expect: Vec<u16> = (0..2).map(|r| a.mul(&as_col).get(r, 0)).collect();
+        assert_eq!(a.mul_vec(&v), expect);
+    }
+
+    #[test]
+    fn select_rows_and_columns() {
+        let m = Matrix::<u8>::from_fn(3, 4, |r, c| (r * 4 + c) as u8);
+        let sub = m.select_rows(&[2, 0]).select_columns(&[3, 1]);
+        assert_eq!(sub.get(0, 0), 11);
+        assert_eq!(sub.get(0, 1), 9);
+        assert_eq!(sub.get(1, 0), 3);
+        assert_eq!(sub.get(1, 1), 1);
+    }
+
+    #[test]
+    fn nonzeros_counts() {
+        let m = Matrix::<u8>::from_rows(&[vec![0, 1, 2], vec![0, 0, 3]]);
+        assert_eq!(m.nonzeros(), 3);
+        assert_eq!(m.row_nonzeros(0), 2);
+        assert_eq!(m.row_support(1), vec![2]);
+        assert!(!m.is_zero());
+        assert!(Matrix::<u8>::zero(2, 2).is_zero());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::<u32>::from_fn(2, 5, |r, c| (r * 31 + c * 7) as u32);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().rows(), 5);
+    }
+
+    #[test]
+    fn vstack_stacks() {
+        let a = Matrix::<u8>::from_rows(&[vec![1, 2]]);
+        let b = Matrix::<u8>::from_rows(&[vec![3, 4], vec![5, 6]]);
+        let s = a.vstack(&b);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row(2), &[5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_dimension_mismatch_panics() {
+        let a = Matrix::<u8>::zero(2, 3);
+        let b = Matrix::<u8>::zero(2, 3);
+        let _ = a.mul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = Matrix::<u8>::zero(2, 2);
+        let _ = m.get(2, 0);
+    }
+}

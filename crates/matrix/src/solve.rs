@@ -1,0 +1,221 @@
+//! Gauss–Jordan elimination: inversion, rank, and independent-row selection.
+
+use crate::Matrix;
+use ppm_gf::GfWord;
+
+impl<W: GfWord> Matrix<W> {
+    /// Inverts a square matrix by Gauss–Jordan elimination on `[M | I]`.
+    ///
+    /// Returns `None` if the matrix is singular (or not square). This is
+    /// Step 3 of the traditional decoding process (`F → F⁻¹`).
+    pub fn inverse(&self) -> Option<Matrix<W>> {
+        if !self.is_square() {
+            return None;
+        }
+        let n = self.rows();
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+
+        for col in 0..n {
+            // Find a pivot: any non-zero entry works, there is no numeric
+            // stability concern over a finite field.
+            let pivot = (col..n).find(|&r| a.get(r, col) != W::ZERO)?;
+            if pivot != col {
+                swap_rows(&mut a, pivot, col);
+                swap_rows(&mut inv, pivot, col);
+            }
+            let p = a.get(col, col);
+            let p_inv = p.gf_inv();
+            scale_row(&mut a, col, p_inv);
+            scale_row(&mut inv, col, p_inv);
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor == W::ZERO {
+                    continue;
+                }
+                add_scaled_row(&mut a, col, r, factor);
+                add_scaled_row(&mut inv, col, r, factor);
+            }
+        }
+        Some(inv)
+    }
+
+    /// The rank of the matrix (dimension of its row space).
+    pub fn rank(&self) -> usize {
+        self.select_independent_rows().len()
+    }
+
+    /// Greedily selects a maximal set of linearly independent rows, in
+    /// ascending row order.
+    ///
+    /// Decoders use this to choose, out of `R_H` parity-check equations, a
+    /// square invertible system for the erased blocks: run it on `F` (the
+    /// faulty-column extraction) and keep only the returned equations.
+    pub fn select_independent_rows(&self) -> Vec<usize> {
+        // Row-reduce a scratch copy, remembering which original row each
+        // pivot came from.
+        let mut basis: Vec<Vec<W>> = Vec::new(); // rows in echelon form
+        let mut pivots: Vec<usize> = Vec::new(); // pivot column per basis row
+        let mut chosen = Vec::new();
+
+        'rows: for r in 0..self.rows() {
+            let mut row = self.row(r).to_vec();
+            // Reduce against the existing basis.
+            for (b, &pc) in basis.iter().zip(&pivots) {
+                if row[pc] != W::ZERO {
+                    let factor = row[pc];
+                    for (x, &y) in row.iter_mut().zip(b) {
+                        *x = x.gf_add(factor.gf_mul(y));
+                    }
+                }
+            }
+            // Find this row's pivot, if it survived.
+            let Some(pc) = row.iter().position(|&v| v != W::ZERO) else {
+                continue 'rows;
+            };
+            let inv = row[pc].gf_inv();
+            for x in row.iter_mut() {
+                *x = x.gf_mul(inv);
+            }
+            basis.push(row);
+            pivots.push(pc);
+            chosen.push(r);
+            if chosen.len() == self.cols() {
+                break;
+            }
+        }
+        chosen
+    }
+
+    /// True if the square matrix has an inverse.
+    pub fn is_invertible(&self) -> bool {
+        self.is_square() && self.rank() == self.rows()
+    }
+}
+
+fn swap_rows<W: GfWord>(m: &mut Matrix<W>, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    for c in 0..m.cols() {
+        let (x, y) = (m.get(a, c), m.get(b, c));
+        m.set(a, c, y);
+        m.set(b, c, x);
+    }
+}
+
+fn scale_row<W: GfWord>(m: &mut Matrix<W>, r: usize, factor: W) {
+    for v in m.row_mut(r) {
+        *v = v.gf_mul(factor);
+    }
+}
+
+/// `row[dst] ^= factor · row[src]`.
+fn add_scaled_row<W: GfWord>(m: &mut Matrix<W>, src: usize, dst: usize, factor: W) {
+    debug_assert_ne!(src, dst);
+    let cols = m.cols();
+    for c in 0..cols {
+        let v = m.get(src, c).gf_mul(factor).gf_add(m.get(dst, c));
+        m.set(dst, c, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vandermonde(n: usize) -> Matrix<u8> {
+        // Rows a_r^c for distinct a_r: invertible for n <= field size.
+        Matrix::from_fn(n, n, |r, c| u8::gen_pow((r as u64) * (c as u64)))
+    }
+
+    #[test]
+    fn inverse_of_identity() {
+        let i = Matrix::<u8>::identity(4);
+        assert_eq!(i.inverse().unwrap(), i);
+    }
+
+    #[test]
+    fn inverse_roundtrips_vandermonde() {
+        for n in 1..=8 {
+            let m = vandermonde(n);
+            let inv = m
+                .inverse()
+                .unwrap_or_else(|| panic!("{n}x{n} vandermonde singular"));
+            assert_eq!(m.mul(&inv), Matrix::identity(n), "n={n}");
+            assert_eq!(inv.mul(&m), Matrix::identity(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let m = Matrix::<u8>::from_rows(&[vec![1, 2], vec![1, 2]]);
+        assert!(m.inverse().is_none());
+        assert!(!m.is_invertible());
+        let z = Matrix::<u8>::zero(3, 3);
+        assert!(z.inverse().is_none());
+    }
+
+    #[test]
+    fn non_square_has_no_inverse() {
+        assert!(Matrix::<u8>::zero(2, 3).inverse().is_none());
+    }
+
+    #[test]
+    fn rank_of_structured_matrices() {
+        assert_eq!(Matrix::<u8>::identity(5).rank(), 5);
+        assert_eq!(Matrix::<u8>::zero(3, 4).rank(), 0);
+        let m = Matrix::<u8>::from_rows(&[
+            vec![1, 0, 1],
+            vec![0, 1, 1],
+            vec![1, 1, 0], // row0 + row1
+        ]);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn select_independent_rows_prefers_earlier_rows() {
+        let m = Matrix::<u8>::from_rows(&[
+            vec![1, 0],
+            vec![2, 0], // dependent on row 0
+            vec![0, 1],
+        ]);
+        assert_eq!(m.select_independent_rows(), vec![0, 2]);
+    }
+
+    #[test]
+    fn selected_rows_form_invertible_square() {
+        // 5 equations over 3 unknowns; the selection must give a rank-3 set.
+        let m = Matrix::<u8>::from_rows(&[
+            vec![1, 1, 1],
+            vec![2, 2, 2], // dep
+            vec![1, 2, 4],
+            vec![0, 0, 0], // zero
+            vec![1, 3, 5],
+        ]);
+        let rows = m.select_independent_rows();
+        assert_eq!(rows.len(), 3);
+        let square = m.select_rows(&rows);
+        assert!(square.is_invertible());
+    }
+
+    #[test]
+    fn inverse_times_vector_solves_system() {
+        let m = vandermonde(4);
+        let x = vec![9u8, 7, 5, 3];
+        let b = m.mul_vec(&x);
+        let back = m.inverse().unwrap().mul_vec(&b);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn gf16_and_gf32_inversion() {
+        let m16 = Matrix::<u16>::from_fn(5, 5, |r, c| u16::gen_pow((r as u64) * (c as u64)));
+        assert_eq!(m16.mul(&m16.inverse().unwrap()), Matrix::identity(5));
+        let m32 = Matrix::<u32>::from_fn(4, 4, |r, c| u32::gen_pow((r as u64) * (c as u64)));
+        assert_eq!(m32.mul(&m32.inverse().unwrap()), Matrix::identity(4));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for GF(2^w) matrix algebra.
+
+use ppm_gf::GfWord;
+use ppm_matrix::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary matrix with dims in [1, max_dim].
+fn matrix_strategy<W: GfWord + Arbitrary>(max_dim: usize) -> impl Strategy<Value = Matrix<W>> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(r, c)| {
+        proptest::collection::vec(any::<W>(), r * c)
+            .prop_map(move |data| Matrix::from_fn(r, c, |i, j| data[i * c + j]))
+    })
+}
+
+/// Strategy: a random *invertible* square matrix built from random row
+/// operations applied to the identity (always invertible by construction).
+fn invertible_strategy<W: GfWord + Arbitrary>(n: usize) -> impl Strategy<Value = Matrix<W>> {
+    proptest::collection::vec((0..n, 0..n, any::<W>()), 0..3 * n).prop_map(move |ops| {
+        let mut m = Matrix::<W>::identity(n);
+        for (src, dst, f) in ops {
+            if src == dst {
+                continue;
+            }
+            for c in 0..n {
+                let v = m.get(src, c).gf_mul(f).gf_add(m.get(dst, c));
+                m.set(dst, c, v);
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn mul_associative_u8(
+        a in matrix_strategy::<u8>(5),
+        bdata in proptest::collection::vec(any::<u8>(), 25),
+        cdata in proptest::collection::vec(any::<u8>(), 25),
+    ) {
+        let b = Matrix::from_fn(a.cols(), 4, |r, c| bdata[(r * 4 + c) % 25]);
+        let c = Matrix::from_fn(4, 3, |r, cc| cdata[(r * 3 + cc) % 25]);
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn inverse_roundtrips_u8(m in invertible_strategy::<u8>(5)) {
+        let inv = m.inverse().expect("constructed invertible");
+        prop_assert_eq!(m.mul(&inv), Matrix::identity(5));
+        prop_assert_eq!(inv.mul(&m), Matrix::identity(5));
+    }
+
+    #[test]
+    fn inverse_roundtrips_u16(m in invertible_strategy::<u16>(4)) {
+        let inv = m.inverse().expect("constructed invertible");
+        prop_assert_eq!(m.mul(&inv), Matrix::identity(4));
+    }
+
+    #[test]
+    fn double_inverse_is_identity_map(m in invertible_strategy::<u8>(4)) {
+        let back = m.inverse().unwrap().inverse().unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn rank_bounded_by_dims(m in matrix_strategy::<u8>(6)) {
+        let r = m.rank();
+        prop_assert!(r <= m.rows().min(m.cols()));
+    }
+
+    #[test]
+    fn rank_invariant_under_transpose(m in matrix_strategy::<u8>(5)) {
+        prop_assert_eq!(m.rank(), m.transpose().rank());
+    }
+
+    #[test]
+    fn selected_rows_are_independent(m in matrix_strategy::<u8>(6)) {
+        let rows = m.select_independent_rows();
+        let sub = if rows.is_empty() { return Ok(()); } else { m.select_rows(&rows) };
+        prop_assert_eq!(sub.rank(), rows.len());
+    }
+
+    #[test]
+    fn mul_vec_distributes_over_xor(
+        m in matrix_strategy::<u8>(5),
+        xdata in proptest::collection::vec(any::<u8>(), 5),
+        ydata in proptest::collection::vec(any::<u8>(), 5),
+    ) {
+        let x: Vec<u8> = (0..m.cols()).map(|i| xdata[i % 5]).collect();
+        let y: Vec<u8> = (0..m.cols()).map(|i| ydata[i % 5]).collect();
+        let xy: Vec<u8> = x.iter().zip(&y).map(|(a, b)| a ^ b).collect();
+        let lhs = m.mul_vec(&xy);
+        let rhs: Vec<u8> = m.mul_vec(&x).iter().zip(m.mul_vec(&y)).map(|(a, b)| a ^ b).collect();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// u(A·B) <= u(A⁻¹)+u(S)-style bounds don't hold in general, but
+    /// nonzeros is always bounded by the full size.
+    #[test]
+    fn nonzeros_bounded(m in matrix_strategy::<u8>(6)) {
+        prop_assert!(m.nonzeros() <= m.rows() * m.cols());
+    }
+}

@@ -1,0 +1,187 @@
+//! The [`Stripe`] buffer: one flat allocation of `n·r` equal sectors.
+
+use ppm_codes::{FailureScenario, StripeLayout};
+
+/// Sector sizes must be a multiple of this, so that every GF(2^w) word
+/// width (1, 2 or 4 bytes) and the 64-bit XOR fast path divide evenly.
+pub const SECTOR_ALIGN: usize = 8;
+
+/// A stripe's worth of sector buffers.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Stripe {
+    layout: StripeLayout,
+    sector_bytes: usize,
+    data: Vec<u8>,
+}
+
+impl Stripe {
+    /// An all-zero stripe with `sector_bytes` per sector.
+    ///
+    /// # Panics
+    /// Panics unless `sector_bytes` is a positive multiple of
+    /// [`SECTOR_ALIGN`].
+    pub fn zeroed(layout: StripeLayout, sector_bytes: usize) -> Self {
+        assert!(
+            sector_bytes > 0 && sector_bytes.is_multiple_of(SECTOR_ALIGN),
+            "sector size {sector_bytes} must be a positive multiple of {SECTOR_ALIGN}"
+        );
+        Stripe {
+            layout,
+            sector_bytes,
+            data: vec![0u8; layout.sectors() * sector_bytes],
+        }
+    }
+
+    /// An all-zero stripe sized so the whole stripe occupies (close to)
+    /// `total_bytes`, the way the paper parameterizes its figures
+    /// ("stripe size = 32 MB"). The per-sector size is rounded down to the
+    /// alignment, with a floor of one aligned unit.
+    pub fn with_stripe_size(layout: StripeLayout, total_bytes: usize) -> Self {
+        let raw = total_bytes / layout.sectors();
+        let sector_bytes = (raw / SECTOR_ALIGN * SECTOR_ALIGN).max(SECTOR_ALIGN);
+        Self::zeroed(layout, sector_bytes)
+    }
+
+    /// The stripe geometry.
+    pub fn layout(&self) -> StripeLayout {
+        self.layout
+    }
+
+    /// Bytes per sector.
+    pub fn sector_bytes(&self) -> usize {
+        self.sector_bytes
+    }
+
+    /// Total payload bytes (`n·r · sector_bytes`).
+    pub fn total_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of sector `l`.
+    pub fn sector(&self, l: usize) -> &[u8] {
+        let off = self.offset(l);
+        &self.data[off..off + self.sector_bytes]
+    }
+
+    /// Mutable view of sector `l`.
+    pub fn sector_mut(&mut self, l: usize) -> &mut [u8] {
+        let off = self.offset(l);
+        let sb = self.sector_bytes;
+        &mut self.data[off..off + sb]
+    }
+
+    /// Overwrites sector `l` with `bytes`.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is not exactly one sector long.
+    pub fn write_sector(&mut self, l: usize, bytes: &[u8]) {
+        assert_eq!(
+            bytes.len(),
+            self.sector_bytes,
+            "sector {l}: length mismatch"
+        );
+        self.sector_mut(l).copy_from_slice(bytes);
+    }
+
+    /// Zeroes every faulty sector of `scenario`, simulating the loss.
+    pub fn erase(&mut self, scenario: &FailureScenario) {
+        for &l in scenario.faulty() {
+            self.sector_mut(l).fill(0);
+        }
+    }
+
+    /// True if the given sectors have identical contents in `self` and
+    /// `other` (same geometry required).
+    pub fn sectors_eq(&self, other: &Stripe, sectors: &[usize]) -> bool {
+        assert_eq!(self.layout, other.layout);
+        assert_eq!(self.sector_bytes, other.sector_bytes);
+        sectors.iter().all(|&l| self.sector(l) == other.sector(l))
+    }
+
+    fn offset(&self, l: usize) -> usize {
+        assert!(l < self.layout.sectors(), "sector {l} out of range");
+        l * self.sector_bytes
+    }
+}
+
+impl std::fmt::Debug for Stripe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stripe")
+            .field("n", &self.layout.n)
+            .field("r", &self.layout.r)
+            .field("sector_bytes", &self.sector_bytes)
+            .field("total_bytes", &self.total_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> StripeLayout {
+        StripeLayout::new(4, 4)
+    }
+
+    #[test]
+    fn zeroed_has_right_shape() {
+        let s = Stripe::zeroed(layout(), 16);
+        assert_eq!(s.total_bytes(), 16 * 16);
+        assert_eq!(s.sector(5).len(), 16);
+        assert!(s.sector(5).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn with_stripe_size_divides_and_aligns() {
+        let s = Stripe::with_stripe_size(layout(), 1 << 20);
+        assert_eq!(s.sector_bytes(), (1 << 20) / 16);
+        // Odd total: rounds down to the alignment.
+        let s = Stripe::with_stripe_size(layout(), 1000);
+        assert_eq!(s.sector_bytes(), 56); // 1000/16 = 62 -> 56
+                                          // Tiny total: floors at one aligned unit.
+        let s = Stripe::with_stripe_size(layout(), 10);
+        assert_eq!(s.sector_bytes(), SECTOR_ALIGN);
+    }
+
+    #[test]
+    fn sectors_are_disjoint_regions() {
+        let mut s = Stripe::zeroed(layout(), 8);
+        s.sector_mut(3).fill(0xAA);
+        assert!(s.sector(2).iter().all(|&b| b == 0));
+        assert!(s.sector(4).iter().all(|&b| b == 0));
+        assert!(s.sector(3).iter().all(|&b| b == 0xAA));
+    }
+
+    #[test]
+    fn write_and_erase() {
+        let mut s = Stripe::zeroed(layout(), 8);
+        s.write_sector(2, &[7u8; 8]);
+        s.write_sector(6, &[9u8; 8]);
+        let sc = FailureScenario::new(vec![2]);
+        s.erase(&sc);
+        assert!(s.sector(2).iter().all(|&b| b == 0));
+        assert!(s.sector(6).iter().all(|&b| b == 9));
+    }
+
+    #[test]
+    fn sectors_eq_compares_selected() {
+        let mut a = Stripe::zeroed(layout(), 8);
+        let b = Stripe::zeroed(layout(), 8);
+        a.write_sector(1, &[1u8; 8]);
+        assert!(!a.sectors_eq(&b, &[0, 1]));
+        assert!(a.sectors_eq(&b, &[0, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn misaligned_sector_size_panics() {
+        let _ = Stripe::zeroed(layout(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sector_out_of_range_panics() {
+        let s = Stripe::zeroed(layout(), 8);
+        let _ = s.sector(16);
+    }
+}

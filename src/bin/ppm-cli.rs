@@ -1,0 +1,480 @@
+//! `ppm-cli` — file-level erasure coding driven by the PPM library.
+//!
+//! Splits a file into stripes, encodes it with any code in the workspace
+//! (over GF(2^8)), stores one strip per "device" file, and repairs lost
+//! devices with the PPM decoder:
+//!
+//! ```text
+//! ppm-cli encode  --code sd:6,8,2,2 [--sector-kib 64] <input> <dir>
+//! ppm-cli verify  <dir>                 # H·B = 0 for every stripe
+//! ppm-cli corrupt <dir> --disks 1,3     # simulate device failures
+//! ppm-cli repair  <dir> [--threads T]   # PPM-decode every stripe
+//! ppm-cli decode  <dir> <output>        # reassemble the original file
+//! ppm-cli info    <dir>
+//! ```
+//!
+//! Code specs: `sd:n,r,m,s` · `pmds:n,r,m,s` · `lrc:k,l,g,r` · `rs:k,m,r` ·
+//! `evenodd:p` · `rdp:p` · `star:p`.
+
+use ppm::{
+    encode, parity_consistent, Backend, Decoder, DecoderConfig, ErasureCode, EvenOddCode,
+    FailureScenario, LrcCode, PmdsCode, RdpCode, RsCode, SdCode, StarCode, Strategy, Stripe,
+    StripeLayout,
+};
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// All supported code families, monomorphized to GF(2^8).
+enum Code {
+    Sd(SdCode<u8>),
+    Pmds(PmdsCode<u8>),
+    Lrc(LrcCode<u8>),
+    Rs(RsCode<u8>),
+    EvenOdd(EvenOddCode<u8>),
+    Rdp(RdpCode<u8>),
+    Star(StarCode<u8>),
+}
+
+impl Code {
+    fn parse(spec: &str) -> Result<Code, String> {
+        let (family, params) = spec
+            .split_once(':')
+            .ok_or("code spec needs family:params")?;
+        let nums: Vec<usize> = params
+            .split(',')
+            .map(|x| {
+                x.trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad number {x:?}: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        let wrong = |want: usize| format!("{family} expects {want} parameters, got {}", nums.len());
+        let code = match family {
+            "sd" => {
+                if nums.len() != 4 {
+                    return Err(wrong(4));
+                }
+                Code::Sd(
+                    SdCode::search(nums[0], nums[1], nums[2], nums[3], 2015, 3)
+                        .map_err(|e| e.to_string())?,
+                )
+            }
+            "pmds" => {
+                if nums.len() != 4 {
+                    return Err(wrong(4));
+                }
+                Code::Pmds(
+                    PmdsCode::search(nums[0], nums[1], nums[2], nums[3], 2015, 3)
+                        .map_err(|e| e.to_string())?,
+                )
+            }
+            "lrc" => {
+                if nums.len() != 4 {
+                    return Err(wrong(4));
+                }
+                Code::Lrc(
+                    LrcCode::new(nums[0], nums[1], nums[2], nums[3]).map_err(|e| e.to_string())?,
+                )
+            }
+            "rs" => {
+                if nums.len() != 3 {
+                    return Err(wrong(3));
+                }
+                Code::Rs(RsCode::new(nums[0], nums[1], nums[2]).map_err(|e| e.to_string())?)
+            }
+            "evenodd" => {
+                if nums.len() != 1 {
+                    return Err(wrong(1));
+                }
+                Code::EvenOdd(EvenOddCode::new(nums[0]).map_err(|e| e.to_string())?)
+            }
+            "rdp" => {
+                if nums.len() != 1 {
+                    return Err(wrong(1));
+                }
+                Code::Rdp(RdpCode::new(nums[0]).map_err(|e| e.to_string())?)
+            }
+            "star" => {
+                if nums.len() != 1 {
+                    return Err(wrong(1));
+                }
+                Code::Star(StarCode::new(nums[0]).map_err(|e| e.to_string())?)
+            }
+            other => return Err(format!("unknown code family {other:?}")),
+        };
+        Ok(code)
+    }
+
+    fn as_dyn(&self) -> &dyn ErasureCode<u8> {
+        match self {
+            Code::Sd(c) => c,
+            Code::Pmds(c) => c,
+            Code::Lrc(c) => c,
+            Code::Rs(c) => c,
+            Code::EvenOdd(c) => c,
+            Code::Rdp(c) => c,
+            Code::Star(c) => c,
+        }
+    }
+}
+
+/// The on-disk archive: a manifest plus one file per device.
+struct Archive {
+    dir: PathBuf,
+    spec: String,
+    code: Code,
+    sector_bytes: usize,
+    stripes: usize,
+    file_len: u64,
+}
+
+impl Archive {
+    const MANIFEST: &'static str = "ppm-manifest.txt";
+
+    fn strip_path(&self, disk: usize) -> PathBuf {
+        self.dir.join(format!("strip_{disk:03}.bin"))
+    }
+
+    fn save_manifest(&self) -> std::io::Result<()> {
+        let text = format!(
+            "code={}\nsector_bytes={}\nstripes={}\nfile_len={}\n",
+            self.spec, self.sector_bytes, self.stripes, self.file_len
+        );
+        fs::write(self.dir.join(Self::MANIFEST), text)
+    }
+
+    fn load(dir: &Path) -> Result<Archive, String> {
+        let text = fs::read_to_string(dir.join(Self::MANIFEST))
+            .map_err(|e| format!("cannot read manifest in {}: {e}", dir.display()))?;
+        let mut spec = None;
+        let mut sector_bytes = None;
+        let mut stripes = None;
+        let mut file_len = None;
+        for line in text.lines() {
+            match line.split_once('=') {
+                Some(("code", v)) => spec = Some(v.to_string()),
+                Some(("sector_bytes", v)) => sector_bytes = v.parse().ok(),
+                Some(("stripes", v)) => stripes = v.parse().ok(),
+                Some(("file_len", v)) => file_len = v.parse().ok(),
+                _ => {}
+            }
+        }
+        let spec = spec.ok_or("manifest missing code=")?;
+        Ok(Archive {
+            dir: dir.to_path_buf(),
+            code: Code::parse(&spec)?,
+            spec,
+            sector_bytes: sector_bytes.ok_or("manifest missing sector_bytes=")?,
+            stripes: stripes.ok_or("manifest missing stripes=")?,
+            file_len: file_len.ok_or("manifest missing file_len=")?,
+        })
+    }
+
+    fn layout(&self) -> StripeLayout {
+        self.code.as_dyn().layout()
+    }
+
+    /// Bytes of user data per stripe.
+    fn data_per_stripe(&self) -> usize {
+        self.code.as_dyn().data_sectors().len() * self.sector_bytes
+    }
+
+    /// Reads stripe `s` from the strip files. Missing or short devices
+    /// yield zeroed sectors and are reported in the returned scenario.
+    fn read_stripe(&self, s: usize) -> (Stripe, FailureScenario) {
+        let layout = self.layout();
+        let mut stripe = Stripe::zeroed(layout, self.sector_bytes);
+        let mut lost = Vec::new();
+        for disk in 0..layout.n {
+            let path = self.strip_path(disk);
+            let mut ok = false;
+            if let Ok(mut f) = fs::File::open(&path) {
+                let mut buf = vec![0u8; self.sector_bytes * layout.r];
+                use std::io::Seek;
+                if f.seek(std::io::SeekFrom::Start(
+                    (s * layout.r * self.sector_bytes) as u64,
+                ))
+                .is_ok()
+                    && f.read_exact(&mut buf).is_ok()
+                {
+                    for row in 0..layout.r {
+                        stripe.write_sector(
+                            layout.sector(row, disk),
+                            &buf[row * self.sector_bytes..(row + 1) * self.sector_bytes],
+                        );
+                    }
+                    ok = true;
+                }
+            }
+            if !ok {
+                for row in 0..layout.r {
+                    lost.push(layout.sector(row, disk));
+                }
+            }
+        }
+        (stripe, FailureScenario::new(lost))
+    }
+
+    /// Writes stripe `s` back to the strip files (creating them).
+    fn write_stripe(&self, s: usize, stripe: &Stripe) -> std::io::Result<()> {
+        let layout = self.layout();
+        for disk in 0..layout.n {
+            let path = self.strip_path(disk);
+            // No truncate: stripes are written at their own offsets into
+            // the shared per-device file.
+            #[allow(clippy::suspicious_open_options)]
+            let mut f = fs::OpenOptions::new()
+                .create(true)
+                .write(true)
+                .open(&path)?;
+            use std::io::Seek;
+            f.seek(std::io::SeekFrom::Start(
+                (s * layout.r * self.sector_bytes) as u64,
+            ))?;
+            for row in 0..layout.r {
+                f.write_all(stripe.sector(layout.sector(row, disk)))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn cmd_encode(args: &[String]) -> Result<(), String> {
+    let (flags, pos) = split_flags(args);
+    let spec = flags
+        .get("code")
+        .ok_or("encode requires --code <spec>")?
+        .clone();
+    let sector_kib: usize = flag_num(&flags, "sector-kib").unwrap_or(64);
+    let [input, dir] = pos.as_slice() else {
+        return Err("usage: encode --code <spec> <input> <dir>".into());
+    };
+
+    let code = Code::parse(&spec)?;
+    let data = fs::read(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+
+    let sector_bytes = sector_kib * 1024;
+    let archive = Archive {
+        dir: PathBuf::from(dir),
+        spec,
+        code,
+        sector_bytes,
+        stripes: 0,
+        file_len: data.len() as u64,
+    };
+    let per_stripe = archive.data_per_stripe();
+    let stripes = data.len().div_ceil(per_stripe).max(1);
+    let archive = Archive { stripes, ..archive };
+    let dyn_code = archive.code.as_dyn();
+
+    let decoder = Decoder::new(DecoderConfig::default());
+    let data_sectors = dyn_code.data_sectors();
+    for s in 0..stripes {
+        let mut stripe = Stripe::zeroed(archive.layout(), sector_bytes);
+        let base = s * per_stripe;
+        for (i, &sector) in data_sectors.iter().enumerate() {
+            let start = base + i * sector_bytes;
+            if start >= data.len() {
+                break;
+            }
+            let end = (start + sector_bytes).min(data.len());
+            stripe.sector_mut(sector)[..end - start].copy_from_slice(&data[start..end]);
+        }
+        encode(&dyn_code, &decoder, &mut stripe).map_err(|e| e.to_string())?;
+        archive
+            .write_stripe(s, &stripe)
+            .map_err(|e| e.to_string())?;
+    }
+    archive.save_manifest().map_err(|e| e.to_string())?;
+    println!(
+        "encoded {} bytes into {} stripes across {} devices ({})",
+        data.len(),
+        stripes,
+        archive.layout().n,
+        dyn_code.name()
+    );
+    Ok(())
+}
+
+fn cmd_corrupt(args: &[String]) -> Result<(), String> {
+    let (flags, pos) = split_flags(args);
+    let [dir] = pos.as_slice() else {
+        return Err("usage: corrupt <dir> --disks a,b,...".into());
+    };
+    let archive = Archive::load(Path::new(dir))?;
+    let disks: Vec<usize> = flags
+        .get("disks")
+        .ok_or("corrupt requires --disks a,b,...")?
+        .split(',')
+        .map(|d| d.trim().parse().map_err(|e| format!("bad disk: {e}")))
+        .collect::<Result<_, _>>()?;
+    for &d in &disks {
+        if d >= archive.layout().n {
+            return Err(format!("disk {d} out of range (n={})", archive.layout().n));
+        }
+        fs::remove_file(archive.strip_path(d)).map_err(|e| e.to_string())?;
+    }
+    println!("removed devices {disks:?}");
+    Ok(())
+}
+
+fn cmd_repair(args: &[String]) -> Result<(), String> {
+    let (flags, pos) = split_flags(args);
+    let [dir] = pos.as_slice() else {
+        return Err("usage: repair <dir> [--threads T]".into());
+    };
+    let archive = Archive::load(Path::new(dir))?;
+    let threads = flag_num(&flags, "threads").unwrap_or(4);
+    let decoder = Decoder::new(DecoderConfig {
+        threads,
+        backend: Backend::Auto,
+    });
+    let dyn_code = archive.code.as_dyn();
+    let h = dyn_code.parity_check_matrix();
+
+    let (_, scenario) = archive.read_stripe(0);
+    if scenario.is_empty() {
+        println!("nothing to repair");
+        return Ok(());
+    }
+    let plan = decoder
+        .plan(&h, &scenario, Strategy::PpmAuto)
+        .map_err(|e| format!("unrepairable: {e}"))?;
+    println!(
+        "repairing {} lost sectors/stripe (strategy {:?}, parallelism {}, {} mult_XORs/stripe)",
+        scenario.len(),
+        plan.strategy(),
+        plan.parallelism(),
+        plan.mult_xors()
+    );
+    for s in 0..archive.stripes {
+        let (mut stripe, lost) = archive.read_stripe(s);
+        if lost != scenario {
+            return Err(format!("stripe {s}: inconsistent failure pattern"));
+        }
+        decoder
+            .decode(&plan, &mut stripe)
+            .map_err(|e| e.to_string())?;
+        archive
+            .write_stripe(s, &stripe)
+            .map_err(|e| e.to_string())?;
+    }
+    println!("repaired {} stripes", archive.stripes);
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let (_, pos) = split_flags(args);
+    let [dir] = pos.as_slice() else {
+        return Err("usage: verify <dir>".into());
+    };
+    let archive = Archive::load(Path::new(dir))?;
+    let h = archive.code.as_dyn().parity_check_matrix();
+    for s in 0..archive.stripes {
+        let (stripe, lost) = archive.read_stripe(s);
+        if !lost.is_empty() {
+            return Err(format!(
+                "stripe {s}: {} sectors unavailable (run repair)",
+                lost.len()
+            ));
+        }
+        if !parity_consistent(&h, &stripe, Backend::Auto) {
+            return Err(format!("stripe {s}: parity check FAILED"));
+        }
+    }
+    println!("all {} stripes parity-consistent", archive.stripes);
+    Ok(())
+}
+
+fn cmd_decode(args: &[String]) -> Result<(), String> {
+    let (_, pos) = split_flags(args);
+    let [dir, output] = pos.as_slice() else {
+        return Err("usage: decode <dir> <output>".into());
+    };
+    let archive = Archive::load(Path::new(dir))?;
+    let dyn_code = archive.code.as_dyn();
+    let data_sectors = dyn_code.data_sectors();
+    let mut out = Vec::with_capacity(archive.file_len as usize);
+    for s in 0..archive.stripes {
+        let (stripe, lost) = archive.read_stripe(s);
+        if !lost.is_empty() {
+            return Err(format!("stripe {s}: data unavailable (run repair first)"));
+        }
+        for &sector in &data_sectors {
+            out.extend_from_slice(stripe.sector(sector));
+        }
+    }
+    out.truncate(archive.file_len as usize);
+    fs::write(output, &out).map_err(|e| e.to_string())?;
+    println!("wrote {} bytes to {output}", out.len());
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let (_, pos) = split_flags(args);
+    let [dir] = pos.as_slice() else {
+        return Err("usage: info <dir>".into());
+    };
+    let archive = Archive::load(Path::new(dir))?;
+    let dyn_code = archive.code.as_dyn();
+    let layout = archive.layout();
+    println!("code:         {}", dyn_code.name());
+    println!(
+        "devices:      {} ({} rows x {} B sectors)",
+        layout.n, layout.r, archive.sector_bytes
+    );
+    println!("stripes:      {}", archive.stripes);
+    println!("file length:  {} bytes", archive.file_len);
+    println!("symmetric:    {}", dyn_code.is_symmetric());
+    let missing: Vec<usize> = (0..layout.n)
+        .filter(|&d| !archive.strip_path(d).exists())
+        .collect();
+    println!("missing:      {missing:?}");
+    Ok(())
+}
+
+fn split_flags(args: &[String]) -> (std::collections::HashMap<String, String>, Vec<String>) {
+    let mut flags = std::collections::HashMap::new();
+    let mut pos = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it.next().cloned().unwrap_or_default();
+            flags.insert(name.to_string(), value);
+        } else {
+            pos.push(a.clone());
+        }
+    }
+    (flags, pos)
+}
+
+fn flag_num(flags: &std::collections::HashMap<String, String>, name: &str) -> Option<usize> {
+    flags.get(name).and_then(|v| v.parse().ok())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: ppm-cli <encode|corrupt|repair|verify|decode|info> ...");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "encode" => cmd_encode(rest),
+        "corrupt" => cmd_corrupt(rest),
+        "repair" => cmd_repair(rest),
+        "verify" => cmd_verify(rest),
+        "decode" => cmd_decode(rest),
+        "info" => cmd_info(rest),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

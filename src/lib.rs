@@ -1,0 +1,65 @@
+//! **ppm** — a Rust implementation of the Partitioned and Parallel Matrix
+//! (PPM) algorithm for accelerating the encoding/decoding of asymmetric
+//! parity erasure codes (SD, PMDS, LRC), reproducing Li et al., ICPP 2015.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`gf`] — GF(2^8/16/32) arithmetic and SIMD `mult_XORs` region ops,
+//! * [`matrix`] — dense matrix algebra over those fields,
+//! * [`codes`] — SD / PMDS / LRC / RS parity-check constructions and
+//!   failure scenarios,
+//! * [`stripe`] — sector buffers and workload generation,
+//! * [`core`] — the PPM algorithm (log table, partition, cost model
+//!   `C₁..C₄`, bounded-thread parallel decode) and the traditional
+//!   baseline.
+//!
+//! The most common items are re-exported at the crate root; start with
+//! [`Decoder`] and an erasure code from [`codes`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ppm::{encode, Decoder, DecoderConfig, ErasureCode, FailureScenario, SdCode, Strategy};
+//! use ppm::stripe::random_data_stripe;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // An SD code over GF(2^8): 6 disks x 8 rows, 2 parity disks, 2 sector
+//! // parities, with coefficients found by search.
+//! let code = SdCode::<u8>::search(6, 8, 2, 2, 42, 4).unwrap();
+//! let decoder = Decoder::new(DecoderConfig::default());
+//!
+//! // Encode a random stripe.
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut stripe = random_data_stripe(&code, 4096, &mut rng);
+//! encode(&code, &decoder, &mut stripe).unwrap();
+//! let pristine = stripe.clone();
+//!
+//! // Fail 2 disks + 2 extra sectors (the paper's worst case), then decode.
+//! let scenario = code.decodable_worst_case(1, &mut rng, 100).unwrap();
+//! stripe.erase(&scenario);
+//! let h = code.parity_check_matrix();
+//! let plan = decoder.plan(&h, &scenario, Strategy::PpmAuto).unwrap();
+//! decoder.decode(&plan, &mut stripe).unwrap();
+//! assert_eq!(stripe, pristine);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ppm_codes as codes;
+pub use ppm_core as core;
+pub use ppm_gf as gf;
+pub use ppm_matrix as matrix;
+pub use ppm_stripe as stripe;
+
+pub use ppm_codes::{
+    CodeError, ErasureCode, EvenOddCode, FailureScenario, LrcCode, ParityKind, PmdsCode, RdpCode,
+    RsCode, SdCode, StarCode, StripeLayout,
+};
+pub use ppm_core::{
+    cost, encode, parity_consistent, CalcSequence, DecodeError, DecodePlan, Decoder, DecoderConfig,
+    LogTable, ParallelismCase, Partition, Strategy, UpdatePlan,
+};
+pub use ppm_gf::{Backend, GfWord, RegionMul};
+pub use ppm_matrix::Matrix;
+pub use ppm_stripe::Stripe;

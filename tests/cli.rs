@@ -1,0 +1,219 @@
+//! End-to-end tests of the `ppm-cli` binary: encode a file across strip
+//! files, destroy devices, repair with PPM, reassemble, compare bytes.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ppm-cli"))
+}
+
+fn run_ok(args: &[&str]) -> Output {
+    let out = cli().args(args).output().expect("spawn ppm-cli");
+    assert!(
+        out.status.success(),
+        "ppm-cli {:?} failed:\nstdout: {}\nstderr: {}",
+        args,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn run_err(args: &[&str]) -> String {
+    let out = cli().args(args).output().expect("spawn ppm-cli");
+    assert!(
+        !out.status.success(),
+        "ppm-cli {args:?} unexpectedly succeeded"
+    );
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ppm-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn make_input(dir: &Path, len: usize, seed: u8) -> PathBuf {
+    let path = dir.join("input.bin");
+    let data: Vec<u8> = (0..len)
+        .map(|i| {
+            (i as u64)
+                .wrapping_mul(2_654_435_761)
+                .wrapping_add(seed as u64) as u8
+        })
+        .collect();
+    std::fs::write(&path, data).unwrap();
+    path
+}
+
+fn roundtrip(tag: &str, spec: &str, kill_disks: &str, len: usize) {
+    let dir = workdir(tag);
+    let input = make_input(&dir, len, 7);
+    let archive = dir.join("archive");
+    let archive_s = archive.to_str().unwrap();
+    let input_s = input.to_str().unwrap();
+
+    run_ok(&[
+        "encode",
+        "--code",
+        spec,
+        "--sector-kib",
+        "1",
+        input_s,
+        archive_s,
+    ]);
+    run_ok(&["verify", archive_s]);
+    run_ok(&["corrupt", archive_s, "--disks", kill_disks]);
+
+    // Data is unavailable until repaired.
+    let err = run_err(&["decode", archive_s, dir.join("out.bin").to_str().unwrap()]);
+    assert!(err.contains("unavailable"), "unexpected error: {err}");
+
+    run_ok(&["repair", archive_s, "--threads", "2"]);
+    run_ok(&["verify", archive_s]);
+    let out = dir.join("out.bin");
+    run_ok(&["decode", archive_s, out.to_str().unwrap()]);
+
+    let original = std::fs::read(&input).unwrap();
+    let recovered = std::fs::read(&out).unwrap();
+    assert_eq!(original, recovered, "{tag}: file must survive the outage");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sd_roundtrip_two_disks_lost() {
+    roundtrip("sd", "sd:6,4,2,1", "0,5", 300_000);
+}
+
+#[test]
+fn lrc_roundtrip_spread_outage() {
+    // (4,2,2)-LRC: lose one disk of group 0 and one global parity.
+    roundtrip("lrc", "lrc:4,2,2,4", "1,7", 150_000);
+}
+
+#[test]
+fn rs_roundtrip() {
+    roundtrip("rs", "rs:4,2,4", "2,3", 100_000);
+}
+
+#[test]
+fn evenodd_roundtrip() {
+    roundtrip("evenodd", "evenodd:5", "0,6", 120_000);
+}
+
+#[test]
+fn star_roundtrip_three_disks_lost() {
+    roundtrip("star", "star:5", "0,3,7", 90_000);
+}
+
+#[test]
+fn pmds_roundtrip() {
+    roundtrip("pmds", "pmds:5,4,1,1", "2", 80_000);
+}
+
+#[test]
+fn tiny_file_single_stripe() {
+    roundtrip("tiny", "rdp:5", "1", 100);
+}
+
+#[test]
+fn info_reports_shape() {
+    let dir = workdir("info");
+    let input = make_input(&dir, 50_000, 1);
+    let archive = dir.join("a");
+    run_ok(&[
+        "encode",
+        "--code",
+        "rs:4,2,4",
+        "--sector-kib",
+        "1",
+        input.to_str().unwrap(),
+        archive.to_str().unwrap(),
+    ]);
+    let out = run_ok(&["info", archive.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("RS(6,4)"), "{text}");
+    assert!(text.contains("symmetric:    true"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unrepairable_outage_reported() {
+    let dir = workdir("unrepairable");
+    let input = make_input(&dir, 40_000, 3);
+    let archive = dir.join("a");
+    let archive_s = archive.to_str().unwrap();
+    run_ok(&[
+        "encode",
+        "--code",
+        "rs:4,2,4",
+        "--sector-kib",
+        "1",
+        input.to_str().unwrap(),
+        archive_s,
+    ]);
+    run_ok(&["corrupt", archive_s, "--disks", "0,1,2"]); // 3 > m = 2
+    let err = run_err(&["repair", archive_s]);
+    assert!(err.contains("unrepairable"), "unexpected error: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_specs_rejected() {
+    let dir = workdir("badspec");
+    let input = make_input(&dir, 1000, 4);
+    for spec in ["nope:1,2", "sd:1", "rs:0,0,0", "evenodd:4"] {
+        let err = run_err(&[
+            "encode",
+            "--code",
+            spec,
+            input.to_str().unwrap(),
+            dir.join("x").to_str().unwrap(),
+        ]);
+        assert!(err.contains("error"), "spec {spec}: {err}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_manifest_rejected() {
+    let dir = workdir("badmanifest");
+    // Missing manifest entirely.
+    let err = run_err(&["info", dir.to_str().unwrap()]);
+    assert!(err.contains("manifest"), "{err}");
+    // Present but truncated.
+    std::fs::write(dir.join("ppm-manifest.txt"), "code=rs:4,2,4\n").unwrap();
+    let err = run_err(&["info", dir.to_str().unwrap()]);
+    assert!(err.contains("missing"), "{err}");
+    // Unparseable code spec inside the manifest.
+    std::fs::write(
+        dir.join("ppm-manifest.txt"),
+        "code=bogus:1\nsector_bytes=1024\nstripes=1\nfile_len=10\n",
+    )
+    .unwrap();
+    let err = run_err(&["info", dir.to_str().unwrap()]);
+    assert!(err.contains("unknown code family"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_rejects_out_of_range_disk() {
+    let dir = workdir("badcorrupt");
+    let input = make_input(&dir, 10_000, 9);
+    let archive = dir.join("a");
+    run_ok(&[
+        "encode",
+        "--code",
+        "rs:4,2,4",
+        "--sector-kib",
+        "1",
+        input.to_str().unwrap(),
+        archive.to_str().unwrap(),
+    ]);
+    let err = run_err(&["corrupt", archive.to_str().unwrap(), "--disks", "99"]);
+    assert!(err.contains("out of range"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,179 @@
+//! Cross-crate integration: every code family × word width × strategy ×
+//! thread count must encode and decode bit-exactly.
+
+use ppm::stripe::random_data_stripe;
+use ppm::{
+    encode, parity_consistent, Backend, Decoder, DecoderConfig, ErasureCode, EvenOddCode,
+    FailureScenario, GfWord, LrcCode, PmdsCode, RdpCode, RsCode, SdCode, Strategy,
+};
+use rand::{rngs::StdRng, SeedableRng};
+
+const STRATEGIES: [Strategy; 5] = [
+    Strategy::TraditionalNormal,
+    Strategy::TraditionalMatrixFirst,
+    Strategy::PpmMatrixFirstRest,
+    Strategy::PpmNormalRest,
+    Strategy::PpmAuto,
+];
+
+fn roundtrip<W: GfWord, C: ErasureCode<W>>(
+    code: &C,
+    scenario: &FailureScenario,
+    seed: u64,
+    threads: usize,
+) {
+    let decoder = Decoder::new(DecoderConfig {
+        threads,
+        backend: Backend::Auto,
+    });
+    let h = code.parity_check_matrix();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stripe = random_data_stripe(code, 64, &mut rng);
+    encode(code, &decoder, &mut stripe).expect("encode");
+    assert!(
+        parity_consistent(&h, &stripe, Backend::Auto),
+        "{}: encode left inconsistent parity",
+        code.name()
+    );
+    let pristine = stripe.clone();
+    for &strategy in &STRATEGIES {
+        let mut broken = pristine.clone();
+        broken.erase(scenario);
+        decoder
+            .decode_scenario(&h, scenario, strategy, &mut broken)
+            .unwrap_or_else(|e| panic!("{} {strategy:?}: {e}", code.name()));
+        assert_eq!(broken, pristine, "{} {strategy:?}", code.name());
+    }
+}
+
+#[test]
+fn sd_all_widths() {
+    let mut rng = StdRng::seed_from_u64(100);
+    let code8 = SdCode::<u8>::search(6, 6, 2, 2, 1, 3).unwrap();
+    let sc = code8.decodable_worst_case(2, &mut rng, 100).unwrap();
+    roundtrip(&code8, &sc, 1, 2);
+
+    let code16 = SdCode::<u16>::search(6, 6, 2, 2, 1, 3).unwrap();
+    let sc = code16.decodable_worst_case(1, &mut rng, 100).unwrap();
+    roundtrip(&code16, &sc, 2, 2);
+
+    let code32 = SdCode::<u32>::search(5, 4, 1, 2, 1, 2).unwrap();
+    let sc = code32.decodable_worst_case(2, &mut rng, 100).unwrap();
+    roundtrip(&code32, &sc, 3, 2);
+}
+
+#[test]
+fn pmds_scattered_erasures() {
+    let pmds = PmdsCode::<u8>::search(6, 4, 1, 1, 7, 3).unwrap();
+    let h = pmds.parity_check_matrix();
+    let mut rng = StdRng::seed_from_u64(8);
+    // Find a decodable scattered pattern (m per row + s extra).
+    let sc = (0..100)
+        .map(|_| pmds.scattered_scenario(&mut rng))
+        .find(|sc| h.select_columns(sc.faulty()).rank() == sc.len())
+        .expect("decodable scattered pattern");
+    roundtrip(&pmds, &sc, 4, 2);
+}
+
+#[test]
+fn lrc_various_shapes() {
+    let mut rng = StdRng::seed_from_u64(300);
+    for (k, l, g, r) in [(4, 2, 2, 4), (6, 3, 2, 3), (8, 2, 1, 2), (12, 4, 3, 2)] {
+        let code = LrcCode::<u8>::new(k, l, g, r).unwrap();
+        let sc = code
+            .decodable_disk_failures(l + g, &mut rng, 1000)
+            .unwrap_or_else(|| panic!("no decodable pattern for ({k},{l},{g})"));
+        roundtrip(&code, &sc, 5, 4);
+    }
+}
+
+#[test]
+fn lrc_gf16() {
+    let mut rng = StdRng::seed_from_u64(301);
+    let code = LrcCode::<u16>::new(6, 2, 2, 3).unwrap();
+    let sc = code.decodable_disk_failures(4, &mut rng, 1000).unwrap();
+    roundtrip(&code, &sc, 6, 2);
+}
+
+#[test]
+fn rs_all_widths_and_failure_counts() {
+    let mut rng = StdRng::seed_from_u64(400);
+    let code = RsCode::<u8>::new(6, 3, 4).unwrap();
+    for count in 1..=3 {
+        let sc = code.random_disk_failures(count, &mut rng);
+        roundtrip(&code, &sc, 7 + count as u64, 2);
+    }
+    let code16 = RsCode::<u16>::new(4, 2, 3).unwrap();
+    let sc = code16.random_disk_failures(2, &mut rng);
+    roundtrip(&code16, &sc, 20, 2);
+    let code32 = RsCode::<u32>::new(4, 2, 2).unwrap();
+    let sc = code32.random_disk_failures(2, &mut rng);
+    roundtrip(&code32, &sc, 21, 2);
+}
+
+/// The XOR-only RAID-6 codes decode any double disk failure under every
+/// strategy; their whole pipeline is coefficient-1 fast-path XOR.
+#[test]
+fn evenodd_and_rdp_double_failures() {
+    let layoutless_pairs = [(0usize, 1usize), (2, 5), (4, 6)];
+    let eo = EvenOddCode::<u8>::new(5).unwrap();
+    for &(a, b) in &layoutless_pairs {
+        let sc = FailureScenario::whole_disks(eo.layout(), &[a, b.min(eo.layout().n - 1)]);
+        roundtrip(&eo, &sc, 60 + a as u64, 2);
+    }
+    let rdp = RdpCode::<u8>::new(5).unwrap();
+    for &(a, b) in &layoutless_pairs {
+        let sc = FailureScenario::whole_disks(rdp.layout(), &[a, b.min(rdp.layout().n - 1)]);
+        roundtrip(&rdp, &sc, 70 + a as u64, 2);
+    }
+}
+
+/// STAR decodes any triple disk failure.
+#[test]
+fn star_triple_failures() {
+    let star = ppm::StarCode::<u8>::new(5).unwrap();
+    for disks in [[0usize, 1, 2], [2, 5, 7], [0, 4, 6]] {
+        let sc = FailureScenario::whole_disks(star.layout(), &disks);
+        roundtrip(&star, &sc, 90 + disks[0] as u64, 2);
+    }
+}
+
+/// A single failed data disk in EVENODD/RDP is repaired purely from row
+/// parity: PPM finds one independent 1x1 sub-matrix per row (p = r).
+#[test]
+fn evenodd_single_disk_is_fully_parallel() {
+    let eo = EvenOddCode::<u8>::new(7).unwrap();
+    let h = eo.parity_check_matrix();
+    let sc = FailureScenario::whole_disks(eo.layout(), &[2]);
+    let decoder = Decoder::new(DecoderConfig {
+        threads: 2,
+        backend: Backend::Auto,
+    });
+    let plan = decoder.plan(&h, &sc, Strategy::PpmAuto).unwrap();
+    assert_eq!(plan.parallelism(), eo.layout().r);
+    roundtrip(&eo, &sc, 80, 4);
+}
+
+/// Partial failures (fewer than the worst case) must also decode — the
+/// paper only benchmarks the worst case but the library must handle the
+/// common case of a single bad sector.
+#[test]
+fn single_sector_failures() {
+    let code = SdCode::<u8>::search(6, 6, 2, 2, 2, 3).unwrap();
+    let h = code.parity_check_matrix();
+    for sector in [0usize, 7, 17, 35] {
+        let sc = FailureScenario::new(vec![sector]);
+        if h.select_columns(sc.faulty()).rank() == 1 {
+            roundtrip(&code, &sc, 30 + sector as u64, 1);
+        }
+    }
+}
+
+/// Decoding a parity sector (not data) works the same way.
+#[test]
+fn parity_sector_failures() {
+    let code = SdCode::<u8>::search(6, 6, 2, 2, 2, 3).unwrap();
+    let parity = code.parity_sectors();
+    let sc = FailureScenario::new(vec![parity[0], parity[parity.len() - 1]]);
+    roundtrip(&code, &sc, 50, 2);
+}

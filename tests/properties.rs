@@ -1,0 +1,214 @@
+//! Property-based integration tests: decode correctness and PPM
+//! invariants over randomized codes, scenarios and payloads.
+
+use ppm::core::cost::analyze;
+use ppm::stripe::random_data_stripe;
+use ppm::{
+    encode, parity_consistent, Backend, Decoder, DecoderConfig, ErasureCode, FailureScenario,
+    LrcCode, Partition, SdCode, Strategy,
+};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Strategy: small SD geometry + seed.
+fn sd_params() -> impl ProptestStrategy<Value = (usize, usize, usize, usize, u64)> {
+    (4usize..=8, 2usize..=6, 1usize..=2, 0usize..=2, any::<u64>())
+        .prop_filter("s fits beside parity disks", |(n, _, m, s, _)| {
+            m < n && *s <= n - m
+        })
+}
+
+use proptest::strategy::Strategy as ProptestStrategy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any decodable worst case of any constructible SD instance
+    /// roundtrips under PPM and the traditional method, with identical
+    /// recovered bytes.
+    #[test]
+    fn sd_decode_roundtrips((n, r, m, s, seed) in sd_params()) {
+        let Ok(code) = SdCode::<u8>::with_generator_coeffs(n, r, m, s) else {
+            return Ok(()); // generator coefficients not encodable; skip
+        };
+        let h = code.parity_check_matrix();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let z_max = s.min(r);
+        let z = if s == 0 { 0 } else { 1 + (seed as usize) % z_max };
+        let scenario = if s == 0 {
+            FailureScenario::sd_worst_case(code.layout(), m, 0, 0, &mut rng)
+        } else {
+            match code.decodable_worst_case(z, &mut rng, 50) {
+                Some(sc) => sc,
+                None => return Ok(()),
+            }
+        };
+        if h.select_columns(scenario.faulty()).rank() < scenario.len() {
+            return Ok(());
+        }
+
+        let decoder = Decoder::new(DecoderConfig { threads: 2, backend: Backend::Scalar });
+        let mut stripe = random_data_stripe(&code, 32, &mut rng);
+        encode(&code, &decoder, &mut stripe).unwrap();
+        prop_assert!(parity_consistent(&h, &stripe, Backend::Scalar));
+        let pristine = stripe.clone();
+
+        for strategy in [Strategy::PpmAuto, Strategy::TraditionalNormal] {
+            let mut broken = pristine.clone();
+            broken.erase(&scenario);
+            decoder.decode_scenario(&h, &scenario, strategy, &mut broken).unwrap();
+            prop_assert_eq!(&broken, &pristine);
+        }
+    }
+
+    /// Partition invariants: independent groups are disjoint, their union
+    /// plus the rest equals the faulty set, and group sizes match their
+    /// footprints.
+    #[test]
+    fn partition_invariants((n, r, m, s, seed) in sd_params()) {
+        let Ok(code) = SdCode::<u8>::with_generator_coeffs(n, r, m, s) else {
+            return Ok(());
+        };
+        let h = code.parity_check_matrix();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let count = 1 + (seed as usize) % (m * r + s).min(h.rows());
+        let scenario = FailureScenario::random(code.layout(), count, &mut rng);
+        let part = Partition::build(&h, &scenario);
+
+        let mut seen = std::collections::HashSet::new();
+        for sub in &part.independent {
+            prop_assert_eq!(sub.rows.len(), sub.faulty.len(), "square groups");
+            for &f in &sub.faulty {
+                prop_assert!(seen.insert(f), "faulty sector claimed twice");
+                prop_assert!(scenario.contains(f));
+            }
+            // Group rows touch no faulty sector outside their own group.
+            for &row in &sub.rows {
+                for &f in scenario.faulty() {
+                    if h.get(row, f) != 0 {
+                        prop_assert!(sub.faulty.contains(&f));
+                    }
+                }
+            }
+        }
+        let mut all: Vec<usize> = seen.into_iter().collect();
+        if let Some(rest) = &part.rest {
+            for &f in &rest.faulty {
+                prop_assert!(scenario.contains(f));
+                prop_assert!(!all.contains(&f));
+            }
+            all.extend(rest.faulty.iter().copied());
+        }
+        all.sort_unstable();
+        prop_assert_eq!(all, scenario.faulty().to_vec());
+    }
+
+    /// Cost-model invariants: PpmAuto's plan is never more expensive than
+    /// any concrete strategy, and decodability is strategy-independent.
+    #[test]
+    fn auto_is_minimal((n, r, m, s, seed) in sd_params()) {
+        let Ok(code) = SdCode::<u8>::with_generator_coeffs(n, r, m, s) else {
+            return Ok(());
+        };
+        let h = code.parity_check_matrix();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let count = 1 + (seed as usize) % (m * r + s);
+        let scenario = FailureScenario::random(code.layout(), count, &mut rng);
+        if h.select_columns(scenario.faulty()).rank() < scenario.len() {
+            return Ok(()); // undecodable; every strategy must refuse
+        }
+        let report = analyze(&h, &scenario).unwrap();
+        let decoder = Decoder::new(DecoderConfig { threads: 1, backend: Backend::Scalar });
+        let auto = decoder.plan(&h, &scenario, Strategy::PpmAuto).unwrap();
+        let min = report.c1.min(report.c2).min(report.c3).min(report.c4);
+        prop_assert_eq!(auto.mult_xors(), min);
+    }
+
+    /// LRC: whatever decodable disk pattern arises, local-group repairs
+    /// dominate the independent phase and decode restores the stripe.
+    #[test]
+    fn lrc_roundtrip(seed in any::<u64>(), k_groups in 2usize..=4, r in 1usize..=4) {
+        let k = k_groups * 2;
+        let code = LrcCode::<u8>::new(k, k_groups, 2, r).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Some(scenario) = code.decodable_disk_failures(k_groups.min(3), &mut rng, 200) else {
+            return Ok(());
+        };
+        let decoder = Decoder::new(DecoderConfig { threads: 2, backend: Backend::Scalar });
+        let h = code.parity_check_matrix();
+        let mut stripe = random_data_stripe(&code, 16, &mut rng);
+        encode(&code, &decoder, &mut stripe).unwrap();
+        let pristine = stripe.clone();
+        stripe.erase(&scenario);
+        decoder.decode_scenario(&h, &scenario, Strategy::PpmAuto, &mut stripe).unwrap();
+        prop_assert_eq!(stripe, pristine);
+    }
+
+    /// Incremental small writes are indistinguishable from full
+    /// re-encodes, for any sequence of updates.
+    #[test]
+    fn updates_equal_reencode(
+        seed in any::<u64>(),
+        writes in proptest::collection::vec((0usize..64, any::<u8>()), 1..6),
+    ) {
+        use ppm::UpdatePlan;
+        let code = SdCode::<u8>::new(6, 4, 2, 1, vec![1, 2, 4]).unwrap();
+        let decoder = Decoder::new(DecoderConfig { threads: 1, backend: Backend::Scalar });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut incremental = random_data_stripe(&code, 32, &mut rng);
+        encode(&code, &decoder, &mut incremental).unwrap();
+        let mut reencoded = incremental.clone();
+
+        let plan = UpdatePlan::build(&code, Backend::Scalar).unwrap();
+        let data = code.data_sectors();
+        let h = code.parity_check_matrix();
+        for (pick, fill) in writes {
+            let sector = data[pick % data.len()];
+            let new_data = vec![fill; incremental.sector_bytes()];
+            plan.apply(&mut incremental, sector, &new_data).unwrap();
+
+            reencoded.write_sector(sector, &new_data);
+        }
+        // One full re-encode at the end must land on the same stripe.
+        encode(&code, &decoder, &mut reencoded).unwrap();
+        prop_assert_eq!(&incremental, &reencoded);
+        prop_assert!(parity_consistent(&h, &incremental, Backend::Scalar));
+    }
+
+    /// Degraded reads: for any faulty subset and any wanted subset of it,
+    /// the restricted plan recovers exactly the wanted sectors.
+    #[test]
+    fn restricted_plans_recover_wanted(seed in any::<u64>(), pick in 0usize..5) {
+        let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        let h = code.parity_check_matrix();
+        let scenario = FailureScenario::new(vec![2, 6, 10, 13, 14]);
+        let decoder = Decoder::new(DecoderConfig { threads: 2, backend: Backend::Scalar });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stripe = random_data_stripe(&code, 32, &mut rng);
+        encode(&code, &decoder, &mut stripe).unwrap();
+        let pristine = stripe.clone();
+
+        let wanted = [scenario.faulty()[pick % scenario.len()]];
+        let plan = decoder
+            .plan(&h, &scenario, Strategy::PpmNormalRest)
+            .unwrap()
+            .restrict_to(&wanted);
+        stripe.erase(&scenario);
+        decoder.decode(&plan, &mut stripe).unwrap();
+        prop_assert_eq!(stripe.sector(wanted[0]), pristine.sector(wanted[0]));
+    }
+
+    /// Corrupting any single byte of an encoded stripe breaks parity
+    /// consistency (the check matrix has no zero column).
+    #[test]
+    fn corruption_always_detected(sector in 0usize..16, byte in 0usize..32, bit in 0u8..8) {
+        let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        let decoder = Decoder::new(DecoderConfig { threads: 1, backend: Backend::Scalar });
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut stripe = random_data_stripe(&code, 32, &mut rng);
+        encode(&code, &decoder, &mut stripe).unwrap();
+        let h = code.parity_check_matrix();
+        stripe.sector_mut(sector)[byte] ^= 1 << bit;
+        prop_assert!(!parity_consistent(&h, &stripe, Backend::Scalar));
+    }
+}
