@@ -5,7 +5,9 @@
 
 use ppm_codes::{ErasureCode, FailureScenario, SdCode};
 use ppm_core::cost::{analyze, SdClosedForm};
-use ppm_core::{LogTable, Partition};
+use ppm_core::{encode, Decoder, DecoderConfig, LogTable, Partition, Strategy};
+use ppm_stripe::random_data_stripe;
+use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
     let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).expect("paper instance");
@@ -48,5 +50,31 @@ fn main() {
 
     assert_eq!((rep.c1, rep.c2, rep.c3, rep.c4), (35, 31, 37, 29));
     assert_eq!(part.degree(), 3);
+
+    // Run the winning plan instrumented: the executed mult_XOR count from
+    // the region kernels must land exactly on the predicted C4 = 29.
+    let decoder = Decoder::new(DecoderConfig::default());
+    let mut rng = StdRng::seed_from_u64(2015);
+    let mut stripe = random_data_stripe(&code, 4096, &mut rng);
+    encode(&code, &decoder, &mut stripe).expect("encode");
+    let pristine = stripe.clone();
+    stripe.erase(&sc);
+    let plan = decoder.plan(&h, &sc, Strategy::PpmAuto).expect("plan");
+    let stats = decoder
+        .decode_with_stats(&plan, &mut stripe)
+        .expect("decode");
+    assert_eq!(stripe, pristine, "recovery must be bit-exact");
+    println!(
+        "\nexecuted (runtime telemetry): strategy {:?}, p={}, \
+         predicted {} mult_XORs, executed {} ({} as plain XORs)",
+        stats.strategy,
+        stats.parallelism,
+        stats.predicted_mult_xors,
+        stats.executed_mult_xors(),
+        stats.executed_plain_xors()
+    );
+    assert!(stats.matches_prediction());
+    assert_eq!(stats.executed_mult_xors(), 29);
+
     println!("\nall assertions passed ✓");
 }

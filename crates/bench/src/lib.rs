@@ -17,5 +17,7 @@ pub mod table;
 
 pub use args::ExpArgs;
 pub use model::{improvement, modeled_decode_time, modeled_decode_time_chunked, throughput_mbs};
-pub use prep::{prepare_lrc, prepare_rs, prepare_sd, prepare_sd_w, time_plan, Prepared};
+pub use prep::{
+    ledger_plan, prepare_lrc, prepare_rs, prepare_sd, prepare_sd_w, time_plan, Prepared,
+};
 pub use table::Table;

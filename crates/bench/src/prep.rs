@@ -1,7 +1,7 @@
 //! Instance preparation and timing loops shared by the figure binaries.
 
 use ppm_codes::{ErasureCode, FailureScenario, LrcCode, RsCode, SdCode};
-use ppm_core::{encode, DecodePlan, Decoder, DecoderConfig, Strategy};
+use ppm_core::{encode, DecodePlan, Decoder, DecoderConfig, ExecStats, Strategy};
 use ppm_gf::{Backend, GfWord};
 use ppm_matrix::Matrix;
 use ppm_stripe::{random_data_stripe, Stripe};
@@ -178,9 +178,53 @@ pub fn time_plan<W: GfWord>(
     (best, plan)
 }
 
+/// Decodes `prep` once with runtime telemetry and verifies the §III-B
+/// ledger: the executed `mult_XORs` counted by the region kernels must
+/// equal the plan's predicted cost, and recovery must be bit-exact.
+/// Returns the stats and the plan for table rendering.
+pub fn ledger_plan<W: GfWord>(
+    prep: &Prepared<W>,
+    strategy: Strategy,
+    threads: usize,
+) -> (ExecStats, DecodePlan<W>) {
+    let decoder = Decoder::new(DecoderConfig {
+        threads,
+        backend: Backend::Auto,
+    });
+    let plan = decoder
+        .plan(&prep.h, &prep.scenario, strategy)
+        .expect("plan");
+    let mut scratch = prep.pristine.clone();
+    scratch.erase(&prep.scenario);
+    let stats = decoder
+        .decode_with_stats(&plan, &mut scratch)
+        .expect("decode");
+    assert!(
+        scratch == prep.pristine,
+        "{}: recovery not bit-exact",
+        prep.name
+    );
+    assert!(
+        stats.matches_prediction(),
+        "{}: executed {} mult_XORs, planner predicted {}",
+        prep.name,
+        stats.executed_mult_xors(),
+        stats.predicted_mult_xors
+    );
+    (stats, plan)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ledger_matches_on_sd() {
+        let prep = prepare_sd(6, 4, 2, 1, 1, 64 * 24, 3).expect("prep");
+        let (stats, plan) = ledger_plan(&prep, Strategy::PpmAuto, 2);
+        assert_eq!(stats.executed_mult_xors(), plan.mult_xors() as u64);
+        assert!(stats.predicted_costs.is_some());
+    }
 
     #[test]
     fn prepare_and_time_sd() {

@@ -8,12 +8,14 @@
 //! blocks as additional inputs.
 
 use crate::plan::{DecodePlan, Program, RegionCache, Strategy, SubPlan};
+use crate::stats::{ExecStats, SubPlanStats};
 use crate::DecodeError;
 use ppm_codes::{ErasureCode, FailureScenario};
-use ppm_gf::{Backend, GfWord, RegionMul};
+use ppm_gf::{Backend, GfWord, RegionMul, RegionStats};
 use ppm_matrix::Matrix;
 use ppm_stripe::Stripe;
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Decoder configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,13 +98,13 @@ impl Decoder {
             Some(pool) if plan.phase_a.len() > 1 => pool.install(|| {
                 plan.phase_a
                     .par_iter()
-                    .map(|sp| run_subplan(sp, &plan.regions, stripe))
+                    .map(|sp| run_subplan(sp, &plan.regions, stripe, None))
                     .collect()
             }),
             _ => plan
                 .phase_a
                 .iter()
-                .map(|sp| run_subplan(sp, &plan.regions, stripe))
+                .map(|sp| run_subplan(sp, &plan.regions, stripe, None))
                 .collect(),
         };
         for (sector, buf) in outputs.into_iter().flatten() {
@@ -111,11 +113,81 @@ impl Decoder {
 
         // Phase B: H_rest, reading the just-recovered blocks.
         if let Some(sp) = &plan.phase_b {
-            for (sector, buf) in run_subplan(sp, &plan.regions, stripe) {
+            for (sector, buf) in run_subplan(sp, &plan.regions, stripe, None) {
                 stripe.write_sector(sector, &buf);
             }
         }
         Ok(())
+    }
+
+    /// Like [`Decoder::decode`], but instruments the run and returns
+    /// [`ExecStats`]: per-sub-plan executed `mult_XORs` / plain-XOR /
+    /// byte counts straight from the region kernels, per-phase wall
+    /// times, phase-A thread utilization, and the plan's predicted
+    /// costs — the runtime cross-check of the §III-B cost model.
+    ///
+    /// The counters are relaxed atomics bumped once per region
+    /// operation, so the overhead over [`Decoder::decode`] is noise for
+    /// realistic sector sizes.
+    pub fn decode_with_stats<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &mut Stripe,
+    ) -> Result<ExecStats, DecodeError> {
+        if stripe.layout().sectors() != plan.total_sectors() {
+            return Err(DecodeError::GeometryMismatch {
+                expected: plan.total_sectors(),
+                actual: stripe.layout().sectors(),
+            });
+        }
+        let started = Instant::now();
+
+        // Phase A, as in `decode`, with one counter sink per sub-plan.
+        let results: Vec<(SubPlanOutputs, SubPlanStats)> = match &self.pool {
+            Some(pool) if plan.phase_a.len() > 1 => pool.install(|| {
+                plan.phase_a
+                    .par_iter()
+                    .map(|sp| run_subplan_instrumented(sp, &plan.regions, stripe))
+                    .collect()
+            }),
+            _ => plan
+                .phase_a
+                .iter()
+                .map(|sp| run_subplan_instrumented(sp, &plan.regions, stripe))
+                .collect(),
+        };
+        let phase_a_nanos = started.elapsed().as_nanos();
+        let mut phase_a = Vec::with_capacity(results.len());
+        for (outputs, stats) in results {
+            phase_a.push(stats);
+            for (sector, buf) in outputs {
+                stripe.write_sector(sector, &buf);
+            }
+        }
+
+        // Phase B, instrumented the same way.
+        let phase_b = match &plan.phase_b {
+            Some(sp) => {
+                let (outputs, stats) = run_subplan_instrumented(sp, &plan.regions, stripe);
+                for (sector, buf) in outputs {
+                    stripe.write_sector(sector, &buf);
+                }
+                Some(stats)
+            }
+            None => None,
+        };
+
+        Ok(ExecStats {
+            strategy: plan.strategy(),
+            threads: self.config.threads,
+            parallelism: plan.parallelism(),
+            predicted_mult_xors: plan.mult_xors(),
+            predicted_costs: plan.predicted_costs(),
+            phase_a,
+            phase_a_nanos,
+            phase_b,
+            total_nanos: started.elapsed().as_nanos(),
+        })
     }
 
     /// Like [`Decoder::decode`], but additionally splits the *remaining*
@@ -160,13 +232,13 @@ impl Decoder {
             pool.install(|| {
                 plan.phase_a
                     .par_iter()
-                    .map(|sp| run_subplan(sp, &plan.regions, stripe))
+                    .map(|sp| run_subplan(sp, &plan.regions, stripe, None))
                     .collect()
             })
         } else {
             plan.phase_a
                 .iter()
-                .map(|sp| run_subplan(sp, &plan.regions, stripe))
+                .map(|sp| run_subplan(sp, &plan.regions, stripe, None))
                 .collect()
         };
         for (sector, buf) in outputs.into_iter().flatten() {
@@ -235,21 +307,33 @@ impl Decoder {
     }
 }
 
+/// Recovered sectors from one sub-plan: `(sector, bytes)` pairs.
+type SubPlanOutputs = Vec<(usize, Vec<u8>)>;
+
 /// Runs one sub-plan, returning `(sector, recovered bytes)` pairs. Reads
 /// the stripe immutably so independent sub-plans can run concurrently.
+/// When `stats` is given, every region operation is tallied into it.
 fn run_subplan<W: GfWord>(
     sp: &SubPlan<W>,
     regions: &RegionCache<W>,
     stripe: &Stripe,
-) -> Vec<(usize, Vec<u8>)> {
+    stats: Option<&RegionStats>,
+) -> SubPlanOutputs {
     let sb = stripe.sector_bytes();
+    let apply = |c: W, src: &[u8], dst: &mut Vec<u8>| {
+        let rm = regions.get(c);
+        match stats {
+            Some(s) => rm.mul_xor_with(src, dst, s),
+            None => rm.mul_xor(src, dst),
+        }
+    };
     match &sp.program {
         Program::MatrixFirst { outputs } => outputs
             .iter()
             .map(|(sector, terms)| {
                 let mut buf = vec![0u8; sb];
                 for &(c, src) in terms {
-                    regions.get(c).mul_xor(stripe.sector(src), &mut buf);
+                    apply(c, stripe.sector(src), &mut buf);
                 }
                 (*sector, buf)
             })
@@ -260,7 +344,7 @@ fn run_subplan<W: GfWord>(
                 .map(|terms| {
                     let mut buf = vec![0u8; sb];
                     for &(c, src) in terms {
-                        regions.get(c).mul_xor(stripe.sector(src), &mut buf);
+                        apply(c, stripe.sector(src), &mut buf);
                     }
                     buf
                 })
@@ -270,13 +354,27 @@ fn run_subplan<W: GfWord>(
                 .map(|(sector, terms)| {
                     let mut buf = vec![0u8; sb];
                     for &(c, e) in terms {
-                        regions.get(c).mul_xor(&scratch[e], &mut buf);
+                        apply(c, &scratch[e], &mut buf);
                     }
                     (*sector, buf)
                 })
                 .collect()
         }
     }
+}
+
+/// Runs one sub-plan with a fresh counter sink and a wall-clock timer,
+/// returning the outputs together with the collected [`SubPlanStats`].
+fn run_subplan_instrumented<W: GfWord>(
+    sp: &SubPlan<W>,
+    regions: &RegionCache<W>,
+    stripe: &Stripe,
+) -> (SubPlanOutputs, SubPlanStats) {
+    let sink = RegionStats::new();
+    let t = Instant::now();
+    let out = run_subplan(sp, regions, stripe, Some(&sink));
+    let stats = SubPlanStats::collect(&sink, out.len(), t.elapsed());
+    (out, stats)
 }
 
 /// Accumulates `terms` into a fresh buffer, slicing the region into
@@ -312,7 +410,7 @@ fn run_subplan_chunked<W: GfWord>(
     stripe: &Stripe,
     pool: &rayon::ThreadPool,
     chunk: usize,
-) -> Vec<(usize, Vec<u8>)> {
+) -> SubPlanOutputs {
     let sb = stripe.sector_bytes();
     match &sp.program {
         Program::MatrixFirst { outputs } => outputs

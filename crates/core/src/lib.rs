@@ -67,6 +67,7 @@ mod exec;
 mod logtable;
 mod partition;
 mod plan;
+mod stats;
 mod update;
 
 pub use error::DecodeError;
@@ -74,4 +75,5 @@ pub use exec::{encode, parity_consistent, Decoder, DecoderConfig};
 pub use logtable::{LogTable, LogTableRow};
 pub use partition::{ParallelismCase, Partition, SubSystem};
 pub use plan::{CalcSequence, DecodePlan, Strategy};
+pub use stats::{ExecStats, SubPlanStats};
 pub use update::UpdatePlan;

@@ -219,6 +219,11 @@ pub struct DecodePlan<W: GfWord> {
     strategy: Strategy,
     backend: Backend,
     cost: usize,
+    /// `C₁..C₄` of every candidate sequence, captured when the plan was
+    /// chosen by [`Strategy::PpmAuto`] (the sweep builds all four
+    /// anyway, so recording them is free). `None` for plans built with a
+    /// concrete strategy or derived by [`DecodePlan::restrict_to`].
+    predicted: Option<crate::cost::CostReport>,
 }
 
 impl<W: GfWord> DecodePlan<W> {
@@ -274,6 +279,7 @@ impl<W: GfWord> DecodePlan<W> {
             // partitioned plans (parallelism) on ties — iterate C₄, C₃,
             // C₂, C₁ and keep strict improvements only.
             let mut best: Option<DecodePlan<W>> = None;
+            let (mut c1, mut c2, mut c3, mut c4, mut parallelism) = (0, 0, 0, 0, 0);
             for s in [
                 Strategy::PpmNormalRest,
                 Strategy::PpmMatrixFirstRest,
@@ -281,11 +287,29 @@ impl<W: GfWord> DecodePlan<W> {
                 Strategy::TraditionalNormal,
             ] {
                 let plan = Self::build_with(h, scenario, s, backend, precomputed)?;
+                match s {
+                    Strategy::TraditionalNormal => c1 = plan.cost,
+                    Strategy::TraditionalMatrixFirst => c2 = plan.cost,
+                    Strategy::PpmMatrixFirstRest => c3 = plan.cost,
+                    Strategy::PpmNormalRest => {
+                        c4 = plan.cost;
+                        parallelism = plan.parallelism();
+                    }
+                    Strategy::PpmAuto => unreachable!(),
+                }
                 if best.as_ref().is_none_or(|b| plan.cost < b.cost) {
                     best = Some(plan);
                 }
             }
-            return Ok(best.expect("at least one candidate"));
+            let mut best = best.expect("at least one candidate");
+            best.predicted = Some(crate::cost::CostReport {
+                c1,
+                c2,
+                c3,
+                c4,
+                parallelism,
+            });
+            return Ok(best);
         }
 
         let faulty = scenario.faulty().to_vec();
@@ -364,6 +388,7 @@ impl<W: GfWord> DecodePlan<W> {
             strategy,
             backend,
             cost,
+            predicted: None,
         })
     }
 
@@ -469,6 +494,9 @@ impl<W: GfWord> DecodePlan<W> {
             strategy: self.strategy,
             backend: self.backend,
             cost,
+            // The candidate costs predicted the *full* repair; this plan
+            // does strictly less work, so carrying them over would lie.
+            predicted: None,
         }
     }
 
@@ -476,6 +504,11 @@ impl<W: GfWord> DecodePlan<W> {
     /// run concurrently in phase A.
     pub fn parallelism(&self) -> usize {
         self.phase_a.len()
+    }
+
+    /// Whether the plan has a remaining sub-matrix `H_rest` phase.
+    pub fn has_phase_b(&self) -> bool {
+        self.phase_b.is_some()
     }
 
     /// Per-independent-sub-matrix mult_XORs costs (`c₀ … c_{p−1}` of
@@ -500,6 +533,14 @@ impl<W: GfWord> DecodePlan<W> {
     /// concrete strategy).
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+
+    /// The predicted `C₁..C₄` of all four candidate sequences, when this
+    /// plan was selected by [`Strategy::PpmAuto`] (the sweep prices every
+    /// candidate, so the report is captured for free). `None` for plans
+    /// built with a concrete strategy or restricted plans.
+    pub fn predicted_costs(&self) -> Option<crate::cost::CostReport> {
+        self.predicted
     }
 
     /// The faulty sectors this plan recovers.

@@ -1,0 +1,308 @@
+//! Runtime decode telemetry: what the executor *actually* did.
+//!
+//! The planner prices every calculation sequence in predicted
+//! `mult_XORs` (§III-B of the paper, [`crate::cost`]); this module holds
+//! the executed side of that ledger. [`ExecStats`] is produced by
+//! [`Decoder::decode_with_stats`](crate::Decoder::decode_with_stats) and
+//! carries, per sub-plan, the region-operation counts reported by
+//! `ppm-gf`'s counted kernels plus wall-clock phase timings — enough to
+//! assert `executed == predicted` in tests and to print
+//! predicted-vs-executed tables from the CLI and benches.
+
+use crate::cost::CostReport;
+use crate::plan::Strategy;
+use ppm_gf::RegionStats;
+use std::time::Duration;
+
+/// Executed-work tallies for one sub-plan (an independent `Hᵢ` or
+/// `H_rest`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubPlanStats {
+    /// Sectors this sub-plan recovered.
+    pub outputs: usize,
+    /// Executed `mult_XORs` (region ops with a non-zero coefficient) —
+    /// the paper's cost unit.
+    pub mult_xors: u64,
+    /// The subset of operations executed as plain region XORs
+    /// (coefficient-1 fast path).
+    pub plain_xors: u64,
+    /// Region bytes processed.
+    pub bytes: u64,
+    /// Wall time spent running this sub-plan, in nanoseconds.
+    pub nanos: u128,
+}
+
+impl SubPlanStats {
+    pub(crate) fn collect(sink: &RegionStats, outputs: usize, elapsed: Duration) -> Self {
+        SubPlanStats {
+            outputs,
+            mult_xors: sink.mult_xors(),
+            plain_xors: sink.plain_xors(),
+            bytes: sink.bytes(),
+            nanos: elapsed.as_nanos(),
+        }
+    }
+}
+
+/// Telemetry for one instrumented decode.
+///
+/// Executed counters come from the region kernels themselves
+/// ([`ppm_gf::RegionStats`]), so any divergence between what the planner
+/// predicted and what the data path ran shows up as a mismatch here
+/// rather than silent drift.
+#[derive(Clone, Debug)]
+pub struct ExecStats {
+    /// Concrete strategy the executed plan used.
+    pub strategy: Strategy,
+    /// Thread budget `T` of the decoder that ran the plan.
+    pub threads: usize,
+    /// Degree of parallelism `p` (independent sub-plans in phase A).
+    pub parallelism: usize,
+    /// The plan's predicted total `mult_XORs` (the chosen sequence's
+    /// cost `C`).
+    pub predicted_mult_xors: usize,
+    /// Predicted `C₁..C₄` of all candidates, when the plan was chosen by
+    /// [`Strategy::PpmAuto`].
+    pub predicted_costs: Option<CostReport>,
+    /// Per-sub-plan executed work for phase A, in plan order.
+    pub phase_a: Vec<SubPlanStats>,
+    /// Wall time of the whole phase A dispatch (parallel), nanoseconds.
+    pub phase_a_nanos: u128,
+    /// Executed work of the `H_rest` sub-plan, if the plan has one.
+    pub phase_b: Option<SubPlanStats>,
+    /// Wall time of the whole decode call, nanoseconds.
+    pub total_nanos: u128,
+}
+
+impl ExecStats {
+    /// Total executed `mult_XORs` across both phases — the number to
+    /// compare against [`ExecStats::predicted_mult_xors`].
+    pub fn executed_mult_xors(&self) -> u64 {
+        self.phase_a.iter().map(|s| s.mult_xors).sum::<u64>()
+            + self.phase_b.map_or(0, |s| s.mult_xors)
+    }
+
+    /// Total operations executed as plain region XORs.
+    pub fn executed_plain_xors(&self) -> u64 {
+        self.phase_a.iter().map(|s| s.plain_xors).sum::<u64>()
+            + self.phase_b.map_or(0, |s| s.plain_xors)
+    }
+
+    /// Total region bytes moved across both phases.
+    pub fn bytes_moved(&self) -> u64 {
+        self.phase_a.iter().map(|s| s.bytes).sum::<u64>() + self.phase_b.map_or(0, |s| s.bytes)
+    }
+
+    /// Wall time of the `H_rest` phase, nanoseconds (0 if no phase B).
+    pub fn phase_b_nanos(&self) -> u128 {
+        self.phase_b.map_or(0, |s| s.nanos)
+    }
+
+    /// True when the executed `mult_XORs` equal the planner's predicted
+    /// cost — the invariant [`crate::cost::analyze`] assumes.
+    pub fn matches_prediction(&self) -> bool {
+        self.executed_mult_xors() == self.predicted_mult_xors as u64
+    }
+
+    /// Phase-A thread utilization in `[0, 1]`: busy worker time divided
+    /// by wall time × effective workers (`min(T, p)`). `1.0` means the
+    /// sub-plans packed perfectly onto the workers; low values mean
+    /// phase A was skewed (one big sub-plan dominated the wall clock).
+    /// Returns 1.0 for plans with no phase A.
+    pub fn thread_utilization(&self) -> f64 {
+        if self.phase_a.is_empty() || self.phase_a_nanos == 0 {
+            return 1.0;
+        }
+        let busy: u128 = self.phase_a.iter().map(|s| s.nanos).sum();
+        let workers = self.threads.min(self.phase_a.len()).max(1) as u128;
+        (busy as f64 / (self.phase_a_nanos * workers) as f64).min(1.0)
+    }
+
+    /// Renders the stats as a single JSON object (hand-rolled; the
+    /// workspace carries no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        push_kv(&mut out, "strategy", &format!("\"{:?}\"", self.strategy));
+        push_kv(&mut out, "threads", &self.threads.to_string());
+        push_kv(&mut out, "parallelism", &self.parallelism.to_string());
+        push_kv(
+            &mut out,
+            "predicted_mult_xors",
+            &self.predicted_mult_xors.to_string(),
+        );
+        match self.predicted_costs {
+            Some(c) => push_kv(
+                &mut out,
+                "predicted_costs",
+                &format!(
+                    "{{\"c1\":{},\"c2\":{},\"c3\":{},\"c4\":{}}}",
+                    c.c1, c.c2, c.c3, c.c4
+                ),
+            ),
+            None => push_kv(&mut out, "predicted_costs", "null"),
+        }
+        push_kv(
+            &mut out,
+            "executed_mult_xors",
+            &self.executed_mult_xors().to_string(),
+        );
+        push_kv(
+            &mut out,
+            "executed_plain_xors",
+            &self.executed_plain_xors().to_string(),
+        );
+        push_kv(&mut out, "bytes_moved", &self.bytes_moved().to_string());
+        push_kv(
+            &mut out,
+            "matches_prediction",
+            if self.matches_prediction() {
+                "true"
+            } else {
+                "false"
+            },
+        );
+        push_kv(
+            &mut out,
+            "thread_utilization",
+            &format!("{:.4}", self.thread_utilization()),
+        );
+        push_kv(&mut out, "phase_a_nanos", &self.phase_a_nanos.to_string());
+        push_kv(&mut out, "phase_b_nanos", &self.phase_b_nanos().to_string());
+        push_kv(&mut out, "total_nanos", &self.total_nanos.to_string());
+        let subs: Vec<String> = self
+            .phase_a
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"outputs\":{},\"mult_xors\":{},\"plain_xors\":{},\"bytes\":{},\"nanos\":{}}}",
+                    s.outputs, s.mult_xors, s.plain_xors, s.bytes, s.nanos
+                )
+            })
+            .collect();
+        push_kv(&mut out, "phase_a", &format!("[{}]", subs.join(",")));
+        match self.phase_b {
+            Some(s) => push_kv(
+                &mut out,
+                "phase_b",
+                &format!(
+                    "{{\"outputs\":{},\"mult_xors\":{},\"plain_xors\":{},\"bytes\":{},\"nanos\":{}}}",
+                    s.outputs, s.mult_xors, s.plain_xors, s.bytes, s.nanos
+                ),
+            ),
+            None => push_kv(&mut out, "phase_b", "null"),
+        }
+        // Drop the trailing comma push_kv left behind.
+        out.pop();
+        out.push('}');
+        out
+    }
+}
+
+fn push_kv(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(value);
+    out.push(',');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExecStats {
+        ExecStats {
+            strategy: Strategy::PpmNormalRest,
+            threads: 2,
+            parallelism: 3,
+            predicted_mult_xors: 29,
+            predicted_costs: Some(CostReport {
+                c1: 35,
+                c2: 31,
+                c3: 37,
+                c4: 29,
+                parallelism: 3,
+            }),
+            phase_a: vec![
+                SubPlanStats {
+                    outputs: 1,
+                    mult_xors: 4,
+                    plain_xors: 1,
+                    bytes: 256,
+                    nanos: 100,
+                },
+                SubPlanStats {
+                    outputs: 1,
+                    mult_xors: 5,
+                    plain_xors: 0,
+                    bytes: 320,
+                    nanos: 150,
+                },
+            ],
+            phase_a_nanos: 150,
+            phase_b: Some(SubPlanStats {
+                outputs: 2,
+                mult_xors: 20,
+                plain_xors: 2,
+                bytes: 1280,
+                nanos: 400,
+            }),
+            total_nanos: 600,
+        }
+    }
+
+    #[test]
+    fn totals_sum_phases() {
+        let s = sample();
+        assert_eq!(s.executed_mult_xors(), 29);
+        assert_eq!(s.executed_plain_xors(), 3);
+        assert_eq!(s.bytes_moved(), 1856);
+        assert!(s.matches_prediction());
+        assert_eq!(s.phase_b_nanos(), 400);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let s = sample();
+        let u = s.thread_utilization();
+        // busy = 250, wall = 150, workers = min(2, 2) = 2 → 250/300.
+        assert!((u - 250.0 / 300.0).abs() < 1e-9, "{u}");
+
+        let empty = ExecStats {
+            phase_a: Vec::new(),
+            phase_a_nanos: 0,
+            ..sample()
+        };
+        assert_eq!(empty.thread_utilization(), 1.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let s = sample();
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"strategy\":\"PpmNormalRest\""), "{j}");
+        assert!(j.contains("\"predicted_mult_xors\":29"), "{j}");
+        assert!(j.contains("\"executed_mult_xors\":29"), "{j}");
+        assert!(j.contains("\"matches_prediction\":true"), "{j}");
+        assert!(j.contains("\"c4\":29"), "{j}");
+        assert!(!j.contains(",}") && !j.contains(",]"), "{j}");
+        // Balanced braces/brackets (no string values contain either).
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces: {j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+
+        let none = ExecStats {
+            predicted_costs: None,
+            phase_b: None,
+            ..sample()
+        };
+        let j = none.to_json();
+        assert!(j.contains("\"predicted_costs\":null"), "{j}");
+        assert!(j.contains("\"phase_b\":null"), "{j}");
+    }
+}

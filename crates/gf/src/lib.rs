@@ -42,10 +42,12 @@
 
 mod region;
 mod simd;
+mod stats;
 mod tables;
 mod word;
 
-pub use region::{xor_region, RegionMul};
+pub use region::{xor_region, xor_region_with, RegionMul};
+pub use stats::RegionStats;
 pub use word::GfWord;
 
 /// Selects the implementation used by region operations.

@@ -14,6 +14,7 @@
 //! the word size in length.
 
 use crate::simd;
+use crate::stats::RegionStats;
 use crate::word::GfWord;
 use crate::Backend;
 
@@ -37,6 +38,15 @@ pub fn xor_region(src: &[u8], dst: &mut [u8]) {
     for (s, d) in s8.remainder().iter().zip(d8.into_remainder()) {
         *d ^= *s;
     }
+}
+
+/// [`xor_region`], recording the operation into `stats`.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn xor_region_with(src: &[u8], dst: &mut [u8], stats: &RegionStats) {
+    stats.record_plain_xor(src.len());
+    xor_region(src, dst);
 }
 
 /// A precomputed multiply-by-constant over byte regions in GF(2^w).
@@ -111,6 +121,22 @@ impl<W: GfWord> RegionMul<W> {
             Kind::One => xor_region(src, dst),
             Kind::Table => self.table_apply(src, dst, true),
         }
+    }
+
+    /// [`RegionMul::mul_xor`], recording the operation into `stats`.
+    ///
+    /// A non-zero coefficient counts as one `mult_XORs` — the unit the
+    /// paper's cost model predicts — with the coefficient-1 XOR fast
+    /// path additionally tallied as a plain XOR. A zero coefficient does
+    /// no work and records nothing.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or are not a multiple of the word size.
+    pub fn mul_xor_with(&self, src: &[u8], dst: &mut [u8], stats: &RegionStats) {
+        if self.kind != Kind::Zero {
+            stats.record_mult_xor(src.len(), self.kind == Kind::One);
+        }
+        self.mul_xor(src, dst);
     }
 
     /// `dst = a · src` (overwrites the destination).
@@ -389,6 +415,37 @@ mod tests {
             xor_region(&src, &mut dst);
             assert_eq!(dst, expect, "len={len}");
         }
+    }
+
+    #[test]
+    fn counted_ops_match_uncounted_and_tally() {
+        let stats = RegionStats::new();
+        let src = pseudo_bytes(64, 3);
+        let base = pseudo_bytes(64, 4);
+
+        // Table path: counts a mult_XOR, not a plain XOR.
+        let rm = RegionMul::<u8>::new(0x1D, Backend::Scalar);
+        let mut counted = base.clone();
+        rm.mul_xor_with(&src, &mut counted, &stats);
+        let mut plain = base.clone();
+        rm.mul_xor(&src, &mut plain);
+        assert_eq!(counted, plain);
+        assert_eq!((stats.mult_xors(), stats.plain_xors()), (1, 0));
+
+        // Coefficient 1: a mult_XOR executed as a plain XOR.
+        let one = RegionMul::<u8>::new(1, Backend::Scalar);
+        one.mul_xor_with(&src, &mut counted, &stats);
+        assert_eq!((stats.mult_xors(), stats.plain_xors()), (2, 1));
+
+        // Coefficient 0: no work, no tally.
+        let zero = RegionMul::<u8>::new(0, Backend::Scalar);
+        zero.mul_xor_with(&src, &mut counted, &stats);
+        assert_eq!(stats.mult_xors(), 2);
+
+        // Standalone XOR: plain only.
+        xor_region_with(&src, &mut counted, &stats);
+        assert_eq!((stats.mult_xors(), stats.plain_xors()), (2, 2));
+        assert_eq!(stats.bytes(), 3 * 64);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Execution counters for region operations.
+//!
+//! The PPM paper prices every calculation sequence in `mult_XORs`
+//! (§III-B); the planner predicts that count by counting non-zero
+//! coefficients. [`RegionStats`] is the *executed* side of that ledger:
+//! a sink the region kernels report into, so a decoder can prove the
+//! work it actually performed matches what the cost model predicted.
+//!
+//! Counters are relaxed atomics — a sink can be shared across the
+//! worker threads of a parallel phase without synchronization cost on
+//! the hot path, and the totals are read only after the phase joins.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tallies of region-operation work (shareable across threads).
+///
+/// * `mult_xors` — applications of the paper's `mult_XORs(d0, d1, a)`
+///   primitive with a non-zero coefficient. Coefficient-1 applications
+///   count here too (the cost model counts non-zero coefficients, and
+///   `a = 1` is executed via the XOR fast path but is still one term).
+/// * `plain_xors` — the subset of operations executed as plain
+///   region XORs: coefficient-1 `mult_XORs` plus standalone
+///   [`xor_region_with`](crate::xor_region_with) calls.
+/// * `bytes` — region bytes processed (source length per operation).
+#[derive(Debug, Default)]
+pub struct RegionStats {
+    mult_xors: AtomicU64,
+    plain_xors: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl RegionStats {
+    /// A fresh, all-zero sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one `mult_XORs` application over `bytes` region bytes.
+    /// `via_xor` marks the coefficient-1 fast path.
+    pub fn record_mult_xor(&self, bytes: usize, via_xor: bool) {
+        self.mult_xors.fetch_add(1, Ordering::Relaxed);
+        if via_xor {
+            self.plain_xors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records one standalone region XOR (no coefficient) over `bytes`
+    /// region bytes.
+    pub fn record_plain_xor(&self, bytes: usize) {
+        self.plain_xors.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Executed `mult_XORs` count — comparable to a plan's predicted
+    /// cost.
+    pub fn mult_xors(&self) -> u64 {
+        self.mult_xors.load(Ordering::Relaxed)
+    }
+
+    /// Operations that ran as plain region XORs.
+    pub fn plain_xors(&self) -> u64 {
+        self.plain_xors.load(Ordering::Relaxed)
+    }
+
+    /// Total region bytes processed.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Adds `other`'s tallies into `self`.
+    pub fn merge(&self, other: &RegionStats) {
+        self.mult_xors
+            .fetch_add(other.mult_xors(), Ordering::Relaxed);
+        self.plain_xors
+            .fetch_add(other.plain_xors(), Ordering::Relaxed);
+        self.bytes.fetch_add(other.bytes(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let s = RegionStats::new();
+        s.record_mult_xor(64, false);
+        s.record_mult_xor(64, true);
+        s.record_plain_xor(32);
+        assert_eq!(s.mult_xors(), 2);
+        assert_eq!(s.plain_xors(), 2);
+        assert_eq!(s.bytes(), 160);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let a = RegionStats::new();
+        a.record_mult_xor(8, false);
+        let b = RegionStats::new();
+        b.record_mult_xor(16, true);
+        b.record_plain_xor(4);
+        a.merge(&b);
+        assert_eq!(a.mult_xors(), 2);
+        assert_eq!(a.plain_xors(), 2);
+        assert_eq!(a.bytes(), 28);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let s = RegionStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        s.record_mult_xor(8, false);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.mult_xors(), 4000);
+        assert_eq!(s.bytes(), 32_000);
+    }
+}

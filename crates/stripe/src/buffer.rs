@@ -35,11 +35,25 @@ impl Stripe {
     /// An all-zero stripe sized so the whole stripe occupies (close to)
     /// `total_bytes`, the way the paper parameterizes its figures
     /// ("stripe size = 32 MB"). The per-sector size is rounded down to the
-    /// alignment, with a floor of one aligned unit.
-    pub fn with_stripe_size(layout: StripeLayout, total_bytes: usize) -> Self {
+    /// alignment.
+    ///
+    /// # Errors
+    /// Returns [`StripeSizeError`] when `total_bytes` cannot fit even one
+    /// [`SECTOR_ALIGN`]-byte unit per sector — allocating more than the
+    /// requested budget would silently distort byte-budgeted experiments.
+    pub fn with_stripe_size(
+        layout: StripeLayout,
+        total_bytes: usize,
+    ) -> Result<Self, StripeSizeError> {
         let raw = total_bytes / layout.sectors();
-        let sector_bytes = (raw / SECTOR_ALIGN * SECTOR_ALIGN).max(SECTOR_ALIGN);
-        Self::zeroed(layout, sector_bytes)
+        let sector_bytes = raw / SECTOR_ALIGN * SECTOR_ALIGN;
+        if sector_bytes == 0 {
+            return Err(StripeSizeError {
+                total_bytes,
+                sectors: layout.sectors(),
+            });
+        }
+        Ok(Self::zeroed(layout, sector_bytes))
     }
 
     /// The stripe geometry.
@@ -104,6 +118,31 @@ impl Stripe {
     }
 }
 
+/// A stripe-size budget too small for its geometry: `total_bytes` cannot
+/// give every one of the `sectors` sectors a single aligned unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StripeSizeError {
+    /// The requested whole-stripe byte budget.
+    pub total_bytes: usize,
+    /// Sectors the geometry requires.
+    pub sectors: usize,
+}
+
+impl std::fmt::Display for StripeSizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stripe budget of {} bytes is too small: {} sectors need at least {} bytes ({} per sector)",
+            self.total_bytes,
+            self.sectors,
+            self.sectors * SECTOR_ALIGN,
+            SECTOR_ALIGN
+        )
+    }
+}
+
+impl std::error::Error for StripeSizeError {}
+
 impl std::fmt::Debug for Stripe {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Stripe")
@@ -133,13 +172,24 @@ mod tests {
 
     #[test]
     fn with_stripe_size_divides_and_aligns() {
-        let s = Stripe::with_stripe_size(layout(), 1 << 20);
+        let s = Stripe::with_stripe_size(layout(), 1 << 20).unwrap();
         assert_eq!(s.sector_bytes(), (1 << 20) / 16);
         // Odd total: rounds down to the alignment.
-        let s = Stripe::with_stripe_size(layout(), 1000);
+        let s = Stripe::with_stripe_size(layout(), 1000).unwrap();
         assert_eq!(s.sector_bytes(), 56); // 1000/16 = 62 -> 56
-                                          // Tiny total: floors at one aligned unit.
-        let s = Stripe::with_stripe_size(layout(), 10);
+    }
+
+    #[test]
+    fn with_stripe_size_rejects_tiny_budget() {
+        // 16 sectors need 16 * SECTOR_ALIGN = 128 bytes minimum; anything
+        // below must error rather than over-allocate past the budget.
+        let err = Stripe::with_stripe_size(layout(), 10).unwrap_err();
+        assert_eq!(err.total_bytes, 10);
+        assert_eq!(err.sectors, 16);
+        assert!(err.to_string().contains("too small"), "{err}");
+        assert!(Stripe::with_stripe_size(layout(), 127).is_err());
+        // The exact minimum is accepted.
+        let s = Stripe::with_stripe_size(layout(), 16 * SECTOR_ALIGN).unwrap();
         assert_eq!(s.sector_bytes(), SECTOR_ALIGN);
     }
 

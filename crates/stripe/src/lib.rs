@@ -20,5 +20,5 @@
 mod buffer;
 mod workload;
 
-pub use buffer::{Stripe, SECTOR_ALIGN};
+pub use buffer::{Stripe, StripeSizeError, SECTOR_ALIGN};
 pub use workload::{random_data_stripe, random_stripe};

@@ -1,0 +1,333 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! The build environment cannot fetch crates.io, so this crate provides
+//! a small wall-clock bench harness with criterion's API shape:
+//! benchmark groups, `bench_function` / `bench_with_input`,
+//! `Bencher::iter` / `iter_batched`, `Throughput`, `BenchmarkId`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — a short warm-up then a fixed
+//! number of timed passes, reporting the best per-iteration time (and
+//! derived throughput). Passing `--test` (as `cargo bench -- --test`
+//! does in CI smoke runs) runs each routine once and reports `ok`,
+//! mirroring criterion's test mode.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. The shim runs one setup per
+/// routine invocation regardless, so the variants only exist for API
+/// compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// Same, reported in decimal multiples.
+    BytesDecimal(u64),
+    /// The routine processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to bench closures; runs and times the routine.
+pub struct Bencher {
+    /// Timed passes to run (1 in `--test` mode).
+    samples: usize,
+    /// Best observed per-pass duration, if any.
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the best observed pass.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up pass (also the only pass in --test mode).
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            if self.best.is_none_or(|b| elapsed < b) {
+                self.best = Some(elapsed);
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            if self.best.is_none_or(|b| elapsed < b) {
+                self.best = Some(elapsed);
+            }
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn report(label: &str, best: Option<Duration>, throughput: Option<Throughput>, test_mode: bool) {
+    if test_mode {
+        println!("{label}: ok (test mode)");
+        return;
+    }
+    let Some(best) = best else {
+        println!("{label}: no measurement");
+        return;
+    };
+    let mut line = format!("{label}: best {}", format_duration(best));
+    let secs = best.as_secs_f64();
+    if secs > 0.0 {
+        match throughput {
+            Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+                line += &format!(" ({:.2} GiB/s)", n as f64 / secs / (1u64 << 30) as f64);
+            }
+            Some(Throughput::Elements(n)) => {
+                line += &format!(" ({:.2} Melem/s)", n as f64 / secs / 1e6);
+            }
+            None => {}
+        }
+    }
+    println!("{line}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed passes per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration throughput for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&self, id: BenchmarkId, mut f: F) {
+        let test_mode = self.criterion.test_mode;
+        let mut b = Bencher {
+            samples: if test_mode {
+                0
+            } else {
+                self.sample_size.clamp(1, 20)
+            },
+            best: None,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.label),
+            b.best,
+            self.throughput,
+            test_mode,
+        );
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. No-op in the shim; exists for API parity.
+    pub fn finish(self) {}
+}
+
+/// The bench context handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let g = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+            sample_size: 10,
+            throughput: None,
+        };
+        g.run(BenchmarkId::from(id), f);
+        self
+    }
+
+    /// Accepted for API parity with `criterion_group!` config forms.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a bench group function that runs each target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_best() {
+        let mut b = Bencher {
+            samples: 3,
+            best: None,
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.best.is_some());
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut b = Bencher {
+            samples: 4,
+            best: None,
+        };
+        let mut setups = 0;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![0u8; 8]
+            },
+            |v| v.len(),
+            BatchSize::LargeInput,
+        );
+        assert_eq!(setups, 5); // warm-up + 4 samples
+        assert!(b.best.is_some());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

@@ -1,0 +1,702 @@
+//! Offline stand-in for the `proptest` crate (1.x API subset).
+//!
+//! The build environment cannot reach crates.io, so this crate
+//! reimplements the property-testing surface the workspace's tests use:
+//! the [`proptest!`] macro (both `name: Type` and `pattern in strategy`
+//! parameter forms, plus `#![proptest_config(..)]`), integer-range and
+//! tuple strategies, [`collection::vec`], the `prop_map` /
+//! `prop_flat_map` / `prop_filter` combinators, [`arbitrary::any`], and
+//! the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, deliberate for an offline test harness:
+//! inputs are generated from a fixed seed (runs are reproducible, no
+//! `PROPTEST_*` env handling), and failing cases are reported without
+//! shrinking — the failing input is printed as-is.
+
+/// Test-case outcomes, configuration, and the deterministic RNG.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Why a test case failed or was rejected.
+    pub type Reason = String;
+
+    /// Result detail for a single test case.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The inputs did not satisfy an assumption; try another case.
+        Reject(Reason),
+        /// An assertion failed.
+        Fail(Reason),
+    }
+
+    impl TestCaseError {
+        /// Builds a rejection.
+        pub fn reject(reason: impl Into<Reason>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+
+        /// Builds a failure.
+        pub fn fail(reason: impl Into<Reason>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+                TestCaseError::Fail(r) => write!(f, "test failed: {r}"),
+            }
+        }
+    }
+
+    /// Runner configuration; `ProptestConfig` in the prelude.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Upper bound on rejected samples before the run aborts.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// A config that runs `cases` cases and defaults otherwise.
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 64,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    /// Deterministic input generator (xorshift64*). Fixed-seeded so
+    /// offline test runs are reproducible.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a nonzero-normalised seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed | 1, // xorshift state must be nonzero
+            }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Returns a value uniformly distributed in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            self.next_u64() % bound
+        }
+    }
+
+    pub(crate) struct TestRunner {
+        config: Config,
+    }
+
+    impl TestRunner {
+        pub(crate) fn new(config: Config) -> Self {
+            TestRunner { config }
+        }
+
+        pub(crate) fn run<S, F>(&mut self, strategy: &S, mut test: F)
+        where
+            S: crate::strategy::Strategy,
+            S::Value: fmt::Debug,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            let mut rng = TestRng::new(0x9E37_79B9_7F4A_7C15);
+            let mut rejects: u32 = 0;
+            let mut case: u32 = 0;
+            while case < self.config.cases {
+                let Some(value) = strategy.sample(&mut rng) else {
+                    rejects += 1;
+                    assert!(
+                        rejects <= self.config.max_global_rejects,
+                        "too many rejected inputs ({} rejects for {} completed cases); \
+                         loosen the strategy or the prop_filter",
+                        rejects,
+                        case
+                    );
+                    continue;
+                };
+                let shown = format!("{value:?}");
+                match test(value) {
+                    Ok(()) => case += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                        assert!(
+                            rejects <= self.config.max_global_rejects,
+                            "too many rejected inputs ({} rejects for {} completed cases); \
+                             loosen the prop_assume conditions",
+                            rejects,
+                            case
+                        );
+                    }
+                    Err(TestCaseError::Fail(reason)) => {
+                        panic!("proptest case {case} failed: {reason}\n  input: {shown}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs `test` against `strategy` per `config`. Called by the
+    /// [`proptest!`](crate::proptest) macro expansion; panics on the
+    /// first failing case, printing the input that failed.
+    pub fn run_cases<S, F>(config: Config, strategy: S, test: F)
+    where
+        S: crate::strategy::Strategy,
+        S::Value: fmt::Debug,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        TestRunner::new(config).run(&strategy, test);
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and its combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating test inputs.
+    ///
+    /// `sample` returns `None` when the drawn input is rejected (e.g. by
+    /// [`prop_filter`](Strategy::prop_filter)); the runner retries with
+    /// fresh randomness.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value, or `None` on rejection.
+        fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Transforms produced values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds produced values into `f` to pick a dependent strategy.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Rejects produced values for which `pred` is false.
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                _reason: reason.into(),
+                pred,
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<O> {
+            self.inner.sample(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S2::Value> {
+            let outer = self.inner.sample(rng)?;
+            (self.f)(outer).sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        _reason: String,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            self.inner.sample(rng).filter(|v| (self.pred)(v))
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    Some(self.start + rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return Some(rng.next_u64() as $t);
+                    }
+                    Some(lo + rng.below(span + 1) as $t)
+                }
+            }
+        )*};
+    }
+    int_range_strategies!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+ ))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    Some(($(self.$idx.sample(rng)?,)+))
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+/// [`any`](arbitrary::any) and the [`Arbitrary`](arbitrary::Arbitrary)
+/// trait for types with a canonical "whole domain" strategy.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy [`any`] returns.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Returns the full-domain strategy for `Self`.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Uniform full-domain strategy for primitive types.
+    pub struct AnyPrimitive<T>(PhantomData<T>);
+
+    macro_rules! impl_arbitrary_prim {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyPrimitive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                    Some(rng.next_u64() as $t)
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive(PhantomData)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for AnyPrimitive<bool> {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<bool> {
+            Some(rng.next_u64() & 1 == 1)
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyPrimitive<bool>;
+
+        fn arbitrary() -> Self::Strategy {
+            AnyPrimitive(PhantomData)
+        }
+    }
+
+    /// Returns [`Arbitrary::arbitrary`] for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+}
+
+/// Strategies for collections; only [`vec`](collection::vec) is needed
+/// here.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is drawn uniformly from `size` (a `usize`, `a..b`, or
+    /// `a..=b`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span + 1) as usize
+                };
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.sample(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "{}\n  both: {:?}",
+            format!($($fmt)+), l
+        );
+    }};
+}
+
+/// Rejects the current case (does not fail the test) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Defines property tests.
+///
+/// Supports the two upstream parameter forms — `name: Type` (drawn from
+/// [`any`](arbitrary::any)) and `pattern in strategy` — plus an optional
+/// leading `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        // Tests in this workspace write `#[test]` on each fn inside
+        // `proptest!`, so the attributes are passed through rather than
+        // adding another `#[test]` here.
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_params! { (($cfg) $body) [] [] $($params)* }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_params {
+    // Terminal: all parameters parsed; run the cases.
+    ((($cfg:expr) $body:block) [$($pat:pat_param,)*] [$($strat:expr,)*]) => {
+        $crate::test_runner::run_cases(
+            $cfg,
+            ($($strat,)*),
+            |($($pat,)*)| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                $body
+                ::core::result::Result::Ok(())
+            },
+        );
+    };
+    // `name: Type` — shorthand for `name in any::<Type>()`.
+    ($ctx:tt [$($pat:pat_param,)*] [$($strat:expr,)*] $n:ident : $t:ty $(,)?) => {
+        $crate::__proptest_params! { $ctx [$($pat,)* $n,] [$($strat,)* $crate::arbitrary::any::<$t>(),] }
+    };
+    ($ctx:tt [$($pat:pat_param,)*] [$($strat:expr,)*] $n:ident : $t:ty, $($rest:tt)+) => {
+        $crate::__proptest_params! { $ctx [$($pat,)* $n,] [$($strat,)* $crate::arbitrary::any::<$t>(),] $($rest)+ }
+    };
+    // `pattern in strategy`.
+    ($ctx:tt [$($pat:pat_param,)*] [$($strat:expr,)*] $p:pat_param in $e:expr $(,)?) => {
+        $crate::__proptest_params! { $ctx [$($pat,)* $p,] [$($strat,)* $e,] }
+    };
+    ($ctx:tt [$($pat:pat_param,)*] [$($strat:expr,)*] $p:pat_param in $e:expr, $($rest:tt)+) => {
+        $crate::__proptest_params! { $ctx [$($pat,)* $p,] [$($strat,)* $e,] $($rest)+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn range_strategy_in_bounds() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut rng = TestRng::new(7);
+        for _ in 0..500 {
+            let v = (3usize..10).sample(&mut rng).unwrap();
+            assert!((3..10).contains(&v));
+            let w = (2u8..=5).sample(&mut rng).unwrap();
+            assert!((2..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(0usize..4, 2..=6);
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng).unwrap();
+            assert!((2..=6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn filter_rejects() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = (0usize..10).prop_filter("even only", |v| v % 2 == 0);
+        let mut rng = TestRng::new(13);
+        let mut seen = 0;
+        for _ in 0..200 {
+            if let Some(v) = s.sample(&mut rng) {
+                assert_eq!(v % 2, 0);
+                seen += 1;
+            }
+        }
+        assert!(seen > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_type_form(a: u8, b: u64) {
+            prop_assert!(u64::from(a) <= 255);
+            prop_assert_ne!(b, b.wrapping_add(1));
+        }
+
+        #[test]
+        fn macro_strategy_form((x, y) in (0usize..50, 10usize..=20)) {
+            prop_assert!(x < 50);
+            prop_assert!((10..=20).contains(&y));
+            prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn macro_assume_and_early_return(n in 0usize..8) {
+            prop_assume!(n != 3);
+            if n == 0 {
+                return Ok(());
+            }
+            prop_assert!(n != 3);
+        }
+
+        #[test]
+        fn macro_flat_map_and_vec(v in crate::collection::vec(0u8..16, 0..9)) {
+            prop_assert!(v.len() < 9);
+        }
+    }
+}

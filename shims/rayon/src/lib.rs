@@ -1,0 +1,467 @@
+//! Offline stand-in for the `rayon` crate (1.x API subset).
+//!
+//! The build environment cannot fetch crates.io, so this crate provides
+//! the exact data-parallel surface the workspace uses, implemented with
+//! `std::thread::scope`:
+//!
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — a "pool" here is
+//!   just a parallelism width; `install` records it in a thread-local so
+//!   the parallel iterators below know how many worker threads to spawn.
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` (order-preserving),
+//! * `slice.par_iter_mut().try_for_each(f)`,
+//! * `slice.par_chunks_mut(n).enumerate().for_each(f)`.
+//!
+//! Workers are spawned per call rather than kept warm; for the
+//! region-sized work items in this workspace the spawn cost is noise,
+//! and scoped threads keep the lifetimes simple (no `'static` bounds).
+
+use std::cell::Cell;
+use std::fmt;
+use std::thread;
+
+thread_local! {
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Parallelism width the calling thread is currently "installed" in:
+/// the enclosing [`ThreadPool::install`]'s width, or the machine's
+/// available parallelism outside any pool (matching rayon's global-pool
+/// default).
+fn current_threads() -> usize {
+    let cur = CURRENT_THREADS.with(|c| c.get());
+    if cur != 0 {
+        cur
+    } else {
+        thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Error building a thread pool. The shim never actually fails, but the
+/// type exists so `ThreadPoolBuilder::build()?` call sites compile.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool's parallelism width (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Accepted for API compatibility; workers are per-call scoped
+    /// threads here, so the name function is not used.
+    pub fn thread_name<F>(self, _f: F) -> Self
+    where
+        F: FnMut(usize) -> String + Send + Sync + 'static,
+    {
+        self
+    }
+
+    /// Builds the pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A parallelism scope: parallel iterators run under
+/// [`install`](ThreadPool::install) use this pool's width.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.num_threads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's width active for any parallel
+    /// iterators it invokes.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        CURRENT_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.num_threads);
+            let result = op();
+            c.set(prev);
+            result
+        })
+    }
+
+    /// The pool's parallelism width.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+fn join_or_propagate<T>(handle: thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Order-preserving parallel map over `items`, chunked across up to
+/// [`current_threads`] scoped workers.
+fn map_collect<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let workers = current_threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(|| c.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(join_or_propagate(h));
+        }
+        out
+    })
+}
+
+/// Parallel iterator over `&[T]`; produced by
+/// [`IntoParallelRefIterator::par_iter`].
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each item through `f`.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        map_collect(self.items, f);
+    }
+}
+
+/// Mapped parallel iterator; terminates with [`collect`](ParMap::collect).
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F> ParMap<'a, T, F>
+where
+    T: Sync,
+{
+    /// Collects the mapped results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        map_collect(self.items, self.f).into()
+    }
+}
+
+/// `par_iter()` on shared slices (and `Vec` via deref).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Exclusive parallel iterator over `&mut [T]`; produced by
+/// [`IntoParallelRefMutIterator::par_iter_mut`].
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Runs `f` on every item, stopping at (one of) the first error(s).
+    pub fn try_for_each<E, F>(self, f: F) -> Result<(), E>
+    where
+        E: Send,
+        F: Fn(&'a mut T) -> Result<(), E> + Sync,
+    {
+        let items = self.items;
+        let workers = current_threads().min(items.len());
+        if workers <= 1 {
+            for item in items {
+                f(item)?;
+            }
+            return Ok(());
+        }
+        let chunk = items.len().div_ceil(workers);
+        thread::scope(|s| {
+            let handles: Vec<_> = items
+                .chunks_mut(chunk)
+                .map(|c| {
+                    s.spawn(|| {
+                        for item in c {
+                            f(item)?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            let mut result = Ok(());
+            for h in handles {
+                let r = join_or_propagate(h);
+                if result.is_ok() {
+                    result = r;
+                }
+            }
+            result
+        })
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut T) + Sync,
+    {
+        let _ = self.try_for_each::<(), _>(|t| {
+            f(t);
+            Ok(())
+        });
+    }
+}
+
+/// `par_iter_mut()` on exclusive slices (and `Vec` via deref).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type yielded by mutable reference.
+    type Item: Send + 'a;
+
+    /// Returns a parallel iterator over `&mut self`'s elements.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// Parallel mutable chunk iterator; see
+/// [`ParallelSliceMut::par_chunks_mut`].
+pub struct ParChunksMut<'a, T> {
+    data: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            data: self.data,
+            chunk: self.chunk,
+        }
+    }
+
+    /// Runs `f` on every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+/// Enumerated form of [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    data: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Runs `f((index, chunk))` on every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let mut pieces: Vec<(usize, &'a mut [T])> =
+            self.data.chunks_mut(self.chunk).enumerate().collect();
+        let workers = current_threads().min(pieces.len());
+        if workers <= 1 {
+            for piece in pieces {
+                f(piece);
+            }
+            return;
+        }
+        let per = pieces.len().div_ceil(workers);
+        let mut groups: Vec<Vec<(usize, &'a mut [T])>> = Vec::with_capacity(workers);
+        while !pieces.is_empty() {
+            let tail = pieces.split_off(per.min(pieces.len()));
+            groups.push(std::mem::replace(&mut pieces, tail));
+        }
+        thread::scope(|s| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|group| {
+                    s.spawn(|| {
+                        for piece in group {
+                            f(piece);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                join_or_propagate(h);
+            }
+        });
+    }
+}
+
+/// `par_chunks_mut()` on exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into chunks of at most `chunk` elements, in
+    /// order, for parallel consumption.
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk != 0, "chunk size must be non-zero");
+        ParChunksMut { data: self, chunk }
+    }
+}
+
+/// The usual glob import: the parallel-iterator traits.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn install_sets_width_and_restores() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_threads();
+        pool.install(|| assert_eq!(current_threads(), 3));
+        assert_eq!(current_threads(), outside);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let input: Vec<usize> = (0..101).collect();
+        let out: Vec<usize> = pool.install(|| input.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(out, (0..101).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_for_each_mutates_and_reports_errors() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let mut v: Vec<usize> = (0..10).collect();
+        let ok: Result<(), ()> = pool.install(|| {
+            v.par_iter_mut().try_for_each(|x| {
+                *x += 1;
+                Ok(())
+            })
+        });
+        assert!(ok.is_ok());
+        assert_eq!(v, (1..11).collect::<Vec<_>>());
+
+        let err: Result<(), usize> = pool.install(|| {
+            v.par_iter_mut()
+                .try_for_each(|x| if *x == 5 { Err(*x) } else { Ok(()) })
+        });
+        assert_eq!(err, Err(5));
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_sees_global_indices() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut buf = [0u8; 70];
+        pool.install(|| {
+            buf.par_chunks_mut(16).enumerate().for_each(|(i, c)| {
+                for b in c {
+                    *b = i as u8 + 1;
+                }
+            })
+        });
+        for (i, b) in buf.iter().enumerate() {
+            assert_eq!(*b, (i / 16) as u8 + 1);
+        }
+    }
+
+    #[test]
+    fn zero_width_pool_defaults_to_machine() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}

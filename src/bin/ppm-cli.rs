@@ -5,21 +5,26 @@
 //! devices with the PPM decoder:
 //!
 //! ```text
-//! ppm-cli encode  --code sd:6,8,2,2 [--sector-kib 64] <input> <dir>
+//! ppm-cli encode  --code sd:6,8,2,2 [--sector-kib 64] [--stats] <input> <dir>
 //! ppm-cli verify  <dir>                 # H·B = 0 for every stripe
 //! ppm-cli corrupt <dir> --disks 1,3     # simulate device failures
-//! ppm-cli repair  <dir> [--threads T]   # PPM-decode every stripe
+//! ppm-cli repair  <dir> [--threads T] [--stats]  # PPM-decode every stripe
 //! ppm-cli decode  <dir> <output>        # reassemble the original file
 //! ppm-cli info    <dir>
 //! ```
 //!
 //! Code specs: `sd:n,r,m,s` · `pmds:n,r,m,s` · `lrc:k,l,g,r` · `rs:k,m,r` ·
 //! `evenodd:p` · `rdp:p` · `star:p`.
+//!
+//! `--stats` instruments the decode data path and prints one JSON object
+//! to stdout: aggregate executed `mult_XORs` (counted by the region
+//! kernels) against the planner's predicted cost, bytes moved, wall
+//! times, and a per-sub-plan sample — see `ppm_core::ExecStats`.
 
 use ppm::{
     encode, parity_consistent, Backend, Decoder, DecoderConfig, ErasureCode, EvenOddCode,
-    FailureScenario, LrcCode, PmdsCode, RdpCode, RsCode, SdCode, StarCode, Strategy, Stripe,
-    StripeLayout,
+    ExecStats, FailureScenario, LrcCode, PmdsCode, RdpCode, RsCode, SdCode, StarCode, Strategy,
+    Stripe, StripeLayout,
 };
 use std::fs;
 use std::io::{Read, Write};
@@ -241,6 +246,60 @@ impl Archive {
     }
 }
 
+/// Aggregates [`ExecStats`] across the stripes of one run and renders a
+/// single JSON summary: totals for the executed side of the §III-B
+/// ledger, the shared per-stripe prediction, and the first stripe's full
+/// `ExecStats` as a representative sample.
+#[derive(Default)]
+struct StatsAgg {
+    stripes: usize,
+    executed_mult_xors: u64,
+    executed_plain_xors: u64,
+    bytes_moved: u64,
+    total_nanos: u128,
+    utilization_sum: f64,
+    mismatches: usize,
+    sample: Option<String>,
+}
+
+impl StatsAgg {
+    fn add(&mut self, stats: &ExecStats) {
+        self.stripes += 1;
+        self.executed_mult_xors += stats.executed_mult_xors();
+        self.executed_plain_xors += stats.executed_plain_xors();
+        self.bytes_moved += stats.bytes_moved();
+        self.total_nanos += stats.total_nanos;
+        self.utilization_sum += stats.thread_utilization();
+        if !stats.matches_prediction() {
+            self.mismatches += 1;
+        }
+        if self.sample.is_none() {
+            self.sample = Some(stats.to_json());
+        }
+    }
+
+    fn to_json(&self, predicted_per_stripe: usize) -> String {
+        let predicted_total = predicted_per_stripe as u64 * self.stripes as u64;
+        format!(
+            "{{\"stripes\":{},\"predicted_mult_xors_per_stripe\":{},\
+             \"predicted_mult_xors_total\":{},\"executed_mult_xors_total\":{},\
+             \"matches_prediction\":{},\"executed_plain_xors_total\":{},\
+             \"bytes_moved_total\":{},\"total_nanos\":{},\
+             \"mean_thread_utilization\":{:.4},\"sample\":{}}}",
+            self.stripes,
+            predicted_per_stripe,
+            predicted_total,
+            self.executed_mult_xors,
+            self.mismatches == 0 && self.executed_mult_xors == predicted_total,
+            self.executed_plain_xors,
+            self.bytes_moved,
+            self.total_nanos,
+            self.utilization_sum / self.stripes.max(1) as f64,
+            self.sample.as_deref().unwrap_or("null"),
+        )
+    }
+}
+
 fn cmd_encode(args: &[String]) -> Result<(), String> {
     let (flags, pos) = split_flags(args);
     let spec = flags
@@ -272,6 +331,21 @@ fn cmd_encode(args: &[String]) -> Result<(), String> {
 
     let decoder = Decoder::new(DecoderConfig::default());
     let data_sectors = dyn_code.data_sectors();
+    // Encoding is decoding with every parity sector "faulty" — with
+    // --stats, build that plan once and run it instrumented per stripe.
+    let want_stats = flags.contains_key("stats");
+    let h = dyn_code.parity_check_matrix();
+    let parity_scenario = FailureScenario::new(dyn_code.parity_sectors());
+    let mut agg = StatsAgg::default();
+    let stats_plan = if want_stats {
+        Some(
+            decoder
+                .plan(&h, &parity_scenario, Strategy::PpmAuto)
+                .map_err(|e| e.to_string())?,
+        )
+    } else {
+        None
+    };
     for s in 0..stripes {
         let mut stripe = Stripe::zeroed(archive.layout(), sector_bytes);
         let base = s * per_stripe;
@@ -283,12 +357,25 @@ fn cmd_encode(args: &[String]) -> Result<(), String> {
             let end = (start + sector_bytes).min(data.len());
             stripe.sector_mut(sector)[..end - start].copy_from_slice(&data[start..end]);
         }
-        encode(&dyn_code, &decoder, &mut stripe).map_err(|e| e.to_string())?;
+        match &stats_plan {
+            Some(plan) => {
+                let st = decoder
+                    .decode_with_stats(plan, &mut stripe)
+                    .map_err(|e| e.to_string())?;
+                agg.add(&st);
+            }
+            None => {
+                encode(&dyn_code, &decoder, &mut stripe).map_err(|e| e.to_string())?;
+            }
+        }
         archive
             .write_stripe(s, &stripe)
             .map_err(|e| e.to_string())?;
     }
     archive.save_manifest().map_err(|e| e.to_string())?;
+    if let Some(plan) = &stats_plan {
+        println!("{}", agg.to_json(plan.mult_xors()));
+    }
     println!(
         "encoded {} bytes into {} stripes across {} devices ({})",
         data.len(),
@@ -324,7 +411,7 @@ fn cmd_corrupt(args: &[String]) -> Result<(), String> {
 fn cmd_repair(args: &[String]) -> Result<(), String> {
     let (flags, pos) = split_flags(args);
     let [dir] = pos.as_slice() else {
-        return Err("usage: repair <dir> [--threads T]".into());
+        return Err("usage: repair <dir> [--threads T] [--stats]".into());
     };
     let archive = Archive::load(Path::new(dir))?;
     let threads = flag_num(&flags, "threads").unwrap_or(4);
@@ -350,17 +437,29 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
         plan.parallelism(),
         plan.mult_xors()
     );
+    let want_stats = flags.contains_key("stats");
+    let mut agg = StatsAgg::default();
     for s in 0..archive.stripes {
         let (mut stripe, lost) = archive.read_stripe(s);
         if lost != scenario {
             return Err(format!("stripe {s}: inconsistent failure pattern"));
         }
-        decoder
-            .decode(&plan, &mut stripe)
-            .map_err(|e| e.to_string())?;
+        if want_stats {
+            let st = decoder
+                .decode_with_stats(&plan, &mut stripe)
+                .map_err(|e| e.to_string())?;
+            agg.add(&st);
+        } else {
+            decoder
+                .decode(&plan, &mut stripe)
+                .map_err(|e| e.to_string())?;
+        }
         archive
             .write_stripe(s, &stripe)
             .map_err(|e| e.to_string())?;
+    }
+    if want_stats {
+        println!("{}", agg.to_json(plan.mult_xors()));
     }
     println!("repaired {} stripes", archive.stripes);
     Ok(())
@@ -439,10 +538,16 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 fn split_flags(args: &[String]) -> (std::collections::HashMap<String, String>, Vec<String>) {
     let mut flags = std::collections::HashMap::new();
     let mut pos = Vec::new();
+    // Flags that take no value; everything else consumes the next token.
+    const BOOLEAN: &[&str] = &["stats"];
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            let value = it.next().cloned().unwrap_or_default();
+            let value = if BOOLEAN.contains(&name) {
+                String::new()
+            } else {
+                it.next().cloned().unwrap_or_default()
+            };
             flags.insert(name.to_string(), value);
         } else {
             pos.push(a.clone());

@@ -58,7 +58,7 @@ pub use ppm_codes::{
 };
 pub use ppm_core::{
     cost, encode, parity_consistent, CalcSequence, DecodeError, DecodePlan, Decoder, DecoderConfig,
-    LogTable, ParallelismCase, Partition, Strategy, UpdatePlan,
+    ExecStats, LogTable, ParallelismCase, Partition, Strategy, SubPlanStats, UpdatePlan,
 };
 pub use ppm_gf::{Backend, GfWord, RegionMul};
 pub use ppm_matrix::Matrix;

@@ -119,6 +119,50 @@ fn tiny_file_single_stripe() {
     roundtrip("tiny", "rdp:5", "1", 100);
 }
 
+/// `--stats` on encode and repair emits the JSON telemetry summary, and
+/// the executed mult_XOR ledger matches the planner's prediction.
+#[test]
+fn stats_flag_reports_matching_ledger() {
+    let dir = workdir("stats");
+    let input = make_input(&dir, 120_000, 5);
+    let archive = dir.join("a");
+    let archive_s = archive.to_str().unwrap();
+
+    let out = run_ok(&[
+        "encode",
+        "--code",
+        "sd:6,4,2,1",
+        "--sector-kib",
+        "1",
+        "--stats",
+        input.to_str().unwrap(),
+        archive_s,
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("\"matches_prediction\":true"), "{text}");
+    assert!(text.contains("\"executed_mult_xors_total\":"), "{text}");
+
+    run_ok(&["corrupt", archive_s, "--disks", "0,5"]);
+    let out = run_ok(&["repair", archive_s, "--threads", "2", "--stats"]);
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("\"matches_prediction\":true"), "{text}");
+    assert!(text.contains("\"sample\":{"), "{text}");
+    assert!(
+        text.contains("\"predicted_mult_xors_per_stripe\":"),
+        "{text}"
+    );
+
+    run_ok(&["verify", archive_s]);
+    let out = dir.join("out.bin");
+    run_ok(&["decode", archive_s, out.to_str().unwrap()]);
+    assert_eq!(
+        std::fs::read(&input).unwrap(),
+        std::fs::read(&out).unwrap(),
+        "stats-instrumented repair must still restore the file"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn info_reports_shape() {
     let dir = workdir("info");

@@ -62,13 +62,13 @@ fn reference_decode<W: GfWord>(h: &Matrix<W>, scenario: &FailureScenario, stripe
 
 fn differential<W: GfWord, C: ErasureCode<W>>(code: &C, scenario: &FailureScenario, seed: u64) {
     let h = code.parity_check_matrix();
-    let decoder = Decoder::new(DecoderConfig {
+    let enc = Decoder::new(DecoderConfig {
         threads: 2,
         backend: Backend::Auto,
     });
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stripe = random_data_stripe(code, 40 * W::BYTES.max(2), &mut rng);
-    encode(code, &decoder, &mut stripe).unwrap();
+    encode(code, &enc, &mut stripe).unwrap();
     let pristine = stripe.clone();
 
     // Reference path.
@@ -82,25 +82,38 @@ fn differential<W: GfWord, C: ErasureCode<W>>(code: &C, scenario: &FailureScenar
         code.name()
     );
 
-    // Region path, every strategy.
-    for strategy in [
-        Strategy::TraditionalNormal,
-        Strategy::TraditionalMatrixFirst,
-        Strategy::PpmMatrixFirstRest,
-        Strategy::PpmNormalRest,
-        Strategy::PpmAuto,
-    ] {
-        let mut by_regions = pristine.clone();
-        by_regions.erase(scenario);
-        decoder
-            .decode_scenario(&h, scenario, strategy, &mut by_regions)
-            .unwrap();
-        assert_eq!(
-            by_regions,
-            by_reference,
-            "{}: region decoder diverges from reference ({strategy:?})",
-            code.name()
-        );
+    // Region path: every strategy under the full decoder configuration
+    // matrix — serial and parallel executors, scalar and (where the host
+    // supports it) SIMD region kernels must all agree with the word-level
+    // reference.
+    let backends = match Backend::detect() {
+        Backend::Scalar => vec![Backend::Scalar],
+        simd => vec![Backend::Scalar, simd],
+    };
+    for threads in [1usize, 2, 4] {
+        for &backend in &backends {
+            let decoder = Decoder::new(DecoderConfig { threads, backend });
+            for strategy in [
+                Strategy::TraditionalNormal,
+                Strategy::TraditionalMatrixFirst,
+                Strategy::PpmMatrixFirstRest,
+                Strategy::PpmNormalRest,
+                Strategy::PpmAuto,
+            ] {
+                let mut by_regions = pristine.clone();
+                by_regions.erase(scenario);
+                decoder
+                    .decode_scenario(&h, scenario, strategy, &mut by_regions)
+                    .unwrap();
+                assert_eq!(
+                    by_regions,
+                    by_reference,
+                    "{}: region decoder diverges from reference \
+                     ({strategy:?}, T={threads}, {backend:?})",
+                    code.name()
+                );
+            }
+        }
     }
 }
 
