@@ -9,6 +9,8 @@
 /// * `--threads <N>` — thread budget `T` (default 4, the paper's cap),
 /// * `--full` — run the paper's full parameter sweep instead of the
 ///   representative subset,
+/// * `--smoke` — shrink workloads to CI-smoke scale (tiny stripes, one
+///   rep); correctness assertions still run,
 /// * `--seed <N>` — RNG seed for workloads and failure scenarios.
 #[derive(Clone, Copy, Debug)]
 pub struct ExpArgs {
@@ -20,6 +22,8 @@ pub struct ExpArgs {
     pub threads: usize,
     /// Full sweep instead of the representative subset.
     pub full: bool,
+    /// CI-smoke scale: tiny workloads, minimal reps.
+    pub smoke: bool,
     /// Workload seed.
     pub seed: u64,
 }
@@ -31,6 +35,7 @@ impl Default for ExpArgs {
             reps: 3,
             threads: 4,
             full: false,
+            smoke: false,
             seed: 2015,
         }
     }
@@ -54,8 +59,15 @@ impl ExpArgs {
                 "--threads" => out.threads = num("--threads") as usize,
                 "--seed" => out.seed = num("--seed"),
                 "--full" => out.full = true,
+                "--smoke" => {
+                    out.smoke = true;
+                    out.stripe_bytes = 64 << 10;
+                    out.reps = 1;
+                }
                 "--help" | "-h" => {
-                    eprintln!("flags: --stripe-mib <N> --reps <N> --threads <N> --seed <N> --full");
+                    eprintln!(
+                        "flags: --stripe-mib <N> --reps <N> --threads <N> --seed <N> --full --smoke"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other}; try --help"),
@@ -85,6 +97,7 @@ mod tests {
         assert_eq!(a.reps, 3);
         assert_eq!(a.threads, 4);
         assert!(!a.full);
+        assert!(!a.smoke);
         assert!((a.stripe_mib() - 4.0).abs() < 1e-9);
     }
 }

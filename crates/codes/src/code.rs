@@ -98,6 +98,20 @@ pub trait ErasureCode<W: GfWord> {
     /// Human-readable instance name, e.g. `SD^{1,1}_{4,4}(8|1,2)`.
     fn name(&self) -> String;
 
+    /// Stable identifier for plan caching: two codes with the same
+    /// `cache_id` must have identical parity-check matrices, so a decode
+    /// plan built for one is valid for the other.
+    ///
+    /// The default derives it from [`ErasureCode::name`] plus the stripe
+    /// geometry; every concrete code in this workspace embeds its full
+    /// parameterization (family, dimensions, coefficients) in its name,
+    /// which makes that derivation collision-free. A code whose name
+    /// under-determines `H` must override this.
+    fn cache_id(&self) -> String {
+        let layout = self.layout();
+        format!("{}#{}x{}", self.name(), layout.n, layout.r)
+    }
+
     /// Stripe geometry.
     fn layout(&self) -> StripeLayout;
 
@@ -150,6 +164,9 @@ pub trait ErasureCode<W: GfWord> {
 impl<W: GfWord, T: ErasureCode<W> + ?Sized> ErasureCode<W> for &T {
     fn name(&self) -> String {
         (**self).name()
+    }
+    fn cache_id(&self) -> String {
+        (**self).cache_id()
     }
     fn layout(&self) -> StripeLayout {
         (**self).layout()

@@ -1,0 +1,149 @@
+//! Scratch-buffer recycling for the decode executor.
+//!
+//! Every decode needs working space: one buffer per recovered sector, plus
+//! (under the Normal sequence) one accumulator for `S·BS`. The seed
+//! executor allocated these inside `run_subplan` on every call, so a
+//! repair session decoding ten thousand stripes paid ten thousand rounds
+//! of allocator traffic for identically-sized buffers. [`ScratchArena`]
+//! keeps returned buffers and lends them back out, turning steady-state
+//! decode into a zero-allocation loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A pool of byte buffers shared by decode workers.
+///
+/// `take` hands out a zeroed buffer of the requested length, reusing a
+/// returned one when available; `give` returns a buffer to the pool.
+/// The arena is `Sync` — workers on different threads borrow and return
+/// concurrently — and deliberately unbounded in count but bounded in
+/// practice by the decode fan-out: a session holds at most
+/// (threads × buffers-per-subplan) buffers at peak, and they are all
+/// returned at the end of each decode.
+///
+/// Buffers are recycled by *capacity*, not exact length: a reused buffer
+/// is truncated/zero-extended to the requested length, so one arena can
+/// serve stripes of different sector sizes (chunked decode splits, mixed
+/// codes) without thrashing.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    pool: Mutex<Vec<Vec<u8>>>,
+    fresh: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl ScratchArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrows a zeroed buffer of exactly `len` bytes.
+    pub fn take(&self, len: usize) -> Vec<u8> {
+        let recycled = {
+            let mut pool = self.pool.lock().expect("arena pool poisoned");
+            pool.pop()
+        };
+        match recycled {
+            Some(mut buf) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                buf.clear();
+                buf.resize(len, 0);
+                buf
+            }
+            None => {
+                self.fresh.fetch_add(1, Ordering::Relaxed);
+                vec![0u8; len]
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool for later reuse.
+    pub fn give(&self, buf: Vec<u8>) {
+        // Zero-capacity vectors carry nothing worth keeping.
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut pool = self.pool.lock().expect("arena pool poisoned");
+        pool.push(buf);
+    }
+
+    /// Buffers currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.lock().expect("arena pool poisoned").len()
+    }
+
+    /// Buffers that had to be freshly allocated (pool was empty).
+    pub fn fresh_allocations(&self) -> u64 {
+        self.fresh.load(Ordering::Relaxed)
+    }
+
+    /// Buffers served by recycling a returned one.
+    pub fn reuses(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_take_reuses_storage() {
+        let arena = ScratchArena::new();
+        let a = arena.take(64);
+        assert_eq!(a, vec![0u8; 64]);
+        assert_eq!(arena.fresh_allocations(), 1);
+        arena.give(a);
+        assert_eq!(arena.pooled(), 1);
+        let b = arena.take(64);
+        assert_eq!(b, vec![0u8; 64]);
+        assert_eq!(arena.reuses(), 1);
+        assert_eq!(arena.fresh_allocations(), 1, "no second allocation");
+        assert_eq!(arena.pooled(), 0);
+    }
+
+    #[test]
+    fn reused_buffers_are_zeroed_and_resized() {
+        let arena = ScratchArena::new();
+        let mut a = arena.take(8);
+        a.iter_mut().for_each(|b| *b = 0xAB);
+        arena.give(a);
+        // Shrink: stale bytes must not leak through.
+        let b = arena.take(4);
+        assert_eq!(b, vec![0u8; 4]);
+        arena.give(b);
+        // Grow: still fully zeroed.
+        let c = arena.take(16);
+        assert_eq!(c, vec![0u8; 16]);
+    }
+
+    #[test]
+    fn concurrent_take_give_is_safe() {
+        let arena = std::sync::Arc::new(ScratchArena::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let arena = std::sync::Arc::clone(&arena);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let buf = arena.take(256);
+                    assert!(buf.iter().all(|&b| b == 0));
+                    arena.give(buf);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Everything given back; served = fresh + reused.
+        assert_eq!(arena.fresh_allocations() + arena.reuses(), 200);
+        assert!(arena.pooled() <= 4);
+    }
+
+    #[test]
+    fn empty_buffers_are_not_pooled() {
+        let arena = ScratchArena::new();
+        arena.give(Vec::new());
+        assert_eq!(arena.pooled(), 0);
+    }
+}

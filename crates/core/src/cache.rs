@@ -1,0 +1,410 @@
+//! Plan caching: amortize plan construction across repeated decodes.
+//!
+//! The paper's cost model (§III-B) prices a *single* decode, but a repair
+//! pipeline decodes the same `(code, erasure pattern)` combination
+//! thousands of times — once per stripe of a failed device. Rebuilding
+//! the plan each time repeats the log-table scan, the partition, and the
+//! `F` factorization, all of which depend only on `H` and the faulty
+//! columns, never on the stripe payload. [`PlanCache`] keys fully built
+//! [`DecodePlan`]s by a canonical erasure signature ([`PlanKey`]) and
+//! hands out shared references, so a warm decode performs zero matrix
+//! inversions and zero plan-construction allocations.
+
+use crate::plan::{DecodePlan, Strategy};
+use ppm_codes::FailureScenario;
+use ppm_gf::GfWord;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Canonical erasure signature: the complete identity of a decode plan.
+///
+/// Two decode requests may share one plan exactly when they agree on all
+/// four components: the code (hence `H`), the GF word width the matrix is
+/// expressed in, the *set* of faulty columns, and the strategy. The
+/// faulty set is stored sorted and deduplicated (inherited from
+/// [`FailureScenario`]'s canonical form), so scenarios enumerating the
+/// same failures in any order — or equivalently, any surviving-sector
+/// order — produce the same key. The key is structural (no hashing down
+/// to a digest), so distinct patterns can never collide.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    code_id: String,
+    gf_width: u32,
+    faulty: Vec<usize>,
+    strategy: Strategy,
+}
+
+impl PlanKey {
+    /// Builds the canonical key for decoding `scenario` of the code
+    /// identified by `code_id` (see
+    /// [`ErasureCode::cache_id`](ppm_codes::ErasureCode::cache_id)) over
+    /// GF(2^`gf_width`) with `strategy`.
+    pub fn new(
+        code_id: impl Into<String>,
+        gf_width: u32,
+        scenario: &FailureScenario,
+        strategy: Strategy,
+    ) -> Self {
+        PlanKey {
+            code_id: code_id.into(),
+            gf_width,
+            faulty: scenario.faulty().to_vec(),
+            strategy,
+        }
+    }
+
+    /// The sorted faulty columns this key stands for.
+    pub fn faulty(&self) -> &[usize] {
+        &self.faulty
+    }
+}
+
+/// Point-in-time counters of a [`PlanCache`], carried in
+/// [`ExecStats`](crate::ExecStats) so cache behaviour shows up in the
+/// same telemetry stream as the §III-B ledger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache (no plan build, no inversion).
+    pub hits: u64,
+    /// Lookups that had to build (and insert) a plan.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Plans currently resident.
+    pub entries: usize,
+    /// Configured capacity bound.
+    pub capacity: usize,
+}
+
+impl PlanCacheStats {
+    /// Hit fraction in `[0, 1]` (1.0 when there were no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Renders the counters as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{},\
+             \"capacity\":{},\"hit_rate\":{:.4}}}",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.entries,
+            self.capacity,
+            self.hit_rate()
+        )
+    }
+}
+
+struct Entry<W: GfWord> {
+    plan: Arc<DecodePlan<W>>,
+    last_used: u64,
+}
+
+/// A bounded LRU cache of built decode plans.
+///
+/// Plans are immutable and `Sync`, so the cache hands out [`Arc`]s; a
+/// borrowed plan stays valid even if it is evicted mid-use. Recency is
+/// tracked with a monotone tick per lookup; eviction scans for the
+/// minimum, which is O(capacity) — capacities here are tens of entries
+/// (distinct erasure patterns under repair), not millions, and the scan
+/// is only paid on insert-at-capacity.
+pub struct PlanCache<W: GfWord> {
+    map: HashMap<PlanKey, Entry<W>>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<W: GfWord> PlanCache<W> {
+    /// Default capacity used by [`PlanCache::with_default_capacity`] and
+    /// the session layer: comfortably above the distinct erasure patterns
+    /// of any device-repair job (one pattern repeated per stripe) while
+    /// bounding memory for degraded-read floods.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// Creates a cache holding at most `capacity` plans.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a cache that can hold nothing would
+    /// silently turn every lookup into a rebuild; disable caching by not
+    /// using a cache instead.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "plan cache capacity must be positive");
+        PlanCache {
+            map: HashMap::new(),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Creates a cache with [`PlanCache::DEFAULT_CAPACITY`].
+    pub fn with_default_capacity() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Looks up `key`, counting a hit or miss, and bumps its recency.
+    pub fn get(&mut self, key: &PlanKey) -> Option<Arc<DecodePlan<W>>> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&entry.plan))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a plan under `key`, evicting the least-recently-used
+    /// entry if the cache is full. Does not touch the hit/miss counters
+    /// (pair with [`PlanCache::get`], or use
+    /// [`PlanCache::get_or_build`]).
+    pub fn insert(&mut self, key: PlanKey, plan: Arc<DecodePlan<W>>) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                plan,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// The cached plan for `key`, building and inserting it on a miss.
+    /// Returns the plan together with `true` on a hit, `false` when
+    /// `build` ran. A failed build inserts nothing (and still counts as
+    /// a miss — the lookup did not find a plan).
+    pub fn get_or_build<E>(
+        &mut self,
+        key: PlanKey,
+        build: impl FnOnce() -> Result<DecodePlan<W>, E>,
+    ) -> Result<(Arc<DecodePlan<W>>, bool), E> {
+        if let Some(plan) = self.get(&key) {
+            return Ok((plan, true));
+        }
+        let plan = Arc::new(build()?);
+        self.insert(key, Arc::clone(&plan));
+        Ok((plan, false))
+    }
+
+    /// Number of resident plans.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no plan is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops every resident plan, keeping the cumulative counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// A snapshot of the cumulative counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl<W: GfWord> std::fmt::Debug for PlanCache<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("entries", &self.map.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .field("evictions", &self.evictions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_codes::ErasureCode;
+    use ppm_gf::Backend;
+
+    fn plan_for(faulty: &[usize]) -> DecodePlan<u8> {
+        let code = ppm_codes::SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        DecodePlan::build(
+            &code.parity_check_matrix(),
+            &FailureScenario::new(faulty.to_vec()),
+            Strategy::PpmAuto,
+            Backend::Scalar,
+        )
+        .unwrap()
+    }
+
+    fn key(faulty: &[usize]) -> PlanKey {
+        PlanKey::new(
+            "test",
+            8,
+            &FailureScenario::new(faulty.to_vec()),
+            Strategy::PpmAuto,
+        )
+    }
+
+    #[test]
+    fn key_is_order_insensitive_and_structural() {
+        let a = PlanKey::new(
+            "c",
+            8,
+            &FailureScenario::new(vec![14, 2, 6, 2]),
+            Strategy::PpmAuto,
+        );
+        let b = PlanKey::new(
+            "c",
+            8,
+            &FailureScenario::new(vec![6, 14, 2]),
+            Strategy::PpmAuto,
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.faulty(), &[2, 6, 14]);
+        // Any differing component separates the keys.
+        let other_set = PlanKey::new("c", 8, &FailureScenario::new(vec![2, 6]), Strategy::PpmAuto);
+        let other_code = PlanKey::new(
+            "d",
+            8,
+            &FailureScenario::new(vec![2, 6, 14]),
+            Strategy::PpmAuto,
+        );
+        let other_width = PlanKey::new(
+            "c",
+            16,
+            &FailureScenario::new(vec![2, 6, 14]),
+            Strategy::PpmAuto,
+        );
+        let other_strategy = PlanKey::new(
+            "c",
+            8,
+            &FailureScenario::new(vec![2, 6, 14]),
+            Strategy::TraditionalNormal,
+        );
+        for wrong in [other_set, other_code, other_width, other_strategy] {
+            assert_ne!(a, wrong);
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let mut cache = PlanCache::<u8>::new(4);
+        assert!(cache.get(&key(&[2])).is_none());
+        cache.insert(key(&[2]), Arc::new(plan_for(&[2])));
+        assert!(cache.get(&key(&[2])).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.capacity), (1, 1, 1, 4));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn get_or_build_builds_once() {
+        let mut cache = PlanCache::<u8>::new(4);
+        let mut builds = 0;
+        for _ in 0..3 {
+            let (plan, hit) = cache
+                .get_or_build(key(&[2, 6]), || {
+                    builds += 1;
+                    Ok::<_, crate::DecodeError>(plan_for(&[2, 6]))
+                })
+                .unwrap();
+            assert_eq!(plan.faulty(), &[2, 6]);
+            assert_eq!(hit, builds == 1 && cache.stats().hits > 0);
+        }
+        assert_eq!(builds, 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = PlanCache::<u8>::new(2);
+        cache.insert(key(&[2]), Arc::new(plan_for(&[2])));
+        cache.insert(key(&[6]), Arc::new(plan_for(&[6])));
+        // Touch [2] so [6] becomes the LRU victim.
+        assert!(cache.get(&key(&[2])).is_some());
+        cache.insert(key(&[10]), Arc::new(plan_for(&[10])));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(&[2])).is_some());
+        assert!(cache.get(&key(&[6])).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(&[10])).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_same_key_does_not_evict() {
+        let mut cache = PlanCache::<u8>::new(1);
+        cache.insert(key(&[2]), Arc::new(plan_for(&[2])));
+        cache.insert(key(&[2]), Arc::new(plan_for(&[2])));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let mut cache = PlanCache::<u8>::new(2);
+        cache.insert(key(&[2]), Arc::new(plan_for(&[2])));
+        let _ = cache.get(&key(&[2]));
+        cache.clear();
+        assert!(cache.is_empty());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.entries), (1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = PlanCache::<u8>::new(0);
+    }
+
+    #[test]
+    fn stats_json_shape() {
+        let mut cache = PlanCache::<u8>::new(3);
+        cache.insert(key(&[2]), Arc::new(plan_for(&[2])));
+        let _ = cache.get(&key(&[2]));
+        let j = cache.stats().to_json();
+        for needle in [
+            "\"hits\":1",
+            "\"misses\":0",
+            "\"evictions\":0",
+            "\"entries\":1",
+            "\"capacity\":3",
+            "\"hit_rate\":1.0000",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+    }
+}

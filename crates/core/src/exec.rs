@@ -7,6 +7,7 @@
 //! Once all are installed, phase B decodes `H_rest` with the recovered
 //! blocks as additional inputs.
 
+use crate::arena::ScratchArena;
 use crate::plan::{DecodePlan, Program, RegionCache, Strategy, SubPlan};
 use crate::stats::{ExecStats, SubPlanStats};
 use crate::DecodeError;
@@ -15,6 +16,7 @@ use ppm_gf::{Backend, GfWord, RegionMul, RegionStats};
 use ppm_matrix::Matrix;
 use ppm_stripe::Stripe;
 use rayon::prelude::*;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Decoder configuration.
@@ -85,6 +87,28 @@ impl Decoder {
         plan: &DecodePlan<W>,
         stripe: &mut Stripe,
     ) -> Result<(), DecodeError> {
+        self.decode_inner(plan, stripe, None)
+    }
+
+    /// Like [`Decoder::decode`], but borrows every working buffer from
+    /// `arena` (and returns them afterwards) instead of allocating —
+    /// steady-state decode through a warm arena performs zero heap
+    /// allocations on the data path.
+    pub fn decode_in<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &mut Stripe,
+        arena: &ScratchArena,
+    ) -> Result<(), DecodeError> {
+        self.decode_inner(plan, stripe, Some(arena))
+    }
+
+    fn decode_inner<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &mut Stripe,
+        arena: Option<&ScratchArena>,
+    ) -> Result<(), DecodeError> {
         if stripe.layout().sectors() != plan.total_sectors() {
             return Err(DecodeError::GeometryMismatch {
                 expected: plan.total_sectors(),
@@ -98,24 +122,21 @@ impl Decoder {
             Some(pool) if plan.phase_a.len() > 1 => pool.install(|| {
                 plan.phase_a
                     .par_iter()
-                    .map(|sp| run_subplan(sp, &plan.regions, stripe, None))
+                    .map(|sp| run_subplan(sp, &plan.regions, stripe, None, arena))
                     .collect()
             }),
             _ => plan
                 .phase_a
                 .iter()
-                .map(|sp| run_subplan(sp, &plan.regions, stripe, None))
+                .map(|sp| run_subplan(sp, &plan.regions, stripe, None, arena))
                 .collect(),
         };
-        for (sector, buf) in outputs.into_iter().flatten() {
-            stripe.write_sector(sector, &buf);
-        }
+        install_outputs(outputs.into_iter().flatten(), stripe, arena);
 
         // Phase B: H_rest, reading the just-recovered blocks.
         if let Some(sp) = &plan.phase_b {
-            for (sector, buf) in run_subplan(sp, &plan.regions, stripe, None) {
-                stripe.write_sector(sector, &buf);
-            }
+            let outputs = run_subplan(sp, &plan.regions, stripe, None, arena);
+            install_outputs(outputs, stripe, arena);
         }
         Ok(())
     }
@@ -134,6 +155,26 @@ impl Decoder {
         plan: &DecodePlan<W>,
         stripe: &mut Stripe,
     ) -> Result<ExecStats, DecodeError> {
+        self.decode_with_stats_inner(plan, stripe, None)
+    }
+
+    /// [`Decoder::decode_with_stats`] with buffers borrowed from `arena`
+    /// (see [`Decoder::decode_in`]).
+    pub fn decode_with_stats_in<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &mut Stripe,
+        arena: &ScratchArena,
+    ) -> Result<ExecStats, DecodeError> {
+        self.decode_with_stats_inner(plan, stripe, Some(arena))
+    }
+
+    fn decode_with_stats_inner<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &mut Stripe,
+        arena: Option<&ScratchArena>,
+    ) -> Result<ExecStats, DecodeError> {
         if stripe.layout().sectors() != plan.total_sectors() {
             return Err(DecodeError::GeometryMismatch {
                 expected: plan.total_sectors(),
@@ -147,31 +188,27 @@ impl Decoder {
             Some(pool) if plan.phase_a.len() > 1 => pool.install(|| {
                 plan.phase_a
                     .par_iter()
-                    .map(|sp| run_subplan_instrumented(sp, &plan.regions, stripe))
+                    .map(|sp| run_subplan_instrumented(sp, &plan.regions, stripe, arena))
                     .collect()
             }),
             _ => plan
                 .phase_a
                 .iter()
-                .map(|sp| run_subplan_instrumented(sp, &plan.regions, stripe))
+                .map(|sp| run_subplan_instrumented(sp, &plan.regions, stripe, arena))
                 .collect(),
         };
         let phase_a_nanos = started.elapsed().as_nanos();
         let mut phase_a = Vec::with_capacity(results.len());
         for (outputs, stats) in results {
             phase_a.push(stats);
-            for (sector, buf) in outputs {
-                stripe.write_sector(sector, &buf);
-            }
+            install_outputs(outputs, stripe, arena);
         }
 
         // Phase B, instrumented the same way.
         let phase_b = match &plan.phase_b {
             Some(sp) => {
-                let (outputs, stats) = run_subplan_instrumented(sp, &plan.regions, stripe);
-                for (sector, buf) in outputs {
-                    stripe.write_sector(sector, &buf);
-                }
+                let (outputs, stats) = run_subplan_instrumented(sp, &plan.regions, stripe, arena);
+                install_outputs(outputs, stripe, arena);
                 Some(stats)
             }
             None => None,
@@ -183,6 +220,7 @@ impl Decoder {
             parallelism: plan.parallelism(),
             predicted_mult_xors: plan.mult_xors(),
             predicted_costs: plan.predicted_costs(),
+            cache: None,
             phase_a,
             phase_a_nanos,
             phase_b,
@@ -232,13 +270,13 @@ impl Decoder {
             pool.install(|| {
                 plan.phase_a
                     .par_iter()
-                    .map(|sp| run_subplan(sp, &plan.regions, stripe, None))
+                    .map(|sp| run_subplan(sp, &plan.regions, stripe, None, None))
                     .collect()
             })
         } else {
             plan.phase_a
                 .iter()
-                .map(|sp| run_subplan(sp, &plan.regions, stripe, None))
+                .map(|sp| run_subplan(sp, &plan.regions, stripe, None, None))
                 .collect()
         };
         for (sector, buf) in outputs.into_iter().flatten() {
@@ -247,11 +285,115 @@ impl Decoder {
 
         // Phase B: within-region chunking.
         if let Some(sp) = &plan.phase_b {
-            for (sector, buf) in run_subplan_chunked(sp, &plan.regions, stripe, pool, chunk_bytes) {
+            for (sector, buf) in
+                run_subplan_chunked(sp, &plan.regions, stripe, pool, chunk_bytes, None, None)
+            {
                 stripe.write_sector(sector, &buf);
             }
         }
         Ok(())
+    }
+
+    /// [`Decoder::decode_chunked`] with the same instrumentation as
+    /// [`Decoder::decode_with_stats`]: every region operation in both
+    /// phases — including the chunked `H_rest` slices — lands in the
+    /// returned [`ExecStats`], so chunked decodes no longer bypass the
+    /// executed-vs-predicted ledger.
+    pub fn decode_chunked_with_stats<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &mut Stripe,
+        chunk_bytes: usize,
+    ) -> Result<ExecStats, DecodeError> {
+        self.decode_chunked_with_stats_inner(plan, stripe, chunk_bytes, None)
+    }
+
+    /// [`Decoder::decode_chunked_with_stats`] with buffers borrowed from
+    /// `arena` (see [`Decoder::decode_in`]).
+    pub fn decode_chunked_with_stats_in<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &mut Stripe,
+        chunk_bytes: usize,
+        arena: &ScratchArena,
+    ) -> Result<ExecStats, DecodeError> {
+        self.decode_chunked_with_stats_inner(plan, stripe, chunk_bytes, Some(arena))
+    }
+
+    fn decode_chunked_with_stats_inner<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &mut Stripe,
+        chunk_bytes: usize,
+        arena: Option<&ScratchArena>,
+    ) -> Result<ExecStats, DecodeError> {
+        assert!(
+            chunk_bytes > 0 && chunk_bytes.is_multiple_of(8),
+            "chunk size must be a positive multiple of 8"
+        );
+        let Some(pool) = &self.pool else {
+            return self.decode_with_stats_inner(plan, stripe, arena);
+        };
+        if stripe.layout().sectors() != plan.total_sectors() {
+            return Err(DecodeError::GeometryMismatch {
+                expected: plan.total_sectors(),
+                actual: stripe.layout().sectors(),
+            });
+        }
+        let started = Instant::now();
+
+        let results: Vec<(SubPlanOutputs, SubPlanStats)> = if plan.phase_a.len() > 1 {
+            pool.install(|| {
+                plan.phase_a
+                    .par_iter()
+                    .map(|sp| run_subplan_instrumented(sp, &plan.regions, stripe, arena))
+                    .collect()
+            })
+        } else {
+            plan.phase_a
+                .iter()
+                .map(|sp| run_subplan_instrumented(sp, &plan.regions, stripe, arena))
+                .collect()
+        };
+        let phase_a_nanos = started.elapsed().as_nanos();
+        let mut phase_a = Vec::with_capacity(results.len());
+        for (outputs, stats) in results {
+            phase_a.push(stats);
+            install_outputs(outputs, stripe, arena);
+        }
+
+        let phase_b = match &plan.phase_b {
+            Some(sp) => {
+                let sink = RegionStats::new();
+                let t = Instant::now();
+                let outputs = run_subplan_chunked(
+                    sp,
+                    &plan.regions,
+                    stripe,
+                    pool,
+                    chunk_bytes,
+                    Some(&sink),
+                    arena,
+                );
+                let stats = SubPlanStats::collect(&sink, outputs.len(), t.elapsed());
+                install_outputs(outputs, stripe, arena);
+                Some(stats)
+            }
+            None => None,
+        };
+
+        Ok(ExecStats {
+            strategy: plan.strategy(),
+            threads: self.config.threads,
+            parallelism: plan.parallelism(),
+            predicted_mult_xors: plan.mult_xors(),
+            predicted_costs: plan.predicted_costs(),
+            cache: None,
+            phase_a,
+            phase_a_nanos,
+            phase_b,
+            total_nanos: started.elapsed().as_nanos(),
+        })
     }
 
     /// Decodes many stripes that share one failure scenario, spreading
@@ -293,6 +435,75 @@ impl Decoder {
         }
     }
 
+    /// [`Decoder::decode_batch`] with per-stripe instrumentation: returns
+    /// one [`ExecStats`] per stripe, in stripe order. Batch decodes
+    /// previously bypassed the stats sink entirely; this variant threads
+    /// a counter sink through every worker so repair-job telemetry sees
+    /// the full executed ledger.
+    pub fn decode_batch_with_stats<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripes: &mut [Stripe],
+    ) -> Result<Vec<ExecStats>, DecodeError> {
+        self.decode_batch_with_stats_inner(plan, stripes, None)
+    }
+
+    /// [`Decoder::decode_batch_with_stats`] with buffers borrowed from
+    /// `arena`, shared by all workers (see [`Decoder::decode_in`]).
+    pub fn decode_batch_with_stats_in<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripes: &mut [Stripe],
+        arena: &ScratchArena,
+    ) -> Result<Vec<ExecStats>, DecodeError> {
+        self.decode_batch_with_stats_inner(plan, stripes, Some(arena))
+    }
+
+    fn decode_batch_with_stats_inner<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripes: &mut [Stripe],
+        arena: Option<&ScratchArena>,
+    ) -> Result<Vec<ExecStats>, DecodeError> {
+        for stripe in stripes.iter() {
+            if stripe.layout().sectors() != plan.total_sectors() {
+                return Err(DecodeError::GeometryMismatch {
+                    expected: plan.total_sectors(),
+                    actual: stripe.layout().sectors(),
+                });
+            }
+        }
+        let serial = Decoder {
+            config: self.config,
+            pool: None,
+        };
+        // Stripes are decoded in parallel but results must come back in
+        // stripe order; tag each stripe with its slot and fill a
+        // lock-per-slot table (the shim's `par_iter_mut` yields no index).
+        let slots: Vec<Mutex<Option<ExecStats>>> =
+            (0..stripes.len()).map(|_| Mutex::new(None)).collect();
+        let run = |(i, stripe): &mut (usize, &mut Stripe)| -> Result<(), DecodeError> {
+            let stats = serial.decode_with_stats_inner(plan, stripe, arena)?;
+            *slots[*i].lock().expect("stats slot poisoned") = Some(stats);
+            Ok(())
+        };
+        let mut tagged: Vec<(usize, &mut Stripe)> = stripes.iter_mut().enumerate().collect();
+        match &self.pool {
+            Some(pool) if tagged.len() > 1 => {
+                pool.install(|| tagged.par_iter_mut().try_for_each(run))?
+            }
+            _ => tagged.iter_mut().try_for_each(run)?,
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("stats slot poisoned")
+                    .expect("every stripe decoded")
+            })
+            .collect())
+    }
+
     /// Convenience: plan and decode in one call.
     pub fn decode_scenario<W: GfWord>(
         &self,
@@ -310,14 +521,47 @@ impl Decoder {
 /// Recovered sectors from one sub-plan: `(sector, bytes)` pairs.
 type SubPlanOutputs = Vec<(usize, Vec<u8>)>;
 
+/// Borrows a zeroed `len`-byte buffer from `arena`, or allocates one
+/// when no arena is in play.
+fn take_buf(arena: Option<&ScratchArena>, len: usize) -> Vec<u8> {
+    match arena {
+        Some(a) => a.take(len),
+        None => vec![0u8; len],
+    }
+}
+
+/// Returns buffers to `arena` (no-op without one).
+fn give_bufs(arena: Option<&ScratchArena>, bufs: impl IntoIterator<Item = Vec<u8>>) {
+    if let Some(a) = arena {
+        for buf in bufs {
+            a.give(buf);
+        }
+    }
+}
+
+/// Writes recovered sectors into the stripe, recycling the buffers.
+fn install_outputs(
+    outputs: impl IntoIterator<Item = (usize, Vec<u8>)>,
+    stripe: &mut Stripe,
+    arena: Option<&ScratchArena>,
+) {
+    for (sector, buf) in outputs {
+        stripe.write_sector(sector, &buf);
+        give_bufs(arena, [buf]);
+    }
+}
+
 /// Runs one sub-plan, returning `(sector, recovered bytes)` pairs. Reads
 /// the stripe immutably so independent sub-plans can run concurrently.
 /// When `stats` is given, every region operation is tallied into it.
+/// When `arena` is given, scratch and output buffers are borrowed from
+/// it (the caller returns the output buffers after installing them).
 fn run_subplan<W: GfWord>(
     sp: &SubPlan<W>,
     regions: &RegionCache<W>,
     stripe: &Stripe,
     stats: Option<&RegionStats>,
+    arena: Option<&ScratchArena>,
 ) -> SubPlanOutputs {
     let sb = stripe.sector_bytes();
     let apply = |c: W, src: &[u8], dst: &mut Vec<u8>| {
@@ -331,7 +575,7 @@ fn run_subplan<W: GfWord>(
         Program::MatrixFirst { outputs } => outputs
             .iter()
             .map(|(sector, terms)| {
-                let mut buf = vec![0u8; sb];
+                let mut buf = take_buf(arena, sb);
                 for &(c, src) in terms {
                     apply(c, stripe.sector(src), &mut buf);
                 }
@@ -342,23 +586,25 @@ fn run_subplan<W: GfWord>(
             let scratch: Vec<Vec<u8>> = t_terms
                 .iter()
                 .map(|terms| {
-                    let mut buf = vec![0u8; sb];
+                    let mut buf = take_buf(arena, sb);
                     for &(c, src) in terms {
                         apply(c, stripe.sector(src), &mut buf);
                     }
                     buf
                 })
                 .collect();
-            f_terms
+            let out: SubPlanOutputs = f_terms
                 .iter()
                 .map(|(sector, terms)| {
-                    let mut buf = vec![0u8; sb];
+                    let mut buf = take_buf(arena, sb);
                     for &(c, e) in terms {
                         apply(c, &scratch[e], &mut buf);
                     }
                     (*sector, buf)
                 })
-                .collect()
+                .collect();
+            give_bufs(arena, scratch);
+            out
         }
     }
 }
@@ -369,17 +615,21 @@ fn run_subplan_instrumented<W: GfWord>(
     sp: &SubPlan<W>,
     regions: &RegionCache<W>,
     stripe: &Stripe,
+    arena: Option<&ScratchArena>,
 ) -> (SubPlanOutputs, SubPlanStats) {
     let sink = RegionStats::new();
     let t = Instant::now();
-    let out = run_subplan(sp, regions, stripe, Some(&sink));
+    let out = run_subplan(sp, regions, stripe, Some(&sink), arena);
     let stats = SubPlanStats::collect(&sink, out.len(), t.elapsed());
     (out, stats)
 }
 
 /// Accumulates `terms` into a fresh buffer, slicing the region into
 /// `chunk`-byte pieces processed across `pool`. `source(j)` yields the
-/// input region for term source `j`.
+/// input region for term source `j`. When `stats` is given, every slice
+/// operation is tallied into it (the sink is atomic, so concurrent
+/// chunk workers share it safely).
+#[allow(clippy::too_many_arguments)]
 fn chunked_sum<'a, W: GfWord>(
     terms: &[(W, usize)],
     regions: &RegionCache<W>,
@@ -387,8 +637,18 @@ fn chunked_sum<'a, W: GfWord>(
     len: usize,
     pool: &rayon::ThreadPool,
     chunk: usize,
+    stats: Option<&RegionStats>,
+    arena: Option<&ScratchArena>,
 ) -> Vec<u8> {
-    let mut buf = vec![0u8; len];
+    let mut buf = take_buf(arena, len);
+    // Tally each term once as a full-region op: the per-chunk loop below
+    // applies the same coefficient to every chunk, which would over-count
+    // the ledger by the chunk count.
+    if let Some(s) = stats {
+        for &(c, _) in terms {
+            regions.get(c).record_with(len, s);
+        }
+    }
     pool.install(|| {
         buf.par_chunks_mut(chunk).enumerate().for_each(|(i, dst)| {
             let off = i * chunk;
@@ -410,6 +670,8 @@ fn run_subplan_chunked<W: GfWord>(
     stripe: &Stripe,
     pool: &rayon::ThreadPool,
     chunk: usize,
+    stats: Option<&RegionStats>,
+    arena: Option<&ScratchArena>,
 ) -> SubPlanOutputs {
     let sb = stripe.sector_bytes();
     match &sp.program {
@@ -418,24 +680,55 @@ fn run_subplan_chunked<W: GfWord>(
             .map(|(sector, terms)| {
                 (
                     *sector,
-                    chunked_sum(terms, regions, |j| stripe.sector(j), sb, pool, chunk),
+                    chunked_sum(
+                        terms,
+                        regions,
+                        |j| stripe.sector(j),
+                        sb,
+                        pool,
+                        chunk,
+                        stats,
+                        arena,
+                    ),
                 )
             })
             .collect(),
         Program::Normal { t_terms, f_terms } => {
             let scratch: Vec<Vec<u8>> = t_terms
                 .iter()
-                .map(|terms| chunked_sum(terms, regions, |j| stripe.sector(j), sb, pool, chunk))
+                .map(|terms| {
+                    chunked_sum(
+                        terms,
+                        regions,
+                        |j| stripe.sector(j),
+                        sb,
+                        pool,
+                        chunk,
+                        stats,
+                        arena,
+                    )
+                })
                 .collect();
-            f_terms
+            let out: SubPlanOutputs = f_terms
                 .iter()
                 .map(|(sector, terms)| {
                     (
                         *sector,
-                        chunked_sum(terms, regions, |e| scratch[e].as_slice(), sb, pool, chunk),
+                        chunked_sum(
+                            terms,
+                            regions,
+                            |e| scratch[e].as_slice(),
+                            sb,
+                            pool,
+                            chunk,
+                            stats,
+                            arena,
+                        ),
                     )
                 })
-                .collect()
+                .collect();
+            give_bufs(arena, scratch);
+            out
         }
     }
 }

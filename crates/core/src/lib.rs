@@ -61,19 +61,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
+mod cache;
 pub mod cost;
 mod error;
 mod exec;
 mod logtable;
 mod partition;
 mod plan;
+mod service;
 mod stats;
 mod update;
 
+pub use arena::ScratchArena;
+pub use cache::{PlanCache, PlanCacheStats, PlanKey};
 pub use error::DecodeError;
 pub use exec::{encode, parity_consistent, Decoder, DecoderConfig};
 pub use logtable::{LogTable, LogTableRow};
 pub use partition::{ParallelismCase, Partition, SubSystem};
 pub use plan::{CalcSequence, DecodePlan, Strategy};
+pub use service::RepairService;
 pub use stats::{ExecStats, SubPlanStats};
 pub use update::UpdatePlan;

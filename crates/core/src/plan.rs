@@ -595,15 +595,16 @@ fn build_subsystem<W: GfWord>(
         });
     }
     let rows: Vec<usize> = picked.iter().map(|&i| candidate_rows[i]).collect();
-    let f_inv = f_all
-        .select_rows(&picked)
-        .inverse()
+    // One elimination serves both sequences: the factorization yields the
+    // matrix-first product `F⁻¹·S` directly (no explicit inverse) and the
+    // explicit `F⁻¹` for the normal sequence.
+    let fact = ppm_matrix::Factorization::new(&f_all.select_rows(&picked))
         .expect("independent row selection yields invertible square");
     let s = h.select_rows(&rows).select_columns(sources);
 
     let program = match seq {
         CalcSequence::MatrixFirst => {
-            let g = f_inv.mul(&s);
+            let g = fact.solve_mat(&s);
             let outputs = faulty
                 .iter()
                 .enumerate()
@@ -620,6 +621,7 @@ fn build_subsystem<W: GfWord>(
             Program::MatrixFirst { outputs }
         }
         CalcSequence::Normal => {
+            let f_inv = fact.inverse();
             let t_terms = (0..rows.len())
                 .map(|e| {
                     (0..sources.len())

@@ -1,0 +1,345 @@
+//! The repair session layer: one object that amortizes everything a
+//! decode can amortize.
+//!
+//! A [`Decoder`] prices and executes one decode; a [`RepairService`]
+//! owns the context that *repeats* across decodes — the code's
+//! parity-check matrix, a [`PlanCache`] of built plans keyed by erasure
+//! signature, a [`ScratchArena`] of recycled data-path buffers, and the
+//! decoder itself. Repairing a failed device is then a loop of
+//! [`RepairService::repair`] calls that, after the first stripe, perform
+//! zero matrix factorizations and zero plan-time allocations: the plan is
+//! an `Arc` handed back by the cache, and the working buffers cycle
+//! through the arena.
+
+#![deny(clippy::unwrap_used)]
+
+use crate::arena::ScratchArena;
+use crate::cache::{PlanCache, PlanCacheStats, PlanKey};
+use crate::exec::{Decoder, DecoderConfig};
+use crate::plan::{DecodePlan, Strategy};
+use crate::stats::ExecStats;
+use crate::DecodeError;
+use ppm_codes::{ErasureCode, FailureScenario};
+use ppm_gf::GfWord;
+use ppm_matrix::Matrix;
+use ppm_stripe::Stripe;
+use std::sync::Arc;
+
+/// A long-lived repair session for one erasure code.
+///
+/// The service is generic over the code (`&dyn ErasureCode<W>` works via
+/// the blanket borrow impl) and captures the parity-check matrix once at
+/// construction. Every decode entry point takes `&mut self` — the cache
+/// and its counters are session state — and returns [`ExecStats`] whose
+/// `cache` field carries the counters at that decode, so telemetry can
+/// assert hit rates end to end.
+///
+/// ```
+/// use ppm_codes::{FailureScenario, SdCode};
+/// use ppm_core::{RepairService, Strategy};
+/// use ppm_stripe::random_data_stripe;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+/// let mut service = RepairService::new(code, Default::default());
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut stripe = random_data_stripe(service.code(), 512, &mut rng);
+/// service.encode(&mut stripe).unwrap();
+///
+/// let scenario = FailureScenario::new(vec![2, 6, 10, 13, 14]);
+/// let pristine = stripe.clone();
+/// for _ in 0..3 {
+///     let mut broken = pristine.clone();
+///     broken.erase(&scenario);
+///     let stats = service.repair(&mut broken, &scenario).unwrap();
+///     assert_eq!(broken, pristine);
+///     assert!(stats.matches_prediction());
+/// }
+/// // One build served all three repairs (the other miss is encode's plan).
+/// assert_eq!(service.cache_stats().misses, 2);
+/// assert_eq!(service.cache_stats().hits, 2);
+/// ```
+pub struct RepairService<W: GfWord, C: ErasureCode<W>> {
+    code: C,
+    code_id: String,
+    h: Matrix<W>,
+    decoder: Decoder,
+    cache: PlanCache<W>,
+    arena: ScratchArena,
+    strategy: Strategy,
+}
+
+impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
+    /// Creates a session for `code` with [`Strategy::PpmAuto`] and the
+    /// default cache capacity.
+    pub fn new(code: C, config: DecoderConfig) -> Self {
+        let code_id = code.cache_id();
+        let h = code.parity_check_matrix();
+        RepairService {
+            code,
+            code_id,
+            h,
+            decoder: Decoder::new(config),
+            cache: PlanCache::with_default_capacity(),
+            arena: ScratchArena::new(),
+            strategy: Strategy::PpmAuto,
+        }
+    }
+
+    /// Sets the strategy requested for every plan this session builds.
+    /// The strategy is part of the cache key, so sessions wanting to
+    /// compare strategies should use one service per strategy (or accept
+    /// the cache holding both).
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Replaces the plan cache with an empty one of `capacity` entries.
+    /// Intended for construction time; swapping mid-session discards the
+    /// resident plans and counters.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = PlanCache::new(capacity);
+        self
+    }
+
+    /// The code this session repairs.
+    pub fn code(&self) -> &C {
+        &self.code
+    }
+
+    /// The underlying decoder.
+    pub fn decoder(&self) -> &Decoder {
+        &self.decoder
+    }
+
+    /// The strategy requested for plan builds.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Cumulative plan-cache counters.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.cache.stats()
+    }
+
+    /// The session's scratch-buffer arena (telemetry: fresh allocations
+    /// vs reuses).
+    pub fn arena(&self) -> &ScratchArena {
+        &self.arena
+    }
+
+    /// Drops every cached plan, keeping the cumulative counters.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// The session's plan for `scenario`: cached when seen before (in
+    /// any faulty-column order), built and cached otherwise. Returns the
+    /// plan and whether the lookup hit.
+    pub fn plan_for(
+        &mut self,
+        scenario: &FailureScenario,
+    ) -> Result<(Arc<DecodePlan<W>>, bool), DecodeError> {
+        let key = PlanKey::new(self.code_id.clone(), W::WIDTH, scenario, self.strategy);
+        let (h, backend, strategy) = (&self.h, self.decoder.config().backend, self.strategy);
+        self.cache
+            .get_or_build(key, || DecodePlan::build(h, scenario, strategy, backend))
+    }
+
+    /// Repairs one stripe in place: plans (or re-uses the cached plan
+    /// for) `scenario`, decodes through the arena, and returns the
+    /// instrumented stats with the cache counters attached.
+    pub fn repair(
+        &mut self,
+        stripe: &mut Stripe,
+        scenario: &FailureScenario,
+    ) -> Result<ExecStats, DecodeError> {
+        let (plan, _) = self.plan_for(scenario)?;
+        let mut stats = self
+            .decoder
+            .decode_with_stats_in(&plan, stripe, &self.arena)?;
+        stats.cache = Some(self.cache.stats());
+        Ok(stats)
+    }
+
+    /// Repairs a batch of stripes sharing one scenario, spreading the
+    /// stripes across the decoder's thread pool (see
+    /// [`Decoder::decode_batch_with_stats`]). One plan lookup serves the
+    /// whole batch; per-stripe stats come back in stripe order with the
+    /// cache counters attached.
+    pub fn decode_batch(
+        &mut self,
+        stripes: &mut [Stripe],
+        scenario: &FailureScenario,
+    ) -> Result<Vec<ExecStats>, DecodeError> {
+        let (plan, _) = self.plan_for(scenario)?;
+        let mut all = self
+            .decoder
+            .decode_batch_with_stats_in(&plan, stripes, &self.arena)?;
+        let snapshot = self.cache.stats();
+        for stats in &mut all {
+            stats.cache = Some(snapshot);
+        }
+        Ok(all)
+    }
+
+    /// Repairs one stripe with `H_rest` region chunking (see
+    /// [`Decoder::decode_chunked_with_stats`]), through the session's
+    /// cache and arena.
+    pub fn decode_chunked(
+        &mut self,
+        stripe: &mut Stripe,
+        scenario: &FailureScenario,
+        chunk_bytes: usize,
+    ) -> Result<ExecStats, DecodeError> {
+        let (plan, _) = self.plan_for(scenario)?;
+        let mut stats =
+            self.decoder
+                .decode_chunked_with_stats_in(&plan, stripe, chunk_bytes, &self.arena)?;
+        stats.cache = Some(self.cache.stats());
+        Ok(stats)
+    }
+
+    /// Encodes a stripe in place — the decoding special case where every
+    /// parity sector is "faulty" (paper §II-B, footnote 1). The encode
+    /// plan is cached like any repair plan, so streaming ingest pays the
+    /// plan build once.
+    pub fn encode(&mut self, stripe: &mut Stripe) -> Result<ExecStats, DecodeError> {
+        let scenario = FailureScenario::new(self.code.parity_sectors());
+        self.repair(stripe, &scenario)
+    }
+}
+
+impl<W: GfWord, C: ErasureCode<W>> std::fmt::Debug for RepairService<W, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RepairService")
+            .field("code", &self.code_id)
+            .field("strategy", &self.strategy)
+            .field("cache", &self.cache)
+            .field("arena", &self.arena)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use ppm_codes::SdCode;
+    use ppm_gf::Backend;
+    use ppm_stripe::random_data_stripe;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn service(threads: usize) -> RepairService<u8, SdCode<u8>> {
+        let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        RepairService::new(
+            code,
+            DecoderConfig {
+                threads,
+                backend: Backend::Scalar,
+            },
+        )
+    }
+
+    #[test]
+    fn repeated_repair_hits_cache_and_reuses_buffers() {
+        let mut svc = service(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
+        svc.encode(&mut stripe).unwrap();
+        let pristine = stripe.clone();
+        let scenario = FailureScenario::new(vec![2, 6, 10, 13, 14]);
+
+        for round in 0..4 {
+            let mut broken = pristine.clone();
+            broken.erase(&scenario);
+            let stats = svc.repair(&mut broken, &scenario).unwrap();
+            assert_eq!(broken, pristine, "round {round}");
+            assert!(stats.matches_prediction());
+            let cache = stats.cache.expect("service attaches cache stats");
+            // Round 0 misses (plus the encode's miss); later rounds hit.
+            assert_eq!(cache.misses, 2);
+            assert_eq!(cache.hits, round);
+        }
+        // Warm rounds recycled buffers instead of allocating.
+        assert!(svc.arena().reuses() > 0);
+    }
+
+    #[test]
+    fn scenario_order_does_not_defeat_the_cache() {
+        let mut svc = service(1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
+        svc.encode(&mut stripe).unwrap();
+        let pristine = stripe.clone();
+
+        for faulty in [vec![2, 6, 10], vec![10, 2, 6], vec![6, 10, 2, 2]] {
+            let scenario = FailureScenario::new(faulty);
+            let mut broken = pristine.clone();
+            broken.erase(&scenario);
+            svc.repair(&mut broken, &scenario).unwrap();
+            assert_eq!(broken, pristine);
+        }
+        let s = svc.cache_stats();
+        assert_eq!(s.misses, 2, "encode + one decode pattern");
+        assert_eq!(s.hits, 2, "permuted scenarios hit");
+    }
+
+    #[test]
+    fn batch_and_chunked_flow_through_cache() {
+        let mut svc = service(2);
+        let scenario = FailureScenario::new(vec![2, 6]);
+        let mut rng = StdRng::seed_from_u64(5);
+
+        let mut pristine = Vec::new();
+        let mut broken = Vec::new();
+        for _ in 0..3 {
+            let mut s = random_data_stripe(svc.code(), 64, &mut rng);
+            svc.encode(&mut s).unwrap();
+            let mut b = s.clone();
+            b.erase(&scenario);
+            pristine.push(s);
+            broken.push(b);
+        }
+        let all = svc.decode_batch(&mut broken, &scenario).unwrap();
+        assert_eq!(broken, pristine);
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|s| s.matches_prediction()));
+        assert!(all.iter().all(|s| s.cache.is_some()));
+
+        let mut b = pristine[0].clone();
+        b.erase(&scenario);
+        let stats = svc.decode_chunked(&mut b, &scenario, 32).unwrap();
+        assert_eq!(b, pristine[0]);
+        assert!(stats.matches_prediction(), "chunked stats are complete");
+        // Hits: two repeated encode plans + this chunked decode's plan.
+        assert_eq!(stats.cache.expect("attached").hits, 3);
+    }
+
+    #[test]
+    fn works_through_dyn_code() {
+        let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        let dynamic: &dyn ErasureCode<u8> = &code;
+        let mut svc = RepairService::new(
+            dynamic,
+            DecoderConfig {
+                threads: 1,
+                backend: Backend::Scalar,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut stripe = random_data_stripe(&dynamic, 64, &mut rng);
+        svc.encode(&mut stripe).unwrap();
+        let pristine = stripe.clone();
+        let scenario = FailureScenario::new(vec![2]);
+        let mut broken = pristine.clone();
+        broken.erase(&scenario);
+        svc.repair(&mut broken, &scenario).unwrap();
+        assert_eq!(broken, pristine);
+    }
+}

@@ -9,6 +9,7 @@
 //! assert `executed == predicted` in tests and to print
 //! predicted-vs-executed tables from the CLI and benches.
 
+use crate::cache::PlanCacheStats;
 use crate::cost::CostReport;
 use crate::plan::Strategy;
 use ppm_gf::RegionStats;
@@ -64,6 +65,11 @@ pub struct ExecStats {
     /// Predicted `C₁..C₄` of all candidates, when the plan was chosen by
     /// [`Strategy::PpmAuto`].
     pub predicted_costs: Option<CostReport>,
+    /// Plan-cache counters at the time of this decode, when it went
+    /// through a [`RepairService`](crate::RepairService) (bare
+    /// [`Decoder`](crate::Decoder) calls leave this `None`). A decode
+    /// whose lookup hit performed zero matrix work at plan time.
+    pub cache: Option<PlanCacheStats>,
     /// Per-sub-plan executed work for phase A, in plan order.
     pub phase_a: Vec<SubPlanStats>,
     /// Wall time of the whole phase A dispatch (parallel), nanoseconds.
@@ -141,6 +147,10 @@ impl ExecStats {
                 ),
             ),
             None => push_kv(&mut out, "predicted_costs", "null"),
+        }
+        match &self.cache {
+            Some(c) => push_kv(&mut out, "cache", &c.to_json()),
+            None => push_kv(&mut out, "cache", "null"),
         }
         push_kv(
             &mut out,
@@ -224,6 +234,7 @@ mod tests {
                 c4: 29,
                 parallelism: 3,
             }),
+            cache: None,
             phase_a: vec![
                 SubPlanStats {
                     outputs: 1,
@@ -304,5 +315,24 @@ mod tests {
         let j = none.to_json();
         assert!(j.contains("\"predicted_costs\":null"), "{j}");
         assert!(j.contains("\"phase_b\":null"), "{j}");
+        assert!(j.contains("\"cache\":null"), "{j}");
+    }
+
+    #[test]
+    fn json_embeds_cache_counters() {
+        let s = ExecStats {
+            cache: Some(PlanCacheStats {
+                hits: 9,
+                misses: 1,
+                evictions: 0,
+                entries: 1,
+                capacity: 64,
+            }),
+            ..sample()
+        };
+        let j = s.to_json();
+        assert!(j.contains("\"cache\":{\"hits\":9,\"misses\":1"), "{j}");
+        assert!(j.contains("\"hit_rate\":0.9000"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

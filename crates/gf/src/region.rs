@@ -139,6 +139,17 @@ impl<W: GfWord> RegionMul<W> {
         self.mul_xor(src, dst);
     }
 
+    /// Records the stats of one logical `mult_XORs` over `bytes` region
+    /// bytes into `stats` *without* performing it — for executors that
+    /// split a region into chunks (each chunk applies the coefficient
+    /// separately) but must tally the operation once, keeping the
+    /// executed ledger comparable to the unchunked plan prediction.
+    pub fn record_with(&self, bytes: usize, stats: &RegionStats) {
+        if self.kind != Kind::Zero {
+            stats.record_mult_xor(bytes, self.kind == Kind::One);
+        }
+    }
+
     /// `dst = a · src` (overwrites the destination).
     ///
     /// # Panics

@@ -1,0 +1,235 @@
+//! Reusable LU factorization over GF(2^w).
+//!
+//! The decode pipeline repeatedly needs `F⁻¹` (normal sequence) or the
+//! matrix-first product `F⁻¹ · S` for the *same* square system `F` — once
+//! per plan build, and in a repair session once per distinct erasure
+//! pattern. [`Factorization`] performs the Gaussian elimination exactly
+//! once and retains the factors, so every subsequent solve — a vector, a
+//! right-hand-side matrix, or the explicit inverse — is substitution
+//! only, with no re-elimination. A cached [`DecodePlan`] retains its
+//! programs (and thus the factorization's products) across decodes; this
+//! type is what makes the products cheap to *derive* in the first place.
+//!
+//! Over a finite field there is no numerical-stability concern, so any
+//! non-zero pivot works and the factorization is exact.
+
+use crate::Matrix;
+use ppm_gf::GfWord;
+
+/// An LU factorization `P·M = L·U` of a square matrix over GF(2^w),
+/// with partial (row) pivoting.
+///
+/// `L` is unit-lower-triangular and `U` upper-triangular; both are packed
+/// into one matrix (the implied unit diagonal of `L` is not stored). The
+/// factorization is immutable once built and can serve any number of
+/// solves.
+///
+/// ```
+/// use ppm_matrix::{Factorization, Matrix};
+///
+/// let f = Matrix::<u8>::from_rows(&[vec![1, 1], vec![1, 2]]);
+/// let fact = Factorization::new(&f).expect("invertible");
+/// // Solve F·x = b twice without re-eliminating.
+/// assert_eq!(f.mul_vec(&fact.solve_vec(&[5, 9])), vec![5, 9]);
+/// assert_eq!(f.mul_vec(&fact.solve_vec(&[1, 0])), vec![1, 0]);
+/// // The explicit inverse, derived from the same factors.
+/// assert_eq!(f.mul(&fact.inverse()), Matrix::identity(2));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Factorization<W: GfWord> {
+    /// Packed factors: `U` on and above the diagonal, `L` (sans unit
+    /// diagonal) below it.
+    lu: Matrix<W>,
+    /// Row permutation: step `i` of the elimination consumed original row
+    /// `perm[i]` (i.e. `(P·M)[i] = M[perm[i]]`).
+    perm: Vec<usize>,
+}
+
+impl<W: GfWord> Factorization<W> {
+    /// Factorizes a square matrix. Returns `None` when the matrix is
+    /// singular or not square — exactly the cases where
+    /// [`Matrix::inverse`] returns `None`.
+    pub fn new(m: &Matrix<W>) -> Option<Self> {
+        if !m.is_square() {
+            return None;
+        }
+        let n = m.rows();
+        let mut lu = m.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Any non-zero entry is a valid pivot over a finite field.
+            let pivot = (k..n).find(|&r| lu.get(r, k) != W::ZERO)?;
+            if pivot != k {
+                lu.swap_rows(pivot, k);
+                perm.swap(pivot, k);
+            }
+            let inv = lu.get(k, k).gf_inv();
+            for r in k + 1..n {
+                let factor = lu.get(r, k).gf_mul(inv);
+                if factor == W::ZERO {
+                    continue;
+                }
+                lu.set(r, k, factor); // store the L multiplier in place
+                for c in k + 1..n {
+                    let v = lu.get(r, c).gf_add(factor.gf_mul(lu.get(k, c)));
+                    lu.set(r, c, v);
+                }
+            }
+        }
+        Some(Factorization { lu, perm })
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `M·x = b` by forward/back substitution.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve_vec(&self, b: &[W]) -> Vec<W> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Permute, then L·y = P·b (unit diagonal).
+        let mut x: Vec<W> = self.perm.iter().map(|&r| b[r]).collect();
+        for i in 1..n {
+            let mut v = x[i];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                v = v.gf_add(self.lu.get(i, j).gf_mul(xj));
+            }
+            x[i] = v;
+        }
+        // U·x = y.
+        for i in (0..n).rev() {
+            let mut v = x[i];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                v = v.gf_add(self.lu.get(i, j).gf_mul(xj));
+            }
+            x[i] = v.gf_mul(self.lu.get(i, i).gf_inv());
+        }
+        x
+    }
+
+    /// Solves `M·X = B` for a whole right-hand-side matrix — the
+    /// matrix-first product `M⁻¹·B` without ever forming `M⁻¹`
+    /// explicitly. This is how decode plans derive `G = F⁻¹·S`.
+    ///
+    /// # Panics
+    /// Panics if `B` does not have `self.dim()` rows.
+    pub fn solve_mat(&self, b: &Matrix<W>) -> Matrix<W> {
+        let n = self.dim();
+        assert_eq!(b.rows(), n, "rhs row-count mismatch");
+        let cols = b.cols();
+        // Substitute over all columns at once, row-major for locality.
+        let mut x = Matrix::from_fn(n, cols, |r, c| b.get(self.perm[r], c));
+        for i in 1..n {
+            for j in 0..i {
+                let l = self.lu.get(i, j);
+                if l == W::ZERO {
+                    continue;
+                }
+                for c in 0..cols {
+                    let v = x.get(i, c).gf_add(l.gf_mul(x.get(j, c)));
+                    x.set(i, c, v);
+                }
+            }
+        }
+        for i in (0..n).rev() {
+            for j in i + 1..n {
+                let u = self.lu.get(i, j);
+                if u == W::ZERO {
+                    continue;
+                }
+                for c in 0..cols {
+                    let v = x.get(i, c).gf_add(u.gf_mul(x.get(j, c)));
+                    x.set(i, c, v);
+                }
+            }
+            let d_inv = self.lu.get(i, i).gf_inv();
+            for c in 0..cols {
+                x.set(i, c, x.get(i, c).gf_mul(d_inv));
+            }
+        }
+        x
+    }
+
+    /// The explicit inverse `M⁻¹`, derived from the retained factors
+    /// (one substitution pass against the identity).
+    pub fn inverse(&self) -> Matrix<W> {
+        self.solve_mat(&Matrix::identity(self.dim()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vandermonde(n: usize) -> Matrix<u8> {
+        Matrix::from_fn(n, n, |r, c| u8::gen_pow((r as u64) * (c as u64)))
+    }
+
+    #[test]
+    fn factorization_reproduces_inverse() {
+        for n in 1..=8 {
+            let m = vandermonde(n);
+            let fact = Factorization::new(&m).expect("vandermonde invertible");
+            assert_eq!(fact.dim(), n);
+            assert_eq!(m.mul(&fact.inverse()), Matrix::identity(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn solve_mat_is_matrix_first_product() {
+        let f = vandermonde(4);
+        let s = Matrix::<u8>::from_fn(4, 7, |r, c| ((r * 7 + c) % 251) as u8);
+        let fact = Factorization::new(&f).unwrap();
+        let g = fact.solve_mat(&s);
+        // G = F⁻¹·S  ⇔  F·G = S.
+        assert_eq!(f.mul(&g), s);
+        // And it agrees with the explicit-inverse route.
+        assert_eq!(fact.inverse().mul(&s), g);
+    }
+
+    #[test]
+    fn repeated_solves_share_one_elimination() {
+        let m = vandermonde(5);
+        let fact = Factorization::new(&m).unwrap();
+        for seed in 0u8..4 {
+            let b: Vec<u8> = (0..5)
+                .map(|i| seed.wrapping_mul(31).wrapping_add(i))
+                .collect();
+            let x = fact.solve_vec(&b);
+            assert_eq!(m.mul_vec(&x), b, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn singular_and_non_square_rejected() {
+        let singular = Matrix::<u8>::from_rows(&[vec![1, 2], vec![1, 2]]);
+        assert!(Factorization::new(&singular).is_none());
+        assert!(Factorization::new(&Matrix::<u8>::zero(3, 3)).is_none());
+        assert!(Factorization::new(&Matrix::<u8>::zero(2, 3)).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entries() {
+        // First pivot position is zero; elimination must row-swap.
+        let m = Matrix::<u8>::from_rows(&[vec![0, 1, 1], vec![1, 0, 1], vec![2, 1, 0]]);
+        let fact = Factorization::new(&m).expect("invertible with pivoting");
+        assert_eq!(m.mul(&fact.inverse()), Matrix::identity(3));
+        let b = vec![3u8, 5, 7];
+        assert_eq!(m.mul_vec(&fact.solve_vec(&b)), b);
+    }
+
+    #[test]
+    fn wider_words() {
+        let m16 = Matrix::<u16>::from_fn(4, 4, |r, c| u16::gen_pow((r as u64) * (c as u64)));
+        let f = Factorization::new(&m16).unwrap();
+        assert_eq!(m16.mul(&f.inverse()), Matrix::identity(4));
+        let m32 = Matrix::<u32>::from_fn(3, 3, |r, c| u32::gen_pow((r as u64) * (c as u64)));
+        let f = Factorization::new(&m32).unwrap();
+        assert_eq!(m32.mul(&f.inverse()), Matrix::identity(3));
+    }
+}

@@ -9,8 +9,10 @@
 //! * construction ([`Matrix::from_fn`], [`Matrix::identity`], …) and
 //!   row/column extraction ([`Matrix::select_columns`],
 //!   [`Matrix::select_rows`]),
-//! * multiplication and Gauss–Jordan inversion ([`Matrix::mul`],
-//!   [`Matrix::inverse`]),
+//! * multiplication and inversion ([`Matrix::mul`], [`Matrix::inverse`]),
+//!   with the elimination itself packaged as a reusable [`Factorization`]
+//!   so repeated solves (and matrix-first `F⁻¹·S` products) never
+//!   re-eliminate,
 //! * rank computation and independent-row selection
 //!   ([`Matrix::rank`], [`Matrix::select_independent_rows`]) used to pick a
 //!   square invertible `F` when there are more equations than erasures,
@@ -32,7 +34,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod factor;
 mod matrix;
 mod solve;
 
+pub use factor::Factorization;
 pub use matrix::Matrix;

@@ -190,6 +190,21 @@ impl<W: GfWord> Matrix<W> {
             .collect()
     }
 
+    /// Swaps two rows in place.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.rows && b < self.rows, "row index out of bounds");
+        if a == b {
+            return;
+        }
+        let cols = self.cols;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(hi * cols);
+        head[lo * cols..(lo + 1) * cols].swap_with_slice(&mut tail[..cols]);
+    }
+
     /// Transpose.
     pub fn transpose(&self) -> Matrix<W> {
         Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))

@@ -1,46 +1,21 @@
-//! Gauss–Jordan elimination: inversion, rank, and independent-row selection.
+//! Rank, independent-row selection, and the inversion entry point.
+//!
+//! Elimination itself lives in [`crate::Factorization`]; `inverse` here is
+//! the convenience wrapper that factorizes and immediately extracts `M⁻¹`.
 
-use crate::Matrix;
+use crate::{Factorization, Matrix};
 use ppm_gf::GfWord;
 
 impl<W: GfWord> Matrix<W> {
-    /// Inverts a square matrix by Gauss–Jordan elimination on `[M | I]`.
+    /// Inverts a square matrix.
     ///
     /// Returns `None` if the matrix is singular (or not square). This is
-    /// Step 3 of the traditional decoding process (`F → F⁻¹`).
+    /// Step 3 of the traditional decoding process (`F → F⁻¹`). One-shot
+    /// convenience over [`Factorization`]: callers that need to reuse the
+    /// elimination (repeated solves, matrix-first `F⁻¹·S` products)
+    /// should hold the [`Factorization`] instead.
     pub fn inverse(&self) -> Option<Matrix<W>> {
-        if !self.is_square() {
-            return None;
-        }
-        let n = self.rows();
-        let mut a = self.clone();
-        let mut inv = Matrix::identity(n);
-
-        for col in 0..n {
-            // Find a pivot: any non-zero entry works, there is no numeric
-            // stability concern over a finite field.
-            let pivot = (col..n).find(|&r| a.get(r, col) != W::ZERO)?;
-            if pivot != col {
-                swap_rows(&mut a, pivot, col);
-                swap_rows(&mut inv, pivot, col);
-            }
-            let p = a.get(col, col);
-            let p_inv = p.gf_inv();
-            scale_row(&mut a, col, p_inv);
-            scale_row(&mut inv, col, p_inv);
-            for r in 0..n {
-                if r == col {
-                    continue;
-                }
-                let factor = a.get(r, col);
-                if factor == W::ZERO {
-                    continue;
-                }
-                add_scaled_row(&mut a, col, r, factor);
-                add_scaled_row(&mut inv, col, r, factor);
-            }
-        }
-        Some(inv)
+        Factorization::new(self).map(|f| f.inverse())
     }
 
     /// The rank of the matrix (dimension of its row space).
@@ -93,33 +68,6 @@ impl<W: GfWord> Matrix<W> {
     /// True if the square matrix has an inverse.
     pub fn is_invertible(&self) -> bool {
         self.is_square() && self.rank() == self.rows()
-    }
-}
-
-fn swap_rows<W: GfWord>(m: &mut Matrix<W>, a: usize, b: usize) {
-    if a == b {
-        return;
-    }
-    for c in 0..m.cols() {
-        let (x, y) = (m.get(a, c), m.get(b, c));
-        m.set(a, c, y);
-        m.set(b, c, x);
-    }
-}
-
-fn scale_row<W: GfWord>(m: &mut Matrix<W>, r: usize, factor: W) {
-    for v in m.row_mut(r) {
-        *v = v.gf_mul(factor);
-    }
-}
-
-/// `row[dst] ^= factor · row[src]`.
-fn add_scaled_row<W: GfWord>(m: &mut Matrix<W>, src: usize, dst: usize, factor: W) {
-    debug_assert_ne!(src, dst);
-    let cols = m.cols();
-    for c in 0..cols {
-        let v = m.get(src, c).gf_mul(factor).gf_add(m.get(dst, c));
-        m.set(dst, c, v);
     }
 }
 

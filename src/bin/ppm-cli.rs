@@ -8,7 +8,7 @@
 //! ppm-cli encode  --code sd:6,8,2,2 [--sector-kib 64] [--stats] <input> <dir>
 //! ppm-cli verify  <dir>                 # H·B = 0 for every stripe
 //! ppm-cli corrupt <dir> --disks 1,3     # simulate device failures
-//! ppm-cli repair  <dir> [--threads T] [--stats]  # PPM-decode every stripe
+//! ppm-cli repair  <dir> [--threads T] [--stats] [--cache]
 //! ppm-cli decode  <dir> <output>        # reassemble the original file
 //! ppm-cli info    <dir>
 //! ```
@@ -20,11 +20,17 @@
 //! to stdout: aggregate executed `mult_XORs` (counted by the region
 //! kernels) against the planner's predicted cost, bytes moved, wall
 //! times, and a per-sub-plan sample — see `ppm_core::ExecStats`.
+//!
+//! `repair --cache` routes the stripe loop through a `RepairService`
+//! session: the decode plan is cached by erasure signature and working
+//! buffers are recycled through a scratch arena, so every stripe after
+//! the first performs zero matrix factorizations. With `--stats`, the
+//! JSON gains a `"cache"` object (hits/misses/evictions/hit_rate).
 
 use ppm::{
     encode, parity_consistent, Backend, Decoder, DecoderConfig, ErasureCode, EvenOddCode,
-    ExecStats, FailureScenario, LrcCode, PmdsCode, RdpCode, RsCode, SdCode, StarCode, Strategy,
-    Stripe, StripeLayout,
+    ExecStats, FailureScenario, LrcCode, PmdsCode, RdpCode, RepairService, RsCode, SdCode,
+    StarCode, Strategy, Stripe, StripeLayout,
 };
 use std::fs;
 use std::io::{Read, Write};
@@ -260,6 +266,7 @@ struct StatsAgg {
     utilization_sum: f64,
     mismatches: usize,
     sample: Option<String>,
+    cache: Option<String>,
 }
 
 impl StatsAgg {
@@ -276,6 +283,10 @@ impl StatsAgg {
         if self.sample.is_none() {
             self.sample = Some(stats.to_json());
         }
+        // Keep the latest snapshot: its cumulative counters cover the run.
+        if let Some(c) = &stats.cache {
+            self.cache = Some(c.to_json());
+        }
     }
 
     fn to_json(&self, predicted_per_stripe: usize) -> String {
@@ -285,7 +296,7 @@ impl StatsAgg {
              \"predicted_mult_xors_total\":{},\"executed_mult_xors_total\":{},\
              \"matches_prediction\":{},\"executed_plain_xors_total\":{},\
              \"bytes_moved_total\":{},\"total_nanos\":{},\
-             \"mean_thread_utilization\":{:.4},\"sample\":{}}}",
+             \"mean_thread_utilization\":{:.4},\"cache\":{},\"sample\":{}}}",
             self.stripes,
             predicted_per_stripe,
             predicted_total,
@@ -295,6 +306,7 @@ impl StatsAgg {
             self.bytes_moved,
             self.total_nanos,
             self.utilization_sum / self.stripes.max(1) as f64,
+            self.cache.as_deref().unwrap_or("null"),
             self.sample.as_deref().unwrap_or("null"),
         )
     }
@@ -411,22 +423,72 @@ fn cmd_corrupt(args: &[String]) -> Result<(), String> {
 fn cmd_repair(args: &[String]) -> Result<(), String> {
     let (flags, pos) = split_flags(args);
     let [dir] = pos.as_slice() else {
-        return Err("usage: repair <dir> [--threads T] [--stats]".into());
+        return Err("usage: repair <dir> [--threads T] [--stats] [--cache]".into());
     };
     let archive = Archive::load(Path::new(dir))?;
     let threads = flag_num(&flags, "threads").unwrap_or(4);
-    let decoder = Decoder::new(DecoderConfig {
+    let config = DecoderConfig {
         threads,
         backend: Backend::Auto,
-    });
+    };
     let dyn_code = archive.code.as_dyn();
-    let h = dyn_code.parity_check_matrix();
 
     let (_, scenario) = archive.read_stripe(0);
     if scenario.is_empty() {
         println!("nothing to repair");
         return Ok(());
     }
+    let want_stats = flags.contains_key("stats");
+    let mut agg = StatsAgg::default();
+
+    if flags.contains_key("cache") {
+        // Session path: the RepairService caches the plan by erasure
+        // signature and recycles decode buffers, so stripes 1..N re-use
+        // stripe 0's factorization.
+        let mut service = RepairService::new(dyn_code, config);
+        let (plan, _) = service
+            .plan_for(&scenario)
+            .map_err(|e| format!("unrepairable: {e}"))?;
+        println!(
+            "repairing {} lost sectors/stripe (strategy {:?}, parallelism {}, {} mult_XORs/stripe, cached plan)",
+            scenario.len(),
+            plan.strategy(),
+            plan.parallelism(),
+            plan.mult_xors()
+        );
+        let predicted = plan.mult_xors();
+        drop(plan);
+        for s in 0..archive.stripes {
+            let (mut stripe, lost) = archive.read_stripe(s);
+            if lost != scenario {
+                return Err(format!("stripe {s}: inconsistent failure pattern"));
+            }
+            let st = service
+                .repair(&mut stripe, &scenario)
+                .map_err(|e| e.to_string())?;
+            if want_stats {
+                agg.add(&st);
+            }
+            archive
+                .write_stripe(s, &stripe)
+                .map_err(|e| e.to_string())?;
+        }
+        if want_stats {
+            println!("{}", agg.to_json(predicted));
+        }
+        let cs = service.cache_stats();
+        println!(
+            "repaired {} stripes (plan cache: {} hits / {} misses, {} scratch reuses)",
+            archive.stripes,
+            cs.hits,
+            cs.misses,
+            service.arena().reuses()
+        );
+        return Ok(());
+    }
+
+    let decoder = Decoder::new(config);
+    let h = dyn_code.parity_check_matrix();
     let plan = decoder
         .plan(&h, &scenario, Strategy::PpmAuto)
         .map_err(|e| format!("unrepairable: {e}"))?;
@@ -437,8 +499,6 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
         plan.parallelism(),
         plan.mult_xors()
     );
-    let want_stats = flags.contains_key("stats");
-    let mut agg = StatsAgg::default();
     for s in 0..archive.stripes {
         let (mut stripe, lost) = archive.read_stripe(s);
         if lost != scenario {
@@ -539,7 +599,7 @@ fn split_flags(args: &[String]) -> (std::collections::HashMap<String, String>, V
     let mut flags = std::collections::HashMap::new();
     let mut pos = Vec::new();
     // Flags that take no value; everything else consumes the next token.
-    const BOOLEAN: &[&str] = &["stats"];
+    const BOOLEAN: &[&str] = &["stats", "cache"];
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {

@@ -58,8 +58,9 @@ pub use ppm_codes::{
 };
 pub use ppm_core::{
     cost, encode, parity_consistent, CalcSequence, DecodeError, DecodePlan, Decoder, DecoderConfig,
-    ExecStats, LogTable, ParallelismCase, Partition, Strategy, SubPlanStats, UpdatePlan,
+    ExecStats, LogTable, ParallelismCase, Partition, PlanCache, PlanCacheStats, PlanKey,
+    RepairService, ScratchArena, Strategy, SubPlanStats, UpdatePlan,
 };
 pub use ppm_gf::{Backend, GfWord, RegionMul};
-pub use ppm_matrix::Matrix;
+pub use ppm_matrix::{Factorization, Matrix};
 pub use ppm_stripe::Stripe;

@@ -168,6 +168,50 @@ fn gf16_executed_equals_predicted() {
     }
 }
 
+/// Satellite regression: a plan pruned by [`DecodePlan::restrict_to`]
+/// must not carry the *full* plan's `C₁..C₄` report (the restricted
+/// work no longer matches those prices), and its executed ledger must
+/// equal its own re-computed `mult_xors()` prediction.
+#[test]
+fn restricted_plan_invalidates_cost_report_and_stays_on_ledger() {
+    let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+    let sc = FailureScenario::new(vec![2, 6, 10, 13, 14]);
+    let h = code.parity_check_matrix();
+    let dec = decoder(2);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut stripe = random_data_stripe(&code, 64, &mut rng);
+    encode(&code, &dec, &mut stripe).expect("encode");
+    let pristine = stripe.clone();
+
+    let full = dec.plan(&h, &sc, Strategy::PpmAuto).expect("plan");
+    assert!(full.predicted_costs().is_some(), "auto plan carries C1..C4");
+
+    for wanted in [vec![2usize], vec![13], vec![6, 14], sc.faulty().to_vec()] {
+        let plan = full.restrict_to(&wanted);
+        // The carried report is explicitly invalidated, never stale.
+        assert!(
+            plan.predicted_costs().is_none(),
+            "restricted plan must drop the full-plan cost report"
+        );
+        assert!(plan.mult_xors() <= full.mult_xors());
+
+        let mut broken = pristine.clone();
+        broken.erase(&sc);
+        let stats = dec.decode_with_stats(&plan, &mut broken).expect("decode");
+        for &w in &wanted {
+            assert_eq!(broken.sector(w), pristine.sector(w), "wanted {w}");
+        }
+        // Executed work matches the *restricted* plan's own prediction.
+        assert_eq!(
+            stats.executed_mult_xors(),
+            plan.mult_xors() as u64,
+            "restricted to {wanted:?}: executed != predicted"
+        );
+        assert!(stats.matches_prediction());
+        assert!(stats.predicted_costs.is_none());
+    }
+}
+
 /// The JSON rendering of a real run contains the ledger keys.
 #[test]
 fn stats_json_from_real_run() {

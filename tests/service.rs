@@ -1,0 +1,216 @@
+//! Integration tests for the repair-session layer: canonical cache-key
+//! properties, warm-vs-cold bit-identity across the decoder
+//! configuration matrix, LRU eviction, and stats plumbing through
+//! [`RepairService`].
+
+use ppm::stripe::random_data_stripe;
+use ppm::{
+    encode, Backend, Decoder, DecoderConfig, FailureScenario, PlanKey, RepairService, SdCode,
+    Strategy,
+};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// A deterministic re-presentation of the same faulty *set*: reversed,
+/// rotated, and sometimes with a duplicated element.
+fn permuted(faulty: &[usize], seed: u64) -> Vec<usize> {
+    let mut v = faulty.to_vec();
+    if seed & 1 == 1 {
+        v.reverse();
+    }
+    let rot = (seed as usize / 2) % v.len().max(1);
+    v.rotate_left(rot);
+    if seed & 4 != 0 {
+        let dup = v[0];
+        v.push(dup);
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The same faulty set in any presentation order — permuted, even
+    /// with duplicates — canonicalizes to the same cache key, so a
+    /// scattered repair job can never defeat the cache by enumeration
+    /// order.
+    #[test]
+    fn key_is_order_insensitive(
+        (faulty, seed) in (pvec(0usize..64, 1..8), any::<u64>())
+    ) {
+        let a = FailureScenario::new(faulty.clone());
+        let b = FailureScenario::new(permuted(&faulty, seed));
+        let ka = PlanKey::new("sd#6x8", 8, &a, Strategy::PpmAuto);
+        let kb = PlanKey::new("sd#6x8", 8, &b, Strategy::PpmAuto);
+        prop_assert_eq!(ka, kb);
+    }
+
+    /// Keys are structural, not digests: two keys are equal exactly when
+    /// their canonical faulty sets are equal, and changing any other
+    /// component (code id, GF width, strategy) always splits the key.
+    /// Distinct erasure patterns therefore *never* collide.
+    #[test]
+    fn distinct_patterns_never_collide(
+        (fa, fb) in (pvec(0usize..64, 1..8), pvec(0usize..64, 1..8))
+    ) {
+        let a = FailureScenario::new(fa);
+        let b = FailureScenario::new(fb);
+        let ka = PlanKey::new("sd#6x8", 8, &a, Strategy::PpmAuto);
+        let kb = PlanKey::new("sd#6x8", 8, &b, Strategy::PpmAuto);
+        prop_assert_eq!(ka == kb, a.faulty() == b.faulty());
+
+        // Any other key component splits otherwise-identical keys.
+        let other_code = PlanKey::new("lrc#6x4", 8, &a, Strategy::PpmAuto);
+        let other_width = PlanKey::new("sd#6x8", 16, &a, Strategy::PpmAuto);
+        let other_strategy = PlanKey::new("sd#6x8", 8, &a, Strategy::TraditionalNormal);
+        prop_assert_ne!(ka.clone(), other_code);
+        prop_assert_ne!(ka.clone(), other_width);
+        prop_assert_ne!(ka, other_strategy);
+    }
+}
+
+/// A warm (cache-hit) decode is bit-identical to the cold decode that
+/// built the plan, across the full executor matrix: serial and the
+/// paper's T = 4, scalar and (where the host supports it) SIMD region
+/// kernels. The cache counters prove the warm repeats performed zero
+/// matrix inversions: one build (miss) serves every later repair.
+#[test]
+fn warm_hit_decode_is_bit_identical_to_cold() {
+    let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+    let scenario = FailureScenario::new(vec![2, 6, 10, 13, 14]);
+    let backends = match Backend::detect() {
+        Backend::Scalar => vec![Backend::Scalar],
+        simd => vec![Backend::Scalar, simd],
+    };
+    const REPEATS: usize = 5;
+
+    for threads in [1usize, 4] {
+        for &backend in &backends {
+            let mut svc = RepairService::new(&code, DecoderConfig { threads, backend });
+            let mut rng = StdRng::seed_from_u64(101);
+            let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
+            svc.encode(&mut stripe).unwrap();
+            let pristine = stripe.clone();
+
+            // Cold: the first repair pays the plan build (a cache miss).
+            let mut cold = pristine.clone();
+            cold.erase(&scenario);
+            svc.repair(&mut cold, &scenario).unwrap();
+            assert_eq!(
+                cold, pristine,
+                "cold repair restores (T={threads} {backend:?})"
+            );
+
+            // Warm: every repeat is a cache hit and bit-identical.
+            for round in 0..REPEATS {
+                let mut warm = pristine.clone();
+                warm.erase(&scenario);
+                let stats = svc.repair(&mut warm, &scenario).unwrap();
+                assert_eq!(warm, cold, "round {round} T={threads} {backend:?}");
+                assert!(stats.matches_prediction());
+            }
+
+            // Zero inversions while warm: only encode + the cold repair
+            // ever built a plan; every warm decode hit the cache.
+            let s = svc.cache_stats();
+            assert_eq!(
+                s.misses, 2,
+                "encode + cold build only (T={threads} {backend:?})"
+            );
+            assert_eq!(s.hits, REPEATS as u64, "every warm repeat hits");
+            assert_eq!(s.evictions, 0);
+        }
+    }
+}
+
+/// Under capacity pressure the session cache evicts the least recently
+/// *used* plan — a hit refreshes recency, so the hot pattern survives
+/// while the stale one is rebuilt.
+#[test]
+fn session_cache_evicts_least_recently_used() {
+    let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+    let config = DecoderConfig {
+        threads: 1,
+        backend: Backend::Scalar,
+    };
+    let mut svc = RepairService::new(&code, config).with_cache_capacity(2);
+
+    // Encode outside the session so the cache only ever sees repairs.
+    let dec = Decoder::new(config);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut stripe = random_data_stripe(&code, 64, &mut rng);
+    encode(&code, &dec, &mut stripe).unwrap();
+    let pristine = stripe.clone();
+
+    let a = FailureScenario::new(vec![2]);
+    let b = FailureScenario::new(vec![6]);
+    let c = FailureScenario::new(vec![10]);
+    let mut run = |sc: &FailureScenario| {
+        let mut broken = pristine.clone();
+        broken.erase(sc);
+        svc.repair(&mut broken, sc).unwrap();
+        assert_eq!(broken, pristine);
+    };
+
+    run(&a); // miss          cache: {A}
+    run(&b); // miss          cache: {A, B}
+    run(&a); // hit (bumps A) cache: {A, B}
+    run(&c); // miss, evicts B (least recently used)
+    run(&a); // hit — A survived the eviction
+    run(&b); // miss — B was evicted, rebuilt; evicts C
+
+    let s = svc.cache_stats();
+    assert_eq!((s.hits, s.misses, s.evictions), (2, 4, 2));
+    assert_eq!(s.entries, 2);
+    assert_eq!(s.capacity, 2);
+}
+
+/// Batch and chunked decodes through the session report complete
+/// per-stripe stats (the executed == predicted ledger holds) with the
+/// cache counters attached, and restore every stripe.
+#[test]
+fn batch_and_chunked_report_full_stats() {
+    let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+    let scenario = FailureScenario::new(vec![2, 6, 10, 13, 14]);
+    let mut svc = RepairService::new(
+        &code,
+        DecoderConfig {
+            threads: 4,
+            backend: Backend::Scalar,
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(23);
+
+    let mut pristine = Vec::new();
+    let mut broken = Vec::new();
+    for _ in 0..4 {
+        let mut s = random_data_stripe(svc.code(), 64, &mut rng);
+        svc.encode(&mut s).unwrap();
+        let mut b = s.clone();
+        b.erase(&scenario);
+        pristine.push(s);
+        broken.push(b);
+    }
+
+    let all = svc.decode_batch(&mut broken, &scenario).unwrap();
+    assert_eq!(broken, pristine, "batch restores every stripe in order");
+    assert_eq!(all.len(), 4);
+    for stats in &all {
+        assert!(stats.matches_prediction(), "batched stats stay on ledger");
+        assert!(stats.cache.is_some(), "cache counters attached");
+    }
+
+    let mut b = pristine[0].clone();
+    b.erase(&scenario);
+    let stats = svc.decode_chunked(&mut b, &scenario, 32).unwrap();
+    assert_eq!(b, pristine[0]);
+    assert!(stats.matches_prediction(), "chunked stats stay on ledger");
+    let cache = stats.cache.expect("cache counters attached");
+    assert!(cache.hit_rate() > 0.0);
+    let json = stats.to_json();
+    assert!(
+        json.contains("\"cache\":{\"hits\":"),
+        "JSON embeds counters"
+    );
+}
