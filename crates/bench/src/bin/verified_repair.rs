@@ -1,0 +1,180 @@
+//! Verified-repair overhead and escalation cost under deterministic
+//! fault injection.
+//!
+//! Prices the robustness layer the way the paper prices decode: the
+//! *clean* column is the surplus-row verify pass stacked on an ordinary
+//! repair (overhead = verified/plain − 1, with the verify cost also
+//! cross-checked against the surplus-row `mult_XOR` model), and the
+//! *corrupt* column is a full detect → escalate → re-decode → re-verify
+//! cycle against one seeded bit-flip in a surviving sector. Every
+//! injected corruption must be located exactly and healed bit-exactly —
+//! the run asserts it, so this binary doubles as the CI fault-injection
+//! smoke.
+//!
+//! `cargo run --release -p ppm-bench --bin verified_repair
+//!  [--stripe-mib N] [--reps N] [--threads T] [--seed N] [--smoke]`
+
+use ppm_bench::{ExpArgs, Table};
+use ppm_codes::{ErasureCode, FailureScenario, LrcCode, PmdsCode, SdCode};
+use ppm_core::{DecoderConfig, RepairService};
+use ppm_faults::FaultInjector;
+use ppm_gf::Backend;
+use ppm_stripe::random_data_stripe;
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+
+struct Instance {
+    code: Box<dyn ErasureCode<u8>>,
+    scenario: FailureScenario,
+}
+
+/// The SD / PMDS / LRC grid with erasure patterns chosen well inside
+/// each code's fault tolerance, so the surplus rows leave the verify
+/// pass enough evidence to locate a corrupt survivor uniquely.
+fn grid(seed: u64) -> Vec<Instance> {
+    let sd = SdCode::<u8>::new(6, 4, 2, 1, vec![1, 2, 4]).expect("SD construction");
+    let pmds = PmdsCode::<u8>::search(6, 4, 1, 1, seed, 3).expect("PMDS construction");
+    let lrc = LrcCode::<u8>::new(6, 2, 2, 3).expect("LRC construction");
+    vec![
+        Instance {
+            code: Box::new(sd),
+            scenario: FailureScenario::new(vec![2, 9]),
+        },
+        Instance {
+            code: Box::new(pmds),
+            scenario: FailureScenario::new(vec![2, 9]),
+        },
+        Instance {
+            code: Box::new(lrc),
+            scenario: FailureScenario::new(vec![2, 13]),
+        },
+    ]
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let config = DecoderConfig {
+        threads: args.threads,
+        backend: Backend::Auto,
+    };
+    let reps = args.reps.max(if args.smoke { 2 } else { 5 });
+
+    println!(
+        "verified repair: surplus-row verify overhead and escalation cost,\n\
+         {} reps, T={}, ~{:.1} MiB stripes, injector seed {}\n",
+        reps,
+        args.threads,
+        args.stripe_mib(),
+        args.seed
+    );
+
+    let t = Table::new(&[
+        "code", "lost", "rows", "plain", "verified", "overhead", "corrupt", "located",
+    ]);
+    let mut located = 0usize;
+    let mut injected = 0usize;
+
+    for inst in grid(args.seed) {
+        let code = &*inst.code;
+        let scenario = &inst.scenario;
+        let h = code.parity_check_matrix();
+        let sectors = code.layout().sectors();
+        let sector_bytes = (args.stripe_bytes / sectors / 8 * 8).max(8);
+
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0xC3C3);
+        let mut service = RepairService::new(code, config);
+        let mut pristine = random_data_stripe(&code, sector_bytes, &mut rng);
+        service.encode(&mut pristine).expect("encode");
+
+        let (plan, _) = service.plan_for(scenario).expect("plan");
+        let verify_rows = plan.verify_rows();
+        let predicted_verify = plan.verify_mult_xors() as u64;
+        let surplus = plan.surplus_row_indices();
+        // Corruption targets: survivors the surplus rows can both detect
+        // and uniquely locate (covered by >= 2 surplus rows).
+        let locatable: Vec<usize> = (0..sectors)
+            .filter(|s| !scenario.contains(*s))
+            .filter(|&s| surplus.iter().filter(|&&r| h.get(r, s) != 0).count() >= 2)
+            .collect();
+        drop(plan);
+        assert!(
+            !locatable.is_empty(),
+            "{}: no locatable survivor",
+            code.name()
+        );
+
+        // Plain repair: no verification (the PR-3 baseline).
+        let mut plain = f64::INFINITY;
+        for _ in 0..reps {
+            let mut broken = pristine.clone();
+            broken.erase(scenario);
+            let t0 = Instant::now();
+            service.repair(&mut broken, scenario).expect("plain repair");
+            plain = plain.min(t0.elapsed().as_secs_f64());
+            assert_eq!(broken, pristine);
+        }
+
+        // Verified repair on a clean stripe: one decode + one surplus-row
+        // verify pass, which must match the cost model exactly.
+        let mut clean = f64::INFINITY;
+        for _ in 0..reps {
+            let mut broken = pristine.clone();
+            broken.erase(scenario);
+            let t0 = Instant::now();
+            let stats = service
+                .repair_verified(&mut broken, scenario)
+                .expect("verified repair");
+            clean = clean.min(t0.elapsed().as_secs_f64());
+            assert_eq!(broken, pristine);
+            let v = stats.verify.expect("verify stats");
+            assert!(v.clean(), "clean stripe must verify on the first pass");
+            assert_eq!(
+                v.first_pass.mult_xors,
+                predicted_verify,
+                "{}: verify pass off the surplus-row model",
+                code.name()
+            );
+        }
+
+        // Verified repair against one injected bit-flip: detect, escalate,
+        // locate, heal.
+        let mut inj = FaultInjector::new(args.seed);
+        let mut corrupt = f64::INFINITY;
+        for rep in 0..reps {
+            let mut broken = pristine.clone();
+            broken.erase(scenario);
+            let target = locatable[(args.seed as usize + rep) % locatable.len()];
+            let flip = inj.corrupt_sector(&mut broken, target);
+            injected += 1;
+            let t0 = Instant::now();
+            let stats = service
+                .repair_verified(&mut broken, scenario)
+                .expect("escalated repair");
+            corrupt = corrupt.min(t0.elapsed().as_secs_f64());
+            assert_eq!(broken, pristine, "escalation must heal bit-exactly");
+            let v = stats.verify.expect("verify stats");
+            assert!(v.escalations >= 1);
+            if v.located == [flip.sector] {
+                located += 1;
+            }
+        }
+
+        t.row(&[
+            code.name(),
+            scenario.len().to_string(),
+            verify_rows.to_string(),
+            format!("{:.3}ms", plain * 1e3),
+            format!("{:.3}ms", clean * 1e3),
+            format!("{:+.1}%", 100.0 * (clean / plain - 1.0)),
+            format!("{:.3}ms", corrupt * 1e3),
+            format!("{}/{}", located, injected),
+        ]);
+    }
+
+    assert_eq!(
+        located, injected,
+        "every injected corruption must be located exactly"
+    );
+    // The line CI greps for.
+    println!("\nfault injection: located {located}/{injected} injected corruptions");
+}

@@ -134,6 +134,23 @@ pub trait ErasureCode<W: GfWord> {
             .collect()
     }
 
+    /// Upper bound on how many sector erasures this code can declare at
+    /// once and still hope to recover — the budget for erasure
+    /// escalation, where verified repair promotes suspect "surviving"
+    /// sectors into the faulty set and retries.
+    ///
+    /// The default is the number of parity-check rows `R_H`: decoding
+    /// solves a square system of one independent `H` row per faulty
+    /// sector, so no scenario larger than `R_H` is ever solvable. This is
+    /// a cap, not a guarantee — which specific patterns of that size
+    /// decode is the code's erasure-pattern story (e.g. SD absorbs any
+    /// `m` disks plus `s` sectors, not an arbitrary `m·r + s` sectors);
+    /// escalation probes concrete patterns against this bound and lets
+    /// plan construction reject the unsolvable ones.
+    fn fault_tolerance(&self) -> usize {
+        self.parity_sectors().len()
+    }
+
     /// True if every parity block is computed from the same number of
     /// blocks — the paper's symmetric/asymmetric split. Derived from the
     /// generator view: solve each parity sector in terms of data sectors
@@ -183,6 +200,9 @@ impl<W: GfWord, T: ErasureCode<W> + ?Sized> ErasureCode<W> for &T {
     fn data_sectors(&self) -> Vec<usize> {
         (**self).data_sectors()
     }
+    fn fault_tolerance(&self) -> usize {
+        (**self).fault_tolerance()
+    }
     fn is_symmetric(&self) -> bool {
         (**self).is_symmetric()
     }
@@ -206,6 +226,30 @@ mod tests {
             c.layout().sectors()
         }
         assert_eq!(takes_code(&dynamic), 16);
+    }
+
+    #[test]
+    fn fault_tolerance_matches_parity_row_count() {
+        // For every family the escalation cap equals R_H = |parity_sectors|.
+        let sd = crate::SdCode::<u8>::new(6, 4, 2, 1, vec![1, 2, 4]).unwrap();
+        assert_eq!(sd.fault_tolerance(), 2 * 4 + 1);
+        assert_eq!(sd.fault_tolerance(), sd.parity_sectors().len());
+
+        let pmds = crate::PmdsCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        assert_eq!(pmds.fault_tolerance(), 4 + 1);
+        assert_eq!(pmds.fault_tolerance(), pmds.parity_sectors().len());
+
+        let lrc = crate::LrcCode::<u8>::new(6, 2, 2, 4).unwrap();
+        assert_eq!(lrc.fault_tolerance(), (2 + 2) * 4);
+        assert_eq!(lrc.fault_tolerance(), lrc.parity_sectors().len());
+
+        let rs = crate::RsCode::<u8>::new(4, 2, 3).unwrap();
+        assert_eq!(rs.fault_tolerance(), 2 * 3);
+        assert_eq!(rs.fault_tolerance(), rs.parity_sectors().len());
+
+        // The blanket borrow impl forwards the bound.
+        let dynamic: &dyn ErasureCode<u8> = &sd;
+        assert_eq!(dynamic.fault_tolerance(), sd.fault_tolerance());
     }
 
     #[test]

@@ -214,6 +214,15 @@ impl<W: GfWord> ErasureCode<W> for LrcCode<W> {
             ParityKind::Global
         }
     }
+
+    /// A (k,l,g)-LRC row carries `l` local and `g` global parities, so
+    /// across `r` rows at most `(l + g)·r` sectors can be erased; within a
+    /// row only `g + 1` arbitrary failures (or `g + l` spread one per
+    /// group) are information-theoretically decodable, which escalation
+    /// discovers per concrete pattern.
+    fn fault_tolerance(&self) -> usize {
+        (self.l + self.g) * self.r
+    }
 }
 
 #[cfg(test)]

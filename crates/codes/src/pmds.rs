@@ -115,6 +115,13 @@ impl<W: GfWord> ErasureCode<W> for PmdsCode<W> {
     fn kind_of(&self, sector: usize) -> ParityKind {
         self.inner.kind_of(sector)
     }
+
+    /// PMDS^{m,s} strictly strengthens SD^{m,s}: any `m` sectors *per
+    /// stripe row* plus any `s` more, so the overall cap is the same
+    /// `m·r + s` parity rows while admitting more patterns of that size.
+    fn fault_tolerance(&self) -> usize {
+        self.inner.fault_tolerance()
+    }
 }
 
 #[cfg(test)]

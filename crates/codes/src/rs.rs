@@ -132,6 +132,12 @@ impl<W: GfWord> ErasureCode<W> for RsCode<W> {
             ParityKind::Disk
         }
     }
+
+    /// RS(k+m,k) is MDS per stripe row: any `m` of the `k+m` sectors in a
+    /// row may fail, for `m·r` across the stripe.
+    fn fault_tolerance(&self) -> usize {
+        self.m * self.r
+    }
 }
 
 #[cfg(test)]

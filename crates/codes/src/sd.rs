@@ -286,6 +286,13 @@ impl<W: GfWord> ErasureCode<W> for SdCode<W> {
             ParityKind::Data
         }
     }
+
+    /// SD^{m,s}: the construction targets the failure of any `m` whole
+    /// disks plus any `s` additional sectors, i.e. at most `m·r + s`
+    /// erased sectors — exactly its parity-row count.
+    fn fault_tolerance(&self) -> usize {
+        self.m * self.r + self.s
+    }
 }
 
 #[cfg(test)]

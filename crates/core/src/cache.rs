@@ -176,7 +176,22 @@ impl<W: GfWord> PlanCache<W> {
     /// [`PlanCache::get_or_build`]).
     pub fn insert(&mut self, key: PlanKey, plan: Arc<DecodePlan<W>>) {
         self.tick += 1;
-        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+        let fresh = self
+            .map
+            .insert(
+                key,
+                Entry {
+                    plan,
+                    last_used: self.tick,
+                },
+            )
+            .is_none();
+        // Evict only after the new plan is resident. Insert-then-evict
+        // means a panic inside the map insert (allocation) unwinds with
+        // every previously resident plan still present — the cache can
+        // momentarily hold capacity+1 entries (unobservable through
+        // &mut self), but never loses an entry without gaining one.
+        if fresh && self.map.len() > self.capacity {
             if let Some(lru) = self
                 .map
                 .iter()
@@ -187,13 +202,6 @@ impl<W: GfWord> PlanCache<W> {
                 self.evictions += 1;
             }
         }
-        self.map.insert(
-            key,
-            Entry {
-                plan,
-                last_used: self.tick,
-            },
-        );
     }
 
     /// The cached plan for `key`, building and inserting it on a miss.
@@ -388,6 +396,62 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = PlanCache::<u8>::new(0);
+    }
+
+    #[test]
+    fn failed_build_is_not_cached() {
+        let mut cache = PlanCache::<u8>::new(4);
+        let err = cache.get_or_build(key(&[2]), || {
+            Err::<DecodePlan<u8>, _>(crate::RepairError::Unrecoverable { needed: 9, rank: 5 })
+        });
+        assert!(err.is_err());
+        assert!(cache.is_empty(), "a failed build must insert nothing");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 1, 0));
+
+        // The next lookup for the same key must build again, not hit.
+        let (_, hit) = cache
+            .get_or_build(key(&[2]), || Ok::<_, crate::RepairError>(plan_for(&[2])))
+            .unwrap();
+        assert!(!hit, "an error result must never satisfy a later lookup");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn panicking_build_leaves_cache_consistent() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let mut cache = PlanCache::<u8>::new(2);
+        cache.insert(key(&[2]), Arc::new(plan_for(&[2])));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _ = cache.get_or_build(
+                key(&[6]),
+                || -> Result<DecodePlan<u8>, crate::RepairError> {
+                    panic!("plan build blew up mid-flight")
+                },
+            );
+        }));
+        assert!(result.is_err());
+        // No half-built plan is observable and the resident entry survived.
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(&[6])).is_none());
+        assert!(cache.get(&key(&[2])).is_some());
+        // The cache keeps working after the unwind.
+        let (_, hit) = cache
+            .get_or_build(key(&[6]), || Ok::<_, crate::RepairError>(plan_for(&[6])))
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn insert_at_capacity_never_victimizes_the_new_entry() {
+        let mut cache = PlanCache::<u8>::new(1);
+        cache.insert(key(&[2]), Arc::new(plan_for(&[2])));
+        cache.insert(key(&[6]), Arc::new(plan_for(&[6])));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(&[6])).is_some(), "newest entry must survive");
+        assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! from the surviving sectors only, so they are embarrassingly parallel.
 //! Once all are installed, phase B decodes `H_rest` with the recovered
 //! blocks as additional inputs.
+//!
+//! This module is decode hot path: its public entry points must stay
+//! panic-free on bad input (structured [`RepairError`](crate::RepairError)s
+//! instead of asserts), so the usual escape hatches are denied below and
+//! re-allowed only where a plan-construction invariant makes them
+//! provably unreachable.
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 use crate::arena::ScratchArena;
 use crate::plan::{DecodePlan, Program, RegionCache, Strategy, SubPlan};
@@ -16,7 +23,6 @@ use ppm_gf::{Backend, GfWord, RegionMul, RegionStats};
 use ppm_matrix::Matrix;
 use ppm_stripe::Stripe;
 use rayon::prelude::*;
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// Decoder configuration.
@@ -52,7 +58,10 @@ impl Decoder {
     /// Creates a decoder; builds its thread pool when `threads > 1`.
     ///
     /// # Panics
-    /// Panics if `threads` is zero or the pool cannot be created.
+    /// Panics if `threads` is zero or the pool cannot be created. This is
+    /// the one deliberate panic in the module: a zero-thread decoder is a
+    /// configuration bug, not a data-path fault.
+    #[allow(clippy::expect_used)]
     pub fn new(config: DecoderConfig) -> Self {
         assert!(config.threads > 0, "decoder needs at least one thread");
         let pool = (config.threads > 1).then(|| {
@@ -224,6 +233,7 @@ impl Decoder {
             phase_a,
             phase_a_nanos,
             phase_b,
+            verify: None,
             total_nanos: started.elapsed().as_nanos(),
         })
     }
@@ -242,8 +252,9 @@ impl Decoder {
     ///
     /// Falls back to [`Decoder::decode`] when the decoder has no pool.
     ///
-    /// # Panics
-    /// Panics unless `chunk_bytes` is a positive multiple of 8 (the region
+    /// # Errors
+    /// Returns [`RepairError::BadChunkSize`](crate::RepairError::BadChunkSize)
+    /// unless `chunk_bytes` is a positive multiple of 8 (the region
     /// alignment).
     pub fn decode_chunked<W: GfWord>(
         &self,
@@ -251,10 +262,9 @@ impl Decoder {
         stripe: &mut Stripe,
         chunk_bytes: usize,
     ) -> Result<(), DecodeError> {
-        assert!(
-            chunk_bytes > 0 && chunk_bytes.is_multiple_of(8),
-            "chunk size must be a positive multiple of 8"
-        );
+        if chunk_bytes == 0 || !chunk_bytes.is_multiple_of(8) {
+            return Err(DecodeError::BadChunkSize { chunk_bytes });
+        }
         let Some(pool) = &self.pool else {
             return self.decode(plan, stripe);
         };
@@ -327,10 +337,9 @@ impl Decoder {
         chunk_bytes: usize,
         arena: Option<&ScratchArena>,
     ) -> Result<ExecStats, DecodeError> {
-        assert!(
-            chunk_bytes > 0 && chunk_bytes.is_multiple_of(8),
-            "chunk size must be a positive multiple of 8"
-        );
+        if chunk_bytes == 0 || !chunk_bytes.is_multiple_of(8) {
+            return Err(DecodeError::BadChunkSize { chunk_bytes });
+        }
         let Some(pool) = &self.pool else {
             return self.decode_with_stats_inner(plan, stripe, arena);
         };
@@ -392,6 +401,7 @@ impl Decoder {
             phase_a,
             phase_a_nanos,
             phase_b,
+            verify: None,
             total_nanos: started.elapsed().as_nanos(),
         })
     }
@@ -478,30 +488,31 @@ impl Decoder {
             pool: None,
         };
         // Stripes are decoded in parallel but results must come back in
-        // stripe order; tag each stripe with its slot and fill a
-        // lock-per-slot table (the shim's `par_iter_mut` yields no index).
-        let slots: Vec<Mutex<Option<ExecStats>>> =
-            (0..stripes.len()).map(|_| Mutex::new(None)).collect();
-        let run = |(i, stripe): &mut (usize, &mut Stripe)| -> Result<(), DecodeError> {
-            let stats = serial.decode_with_stats_inner(plan, stripe, arena)?;
-            *slots[*i].lock().expect("stats slot poisoned") = Some(stats);
+        // stripe order. Each stripe travels with its own stats slot, so
+        // workers write disjoint memory and no locking (or poisoning) is
+        // possible; order is preserved because the slots never move.
+        let mut tagged: Vec<(&mut Stripe, Option<ExecStats>)> =
+            stripes.iter_mut().map(|stripe| (stripe, None)).collect();
+        let run = |(stripe, slot): &mut (&mut Stripe, Option<ExecStats>)| {
+            *slot = Some(serial.decode_with_stats_inner(plan, stripe, arena)?);
             Ok(())
         };
-        let mut tagged: Vec<(usize, &mut Stripe)> = stripes.iter_mut().enumerate().collect();
         match &self.pool {
             Some(pool) if tagged.len() > 1 => {
                 pool.install(|| tagged.par_iter_mut().try_for_each(run))?
             }
             _ => tagged.iter_mut().try_for_each(run)?,
         }
-        Ok(slots
-            .into_iter()
-            .map(|s| {
-                s.into_inner()
-                    .expect("stats slot poisoned")
-                    .expect("every stripe decoded")
-            })
-            .collect())
+        let mut out = Vec::with_capacity(tagged.len());
+        for (_, slot) in tagged {
+            match slot {
+                Some(stats) => out.push(stats),
+                // `try_for_each` returned Ok above, so every slot was
+                // filled; nothing a caller passes in can reach this.
+                None => unreachable!("parallel driver visited every stripe"),
+            }
+        }
+        Ok(out)
     }
 
     /// Convenience: plan and decode in one call.
@@ -515,6 +526,103 @@ impl Decoder {
         let plan = self.plan(h, scenario, strategy)?;
         self.decode(&plan, stripe)?;
         Ok(plan)
+    }
+
+    /// Runs the surplus-row verification pass: re-evaluates every
+    /// parity-check row of `H` the plan did *not* consume as part of `F`
+    /// against the (recovered) stripe. The decode satisfies its consumed
+    /// rows by construction, so a non-zero surplus row is independent
+    /// evidence that a *surviving* input block is corrupt.
+    ///
+    /// The pass reuses the plan's region kernels, so its executed
+    /// `mult_XORs` land in [`VerifyReport::stats`] in the same unit as
+    /// the decode ledger and equal [`DecodePlan::verify_mult_xors`]
+    /// exactly.
+    ///
+    /// # Errors
+    /// [`RepairError::VerificationUnavailable`](crate::RepairError::VerificationUnavailable)
+    /// for restricted (degraded-read) plans, and
+    /// [`RepairError::GeometryMismatch`](crate::RepairError::GeometryMismatch)
+    /// when the stripe does not match the plan. A report with violated
+    /// rows is *not* an error here — deciding what to do about it is the
+    /// caller's (typically the escalation loop's) job.
+    pub fn verify<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &Stripe,
+    ) -> Result<VerifyReport, DecodeError> {
+        self.verify_inner(plan, stripe, None)
+    }
+
+    /// [`Decoder::verify`] with the accumulator buffer borrowed from
+    /// `arena` (see [`Decoder::decode_in`]).
+    pub fn verify_in<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &Stripe,
+        arena: &ScratchArena,
+    ) -> Result<VerifyReport, DecodeError> {
+        self.verify_inner(plan, stripe, Some(arena))
+    }
+
+    fn verify_inner<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &Stripe,
+        arena: Option<&ScratchArena>,
+    ) -> Result<VerifyReport, DecodeError> {
+        let Some(surplus) = plan.surplus.as_deref() else {
+            return Err(DecodeError::VerificationUnavailable);
+        };
+        if stripe.layout().sectors() != plan.total_sectors() {
+            return Err(DecodeError::GeometryMismatch {
+                expected: plan.total_sectors(),
+                actual: stripe.layout().sectors(),
+            });
+        }
+        let sink = RegionStats::new();
+        let started = Instant::now();
+        let mut violated = Vec::new();
+        let mut acc = take_buf(arena, stripe.sector_bytes());
+        for (row, terms) in surplus {
+            acc.fill(0);
+            for &(c, col) in terms {
+                plan.regions
+                    .get(c)
+                    .mul_xor_with(stripe.sector(col), &mut acc, &sink);
+            }
+            if acc.iter().any(|&b| b != 0) {
+                violated.push(*row);
+            }
+        }
+        give_bufs(arena, [acc]);
+        let stats = SubPlanStats::collect(&sink, 0, started.elapsed());
+        Ok(VerifyReport {
+            rows_checked: surplus.len(),
+            violated_rows: violated,
+            stats,
+        })
+    }
+}
+
+/// Outcome of one surplus-row verification pass (see
+/// [`Decoder::verify`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Surplus parity-check rows evaluated. `0` means the failure
+    /// pattern consumed every row of `H` — no redundancy was left to
+    /// check against, so a clean report carries no evidence.
+    pub rows_checked: usize,
+    /// Global `H` row indices whose parity equation came out non-zero.
+    pub violated_rows: Vec<usize>,
+    /// Executed work of the pass, from the region kernels.
+    pub stats: SubPlanStats,
+}
+
+impl VerifyReport {
+    /// True when every evaluated row XOR-summed to the zero region.
+    pub fn clean(&self) -> bool {
+        self.violated_rows.is_empty()
     }
 }
 
@@ -556,6 +664,10 @@ fn install_outputs(
 /// When `stats` is given, every region operation is tallied into it.
 /// When `arena` is given, scratch and output buffers are borrowed from
 /// it (the caller returns the output buffers after installing them).
+//
+// `scratch[e]` is safe by plan construction: every `Normal` program's
+// f-term indices point into its own t-term list, which built `scratch`.
+#[allow(clippy::indexing_slicing)]
 fn run_subplan<W: GfWord>(
     sp: &SubPlan<W>,
     regions: &RegionCache<W>,
@@ -629,7 +741,10 @@ fn run_subplan_instrumented<W: GfWord>(
 /// input region for term source `j`. When `stats` is given, every slice
 /// operation is tallied into it (the sink is atomic, so concurrent
 /// chunk workers share it safely).
-#[allow(clippy::too_many_arguments)]
+// The chunk slicing is safe by construction: `par_chunks_mut` hands out
+// `dst` windows of `buf`, and every source region has the same length as
+// `buf`, so `off..off + dst.len()` stays in bounds.
+#[allow(clippy::too_many_arguments, clippy::indexing_slicing)]
 fn chunked_sum<'a, W: GfWord>(
     terms: &[(W, usize)],
     regions: &RegionCache<W>,
@@ -664,6 +779,9 @@ fn chunked_sum<'a, W: GfWord>(
 
 /// Runs one sub-plan with within-region chunking (see
 /// [`Decoder::decode_chunked`]).
+//
+// `scratch[e]` is safe by plan construction, as in `run_subplan`.
+#[allow(clippy::indexing_slicing)]
 fn run_subplan_chunked<W: GfWord>(
     sp: &SubPlan<W>,
     regions: &RegionCache<W>,
@@ -773,6 +891,7 @@ pub fn parity_consistent<W: GfWord>(h: &Matrix<W>, stripe: &Stripe, backend: Bac
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use ppm_codes::{LrcCode, RsCode, SdCode};
@@ -919,7 +1038,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "multiple of 8")]
     fn decode_chunked_rejects_misaligned_chunk() {
         let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
         let h = code.parity_check_matrix();
@@ -928,7 +1046,17 @@ mod tests {
             .plan(&h, &FailureScenario::new(vec![2]), Strategy::PpmAuto)
             .unwrap();
         let mut stripe = Stripe::zeroed(code.layout(), 64);
-        let _ = dec.decode_chunked(&plan, &mut stripe, 12);
+        // A bad chunk size is an error, never a panic, on both entry
+        // points — and the stripe is untouched.
+        for bad in [0usize, 12] {
+            let err = dec.decode_chunked(&plan, &mut stripe, bad).unwrap_err();
+            assert_eq!(err, DecodeError::BadChunkSize { chunk_bytes: bad });
+            let err = dec
+                .decode_chunked_with_stats(&plan, &mut stripe, bad)
+                .unwrap_err();
+            assert_eq!(err, DecodeError::BadChunkSize { chunk_bytes: bad });
+        }
+        assert_eq!(stripe, Stripe::zeroed(code.layout(), 64));
     }
 
     #[test]
@@ -1006,6 +1134,66 @@ mod tests {
                 assert!(broken.sector(14).iter().all(|&b| b == 0));
             }
         }
+    }
+
+    #[test]
+    fn verify_pass_is_clean_after_decode_and_flags_corruption() {
+        let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        let h = code.parity_check_matrix();
+        // Two faulty sectors leave 3 of the 5 parity rows surplus.
+        let sc = FailureScenario::new(vec![2, 6]);
+        let dec = decoder(2);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut stripe = random_data_stripe(&code, 64, &mut rng);
+        encode(&code, &dec, &mut stripe).unwrap();
+        stripe.erase(&sc);
+        let plan = dec
+            .decode_scenario(&h, &sc, Strategy::PpmAuto, &mut stripe)
+            .unwrap();
+
+        let report = dec.verify(&plan, &stripe).unwrap();
+        assert_eq!(report.rows_checked, plan.verify_rows());
+        assert!(report.clean(), "{:?}", report.violated_rows);
+        // Executed verify cost equals the plan's surplus-row prediction.
+        assert_eq!(report.stats.mult_xors, plan.verify_mult_xors() as u64);
+
+        // Corrupt a *surviving* sector: the pass must notice.
+        stripe.sector_mut(0)[5] ^= 0x40;
+        let report = dec.verify(&plan, &stripe).unwrap();
+        assert!(!report.clean());
+        assert!(report
+            .violated_rows
+            .iter()
+            .all(|r| plan.surplus_row_indices().contains(r)));
+
+        // Arena-borrowing variant agrees.
+        let arena = crate::ScratchArena::new();
+        let in_arena = dec.verify_in(&plan, &stripe, &arena).unwrap();
+        assert_eq!(in_arena.violated_rows, report.violated_rows);
+    }
+
+    #[test]
+    fn verify_errors_are_structured() {
+        let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        let h = code.parity_check_matrix();
+        let sc = FailureScenario::new(vec![2, 6]);
+        let dec = decoder(1);
+        let plan = dec.plan(&h, &sc, Strategy::PpmNormalRest).unwrap();
+
+        // Restricted plans cannot verify.
+        let restricted = plan.restrict_to(&[2]);
+        let stripe = Stripe::zeroed(code.layout(), 64);
+        assert_eq!(
+            dec.verify(&restricted, &stripe).unwrap_err(),
+            DecodeError::VerificationUnavailable
+        );
+
+        // Wrong-geometry stripes are rejected, not sliced.
+        let wrong = Stripe::zeroed(ppm_codes::StripeLayout::new(3, 3), 64);
+        assert!(matches!(
+            dec.verify(&plan, &wrong).unwrap_err(),
+            DecodeError::GeometryMismatch { .. }
+        ));
     }
 
     #[test]

@@ -75,11 +75,11 @@ mod update;
 
 pub use arena::ScratchArena;
 pub use cache::{PlanCache, PlanCacheStats, PlanKey};
-pub use error::DecodeError;
-pub use exec::{encode, parity_consistent, Decoder, DecoderConfig};
+pub use error::{DecodeError, RepairError};
+pub use exec::{encode, parity_consistent, Decoder, DecoderConfig, VerifyReport};
 pub use logtable::{LogTable, LogTableRow};
 pub use partition::{ParallelismCase, Partition, SubSystem};
 pub use plan::{CalcSequence, DecodePlan, Strategy};
 pub use service::RepairService;
-pub use stats::{ExecStats, SubPlanStats};
+pub use stats::{ExecStats, SubPlanStats, VerifyStats};
 pub use update::UpdatePlan;

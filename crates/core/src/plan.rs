@@ -191,8 +191,12 @@ impl<W: GfWord> RegionCache<W> {
     fn build(coeffs: impl Iterator<Item = W>, backend: Backend) -> Self {
         let mut map = HashMap::new();
         for c in coeffs {
+            // Checked construction: each multiplier probes its dispatched
+            // kernel against the scalar reference once (at plan build, not
+            // per region op) and demotes itself to scalar on a mismatch,
+            // so a faulty SIMD unit degrades throughput instead of bytes.
             map.entry(c.to_u64())
-                .or_insert_with(|| RegionMul::new(c, backend));
+                .or_insert_with(|| RegionMul::new_checked(c, backend));
         }
         RegionCache { map }
     }
@@ -224,7 +228,19 @@ pub struct DecodePlan<W: GfWord> {
     /// anyway, so recording them is free). `None` for plans built with a
     /// concrete strategy or derived by [`DecodePlan::restrict_to`].
     predicted: Option<crate::cost::CostReport>,
+    /// Surplus parity-check rows: `(global H row, non-zero terms over all
+    /// stripe sectors)` for every row of `H` the plan's sub-systems did
+    /// *not* consume as part of `F`. The decode satisfies its consumed
+    /// rows by construction, so re-evaluating these is an independent
+    /// detector of corrupt surviving inputs. `None` for restricted plans
+    /// (they do not materialize the full stripe, so no full parity
+    /// equation can be checked).
+    pub(crate) surplus: Option<Vec<SurplusRow<W>>>,
 }
+
+/// One surplus parity-check row: its global `H` row index and the
+/// non-zero `(coefficient, sector)` terms of its check equation.
+pub(crate) type SurplusRow<W> = (usize, Vec<(W, usize)>);
 
 impl<W: GfWord> DecodePlan<W> {
     /// Builds a plan for recovering `scenario` under parity-check matrix
@@ -301,7 +317,14 @@ impl<W: GfWord> DecodePlan<W> {
                     best = Some(plan);
                 }
             }
-            let mut best = best.expect("at least one candidate");
+            // The loop above ran at least once, so `best` is populated;
+            // keep the failure structured rather than panicking.
+            let Some(mut best) = best else {
+                return Err(DecodeError::Unrecoverable {
+                    needed: scenario.len(),
+                    rank: 0,
+                });
+            };
             best.predicted = Some(crate::cost::CostReport {
                 c1,
                 c2,
@@ -313,6 +336,9 @@ impl<W: GfWord> DecodePlan<W> {
         }
 
         let faulty = scenario.faulty().to_vec();
+        // Global H rows consumed as F rows across every sub-system; the
+        // complement becomes the plan's surplus verification rows.
+        let mut consumed: Vec<usize> = Vec::new();
         let (phase_a, phase_b) = if faulty.is_empty() {
             (Vec::new(), None)
         } else {
@@ -325,7 +351,8 @@ impl<W: GfWord> DecodePlan<W> {
                     };
                     let all_rows: Vec<usize> = (0..h.rows()).collect();
                     let sources = scenario.surviving(h.cols());
-                    let sub = build_subsystem(h, &all_rows, &faulty, &sources, seq)?;
+                    let (sub, rows) = build_subsystem(h, &all_rows, &faulty, &sources, seq)?;
+                    consumed.extend(rows);
                     (Vec::new(), Some(sub))
                 }
                 Strategy::PpmMatrixFirstRest | Strategy::PpmNormalRest => {
@@ -343,13 +370,15 @@ impl<W: GfWord> DecodePlan<W> {
                     // so u(Fᵢ) + u(Sᵢ) > u(Fᵢ⁻¹·Sᵢ) (paper §III-B).
                     let mut phase_a = Vec::with_capacity(part.independent.len());
                     for sub in &part.independent {
-                        phase_a.push(build_subsystem(
+                        let (sp, rows) = build_subsystem(
                             h,
                             &sub.rows,
                             &sub.faulty,
                             &surviving,
                             CalcSequence::MatrixFirst,
-                        )?);
+                        )?;
+                        consumed.extend(rows);
+                        phase_a.push(sp);
                     }
                     let phase_b = match &part.rest {
                         None => None,
@@ -363,7 +392,10 @@ impl<W: GfWord> DecodePlan<W> {
                             let mut sources = surviving.clone();
                             sources.extend(part.independent_faulty());
                             sources.sort_unstable();
-                            Some(build_subsystem(h, &rest.rows, &rest.faulty, &sources, seq)?)
+                            let (sp, rows) =
+                                build_subsystem(h, &rest.rows, &rest.faulty, &sources, seq)?;
+                            consumed.extend(rows);
+                            Some(sp)
                         }
                     };
                     (phase_a, phase_b)
@@ -372,12 +404,36 @@ impl<W: GfWord> DecodePlan<W> {
             }
         };
 
+        // Surplus rows: every parity equation the decode did not consume,
+        // with its non-zero terms over the full stripe. An empty scenario
+        // leaves all of H surplus — verification degenerates to the full
+        // parity-consistency check.
+        let mut used = vec![false; h.rows()];
+        for &r in &consumed {
+            used[r] = true;
+        }
+        let surplus: Vec<SurplusRow<W>> = used
+            .iter()
+            .enumerate()
+            .filter(|(_, &u)| !u)
+            .map(|(r, _)| {
+                let terms = (0..h.cols())
+                    .filter_map(|c| {
+                        let v = h.get(r, c);
+                        (v != W::ZERO).then_some((v, c))
+                    })
+                    .collect();
+                (r, terms)
+            })
+            .collect();
+
         let cost = phase_a.iter().map(|s| s.program.mult_xors()).sum::<usize>()
             + phase_b.as_ref().map_or(0, |s| s.program.mult_xors());
         let coeffs = phase_a
             .iter()
             .chain(&phase_b)
             .flat_map(|s| s.program.coefficients())
+            .chain(surplus.iter().flat_map(|(_, t)| t.iter().map(|(c, _)| *c)))
             .collect::<Vec<_>>();
         Ok(DecodePlan {
             phase_a,
@@ -389,6 +445,7 @@ impl<W: GfWord> DecodePlan<W> {
             backend,
             cost,
             predicted: None,
+            surplus: Some(surplus),
         })
     }
 
@@ -497,6 +554,9 @@ impl<W: GfWord> DecodePlan<W> {
             // The candidate costs predicted the *full* repair; this plan
             // does strictly less work, so carrying them over would lie.
             predicted: None,
+            // A restricted decode leaves unwanted faulty sectors erased,
+            // so no full parity equation can be evaluated afterwards.
+            surplus: None,
         }
     }
 
@@ -564,6 +624,14 @@ impl<W: GfWord> DecodePlan<W> {
     /// §I: local parity "to reduce disk I/O, network overhead, and
     /// degraded read latency").
     pub fn sectors_read(&self) -> usize {
+        self.read_sectors().len()
+    }
+
+    /// The distinct surviving sectors this plan reads, ascending — the
+    /// list behind [`DecodePlan::sectors_read`]. Erasure escalation walks
+    /// these first: a sector the decode actually consumed is the prime
+    /// suspect when the recovered stripe fails verification.
+    pub fn read_sectors(&self) -> Vec<usize> {
         let mut read: Vec<usize> = self
             .phase_a
             .iter()
@@ -573,19 +641,60 @@ impl<W: GfWord> DecodePlan<W> {
             .collect();
         read.sort_unstable();
         read.dedup();
-        read.len()
+        read
+    }
+
+    /// Whether this plan can run the surplus-row verification pass.
+    /// `false` only for [`DecodePlan::restrict_to`] projections, which do
+    /// not materialize the full stripe.
+    pub fn supports_verify(&self) -> bool {
+        self.surplus.is_some()
+    }
+
+    /// Global `H` row indices of the surplus (unconsumed) parity-check
+    /// rows available for verification. Empty when the failure pattern
+    /// consumed every row of `H` — at the code's rank limit no redundancy
+    /// is left over, so corruption in surviving blocks is
+    /// information-theoretically undetectable.
+    pub fn surplus_row_indices(&self) -> Vec<usize> {
+        self.surplus
+            .as_deref()
+            .unwrap_or_default()
+            .iter()
+            .map(|(r, _)| *r)
+            .collect()
+    }
+
+    /// Number of surplus parity-check rows available to a verify pass.
+    pub fn verify_rows(&self) -> usize {
+        self.surplus.as_deref().unwrap_or_default().len()
+    }
+
+    /// Predicted cost of one verify pass in `mult_XORs`: the non-zero
+    /// coefficients summed over the surplus rows — the same unit and the
+    /// same exactness as the decode ledger, since verification reuses the
+    /// identical region kernels.
+    pub fn verify_mult_xors(&self) -> usize {
+        self.surplus
+            .as_deref()
+            .unwrap_or_default()
+            .iter()
+            .map(|(_, t)| t.len())
+            .sum()
     }
 }
 
 /// Builds one sub-matrix program: select a square invertible system from
-/// the candidate rows, invert, and emit the chosen sequence.
+/// the candidate rows, invert, and emit the chosen sequence. Also returns
+/// the *global* `H` rows the system consumed, so the caller can derive
+/// the plan's surplus (unused) verification rows.
 fn build_subsystem<W: GfWord>(
     h: &Matrix<W>,
     candidate_rows: &[usize],
     faulty: &[usize],
     sources: &[usize],
     seq: CalcSequence,
-) -> Result<SubPlan<W>, DecodeError> {
+) -> Result<(SubPlan<W>, Vec<usize>), DecodeError> {
     let f_all = h.select_rows(candidate_rows).select_columns(faulty);
     let picked = f_all.select_independent_rows();
     if picked.len() < faulty.len() {
@@ -597,9 +706,15 @@ fn build_subsystem<W: GfWord>(
     let rows: Vec<usize> = picked.iter().map(|&i| candidate_rows[i]).collect();
     // One elimination serves both sequences: the factorization yields the
     // matrix-first product `F⁻¹·S` directly (no explicit inverse) and the
-    // explicit `F⁻¹` for the normal sequence.
-    let fact = ppm_matrix::Factorization::new(&f_all.select_rows(&picked))
-        .expect("independent row selection yields invertible square");
+    // explicit `F⁻¹` for the normal sequence. Independent row selection
+    // guarantees invertibility, so the None arm is defensive.
+    let Some((fact, _unused_local)) = ppm_matrix::Factorization::with_residual(&f_all, &picked)
+    else {
+        return Err(DecodeError::Unrecoverable {
+            needed: faulty.len(),
+            rank: picked.len(),
+        });
+    };
     let s = h.select_rows(&rows).select_columns(sources);
 
     let program = match seq {
@@ -648,7 +763,7 @@ fn build_subsystem<W: GfWord>(
             Program::Normal { t_terms, f_terms }
         }
     };
-    Ok(SubPlan { program })
+    Ok((SubPlan { program }, rows))
 }
 
 #[cfg(test)]
@@ -815,6 +930,56 @@ mod tests {
         let err =
             DecodePlan::build(&h, &sc, Strategy::TraditionalNormal, Backend::Scalar).unwrap_err();
         assert!(matches!(err, DecodeError::Unrecoverable { needed: 6, .. }));
+    }
+
+    #[test]
+    fn surplus_rows_complement_consumed() {
+        let (h, sc) = paper_case();
+        // Worst case: 5 faulty sectors consume all 5 parity rows, so no
+        // redundancy is left for verification.
+        let plan = DecodePlan::build(&h, &sc, Strategy::PpmNormalRest, Backend::Scalar).unwrap();
+        assert!(plan.supports_verify());
+        assert_eq!(plan.verify_rows(), 0);
+        assert_eq!(plan.verify_mult_xors(), 0);
+
+        // Two faulty sectors leave three surplus rows, whatever strategy.
+        let small = FailureScenario::new(vec![2, 6]);
+        for s in Strategy::CONCRETE.into_iter().chain([Strategy::PpmAuto]) {
+            let plan = DecodePlan::build(&h, &small, s, Backend::Scalar).unwrap();
+            assert_eq!(plan.verify_rows(), 3, "{s:?}");
+            let idx = plan.surplus_row_indices();
+            assert!(idx.iter().all(|&r| r < h.rows()), "{s:?}");
+            // Predicted verify cost = non-zeros of H over those rows.
+            let expect: usize = idx.iter().map(|&r| h.row_nonzeros(r)).sum();
+            assert_eq!(plan.verify_mult_xors(), expect, "{s:?}");
+        }
+
+        // Empty scenario: every row is surplus — a full parity check.
+        let empty = DecodePlan::build(
+            &h,
+            &FailureScenario::new(vec![]),
+            Strategy::PpmAuto,
+            Backend::Scalar,
+        )
+        .unwrap();
+        assert_eq!(empty.verify_rows(), h.rows());
+
+        // Restricted plans cannot verify.
+        let restricted = plan.restrict_to(&[2]);
+        assert!(!restricted.supports_verify());
+        assert_eq!(restricted.verify_rows(), 0);
+        assert_eq!(restricted.verify_mult_xors(), 0);
+        assert!(restricted.surplus_row_indices().is_empty());
+    }
+
+    #[test]
+    fn read_sectors_lists_what_sectors_read_counts() {
+        let (h, sc) = paper_case();
+        let plan = DecodePlan::build(&h, &sc, Strategy::PpmNormalRest, Backend::Scalar).unwrap();
+        let read = plan.read_sectors();
+        assert_eq!(read.len(), plan.sectors_read());
+        assert!(read.windows(2).all(|w| w[0] < w[1]), "sorted and deduped");
+        assert!(read.iter().all(|s| plan.faulty().binary_search(s).is_err()));
     }
 
     /// The paper's inequality: independent sub-matrices are always cheaper

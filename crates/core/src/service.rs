@@ -11,13 +11,13 @@
 //! an `Arc` handed back by the cache, and the working buffers cycle
 //! through the arena.
 
-#![deny(clippy::unwrap_used)]
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 use crate::arena::ScratchArena;
 use crate::cache::{PlanCache, PlanCacheStats, PlanKey};
-use crate::exec::{Decoder, DecoderConfig};
+use crate::exec::{Decoder, DecoderConfig, VerifyReport};
 use crate::plan::{DecodePlan, Strategy};
-use crate::stats::ExecStats;
+use crate::stats::{ExecStats, SubPlanStats, VerifyStats};
 use crate::DecodeError;
 use ppm_codes::{ErasureCode, FailureScenario};
 use ppm_gf::GfWord;
@@ -67,6 +67,10 @@ pub struct RepairService<W: GfWord, C: ErasureCode<W>> {
     cache: PlanCache<W>,
     arena: ScratchArena,
     strategy: Strategy,
+    /// The code's declared erasure budget
+    /// ([`ErasureCode::fault_tolerance`]), captured once: erasure
+    /// escalation never promotes a scenario past this many sectors.
+    tolerance: usize,
 }
 
 impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
@@ -75,6 +79,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     pub fn new(code: C, config: DecoderConfig) -> Self {
         let code_id = code.cache_id();
         let h = code.parity_check_matrix();
+        let tolerance = code.fault_tolerance();
         RepairService {
             code,
             code_id,
@@ -83,6 +88,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
             cache: PlanCache::with_default_capacity(),
             arena: ScratchArena::new(),
             strategy: Strategy::PpmAuto,
+            tolerance,
         }
     }
 
@@ -166,6 +172,151 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
         Ok(stats)
     }
 
+    /// The escalation budget: the session code's declared
+    /// [`ErasureCode::fault_tolerance`], captured at construction.
+    pub fn fault_tolerance(&self) -> usize {
+        self.tolerance
+    }
+
+    /// Repairs one stripe and *checks the work*: after decoding,
+    /// re-evaluates the plan's surplus parity-check rows against the
+    /// recovered stripe (see [`Decoder::verify`]); on violation runs
+    /// **erasure escalation** — each suspect surviving sector is promoted
+    /// into the faulty set and the decode retried from the original
+    /// surviving data, until one promotion yields a stripe that verifies
+    /// clean with redundancy to spare or the code's declared
+    /// fault-tolerance budget is exhausted.
+    ///
+    /// Suspects are tried in evidence order. A violated parity row must
+    /// contain at least one corrupt sector, so surviving sectors that
+    /// appear in *every* violated row form the first tier; within a tier,
+    /// sectors the original decode actually read come first (one corrupt
+    /// input poisons every output), then the surviving sectors it never
+    /// touched (which still trip the surplus rows they appear in).
+    ///
+    /// When the surviving data admits more than one consistent
+    /// explanation — too little surplus redundancy to isolate the corrupt
+    /// sector uniquely — escalation returns the first hypothesis whose
+    /// recovered stripe satisfies every remaining parity-check row. The
+    /// evidence ordering makes that the true one whenever the code has
+    /// the redundancy to distinguish; DESIGN.md §8 quantifies the bound.
+    ///
+    /// The returned [`ExecStats`] describes the decode that produced the
+    /// final bytes and carries [`VerifyStats`] with the verify-pass
+    /// ledger, escalation count, and the sectors located as silently
+    /// corrupt (now overwritten with their recovered contents).
+    ///
+    /// Two proof-strength rules:
+    /// * A clean *first* pass with `rows_available == 0` is accepted
+    ///   vacuously — a failure pattern consuming every row of `H` leaves
+    ///   nothing to check against, and corruption is then
+    ///   information-theoretically undetectable.
+    /// * An *escalated* decode is never accepted vacuously: a promotion
+    ///   only wins if its own plan keeps at least one surplus row and
+    ///   every such row checks out.
+    ///
+    /// # Errors
+    /// [`RepairError::VerificationFailed`](crate::RepairError::VerificationFailed)
+    /// when the first pass found violations and no escalation attempt was
+    /// admissible;
+    /// [`RepairError::EscalationExhausted`](crate::RepairError::EscalationExhausted)
+    /// when every attempt within budget failed its own verification. On
+    /// either error the stripe holds the unverified first decode —
+    /// callers must treat its recovered sectors as untrusted.
+    pub fn repair_verified(
+        &mut self,
+        stripe: &mut Stripe,
+        scenario: &FailureScenario,
+    ) -> Result<ExecStats, DecodeError> {
+        // Escalated retries must re-read the *original* surviving data:
+        // a failed hypothesis overwrites sectors a later hypothesis
+        // treats as inputs, so each attempt decodes a fresh copy of the
+        // stripe as handed in.
+        let baseline = stripe.clone();
+        let (plan, _) = self.plan_for(scenario)?;
+        let mut stats = self
+            .decoder
+            .decode_with_stats_in(&plan, stripe, &self.arena)?;
+        let report = self.decoder.verify_in(&plan, stripe, &self.arena)?;
+        let mut verify = VerifyStats {
+            rows_available: plan.verify_rows(),
+            predicted_mult_xors: plan.verify_mult_xors(),
+            first_pass: report.stats,
+            extra: SubPlanStats::default(),
+            passes: 1,
+            violated_rows: report.violated_rows.clone(),
+            escalations: 0,
+            located: Vec::new(),
+        };
+        if report.clean() {
+            stats.verify = Some(verify);
+            stats.cache = Some(self.cache.stats());
+            return Ok(stats);
+        }
+
+        // Suspect list: consumed inputs first, then the rest of the
+        // surviving sectors.
+        let faulty = plan.faulty().to_vec();
+        let mut suspects = plan.read_sectors();
+        for s in 0..plan.total_sectors() {
+            if faulty.binary_search(&s).is_err() && !suspects.contains(&s) {
+                suspects.push(s);
+            }
+        }
+        // Evidence ordering: every violated row necessarily contains a
+        // corrupt sector, so sectors appearing (with a non-zero
+        // coefficient) in *all* violated rows are the strongest suspects.
+        // The sort is stable, keeping read-order within each tier.
+        let h = &self.h;
+        suspects.sort_by_key(|&s| report.violated_rows.iter().any(|&r| h.get(r, s) == W::ZERO));
+
+        let budget = self.tolerance;
+        let mut attempts = 0usize;
+        if faulty.len() < budget {
+            for suspect in suspects {
+                let mut promoted = faulty.clone();
+                promoted.push(suspect);
+                let esc_scenario = FailureScenario::new(promoted);
+                let esc_plan = match self.plan_for(&esc_scenario) {
+                    Ok((p, _)) => p,
+                    // This particular promotion is beyond the code's
+                    // erasure-pattern story; the next suspect may not be.
+                    Err(DecodeError::Unrecoverable { .. }) => continue,
+                    Err(e) => return Err(e),
+                };
+                // No vacuous proofs: skip promotions that would consume
+                // every remaining parity-check row.
+                if esc_plan.verify_rows() == 0 {
+                    continue;
+                }
+                attempts += 1;
+                let mut candidate = baseline.clone();
+                let esc_stats =
+                    self.decoder
+                        .decode_with_stats_in(&esc_plan, &mut candidate, &self.arena)?;
+                let esc_report = self.decoder.verify_in(&esc_plan, &candidate, &self.arena)?;
+                verify.passes += 1;
+                accumulate_extra(&mut verify.extra, &esc_stats, &esc_report);
+                if esc_report.clean() {
+                    *stripe = candidate;
+                    verify.escalations = attempts;
+                    verify.located = vec![suspect];
+                    let mut out = esc_stats;
+                    out.verify = Some(verify);
+                    out.cache = Some(self.cache.stats());
+                    return Ok(out);
+                }
+            }
+        }
+        if attempts == 0 {
+            Err(DecodeError::VerificationFailed {
+                violated_rows: report.violated_rows,
+            })
+        } else {
+            Err(DecodeError::EscalationExhausted { attempts, budget })
+        }
+    }
+
     /// Repairs a batch of stripes sharing one scenario, spreading the
     /// stripes across the decoder's thread pool (see
     /// [`Decoder::decode_batch_with_stats`]). One plan lookup serves the
@@ -214,6 +365,22 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     }
 }
 
+/// Folds one escalation attempt (re-decode + re-verify) into the
+/// [`VerifyStats::extra`] ledger.
+fn accumulate_extra(extra: &mut SubPlanStats, decode: &ExecStats, verify: &VerifyReport) {
+    for sp in decode.phase_a.iter().chain(&decode.phase_b) {
+        extra.outputs += sp.outputs;
+        extra.mult_xors += sp.mult_xors;
+        extra.plain_xors += sp.plain_xors;
+        extra.bytes += sp.bytes;
+    }
+    extra.nanos += decode.total_nanos;
+    extra.mult_xors += verify.stats.mult_xors;
+    extra.plain_xors += verify.stats.plain_xors;
+    extra.bytes += verify.stats.bytes;
+    extra.nanos += verify.stats.nanos;
+}
+
 impl<W: GfWord, C: ErasureCode<W>> std::fmt::Debug for RepairService<W, C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RepairService")
@@ -226,7 +393,7 @@ impl<W: GfWord, C: ErasureCode<W>> std::fmt::Debug for RepairService<W, C> {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use ppm_codes::SdCode;
@@ -319,6 +486,153 @@ mod tests {
         assert!(stats.matches_prediction(), "chunked stats are complete");
         // Hits: two repeated encode plans + this chunked decode's plan.
         assert_eq!(stats.cache.expect("attached").hits, 3);
+    }
+
+    #[test]
+    fn verified_repair_accepts_clean_stripes_with_telemetry() {
+        let mut svc = service(2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
+        svc.encode(&mut stripe).unwrap();
+        let pristine = stripe.clone();
+        let scenario = FailureScenario::new(vec![2, 6]);
+        let mut broken = pristine.clone();
+        broken.erase(&scenario);
+
+        let stats = svc.repair_verified(&mut broken, &scenario).unwrap();
+        assert_eq!(broken, pristine);
+        let v = stats.verify.expect("verified repair attaches VerifyStats");
+        assert!(v.clean());
+        assert_eq!(v.passes, 1);
+        assert_eq!(v.rows_available, 3, "2 faulty leave 3 of 5 rows surplus");
+        assert!(v.matches_prediction(), "verify executed == predicted");
+        assert!(v.first_pass.mult_xors > 0);
+    }
+
+    #[test]
+    fn verified_repair_locates_and_repairs_a_corrupt_survivor() {
+        let mut svc = service(2);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
+        svc.encode(&mut stripe).unwrap();
+        let pristine = stripe.clone();
+        let scenario = FailureScenario::new(vec![2, 6]);
+
+        let mut broken = pristine.clone();
+        broken.erase(&scenario);
+        // Silently corrupt a surviving sector the decode reads.
+        broken.sector_mut(0)[7] ^= 0x21;
+
+        let stats = svc.repair_verified(&mut broken, &scenario).unwrap();
+        assert_eq!(broken, pristine, "bit-exact after escalation");
+        let v = stats.verify.expect("attached");
+        assert!(!v.violated_rows.is_empty(), "first pass must complain");
+        assert_eq!(v.located, vec![0], "exactly the corrupted sector");
+        assert!(v.escalations >= 1);
+        assert!(v.passes >= 2);
+        assert!(v.extra.mult_xors > 0, "escalation work is on the ledger");
+    }
+
+    #[test]
+    fn verified_repair_heals_a_mislabeled_scenario() {
+        // Sector 3 is truly lost (zeroed) but the label only declares
+        // sector 2: a plain repair would succeed with silently wrong
+        // bytes; verified repair promotes 3 and recovers everything.
+        //
+        // This needs a code with enough surplus redundancy to make the
+        // explanation unique: SD(n=6, r=4, m=2, s=1) keeps the global
+        // sector-parity row surplus under every same-row hypothesis, so
+        // only the true one verifies clean.
+        let code = SdCode::<u8>::new(6, 4, 2, 1, vec![1, 2, 4]).unwrap();
+        let mut svc = RepairService::new(
+            code,
+            DecoderConfig {
+                threads: 1,
+                backend: Backend::Scalar,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
+        svc.encode(&mut stripe).unwrap();
+        let pristine = stripe.clone();
+
+        let mut broken = pristine.clone();
+        broken.erase(&FailureScenario::new(vec![2, 3]));
+        let understated = FailureScenario::new(vec![2]);
+        let stats = svc.repair_verified(&mut broken, &understated).unwrap();
+        assert_eq!(broken, pristine);
+        assert_eq!(
+            stats.verify.expect("attached").located,
+            vec![3],
+            "the undeclared loss is what escalation finds"
+        );
+    }
+
+    #[test]
+    fn verified_repair_errors_are_structured_and_stripe_left_decoded() {
+        // Corrupt surviving sectors in stripe rows 2 and 3 while the
+        // declared failures sit in rows 0 and 1. A single promotion can
+        // absorb at most one of the two violated disk-parity rows, so no
+        // escalated verify can come out clean: the repair must fail
+        // loudly — no panic, no silent acceptance.
+        let mut svc = service(2);
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
+        svc.encode(&mut stripe).unwrap();
+        let scenario = FailureScenario::new(vec![2, 6]);
+        stripe.erase(&scenario);
+        stripe.sector_mut(8)[0] ^= 0x01; // stripe row 2
+        stripe.sector_mut(12)[1] ^= 0x80; // stripe row 3
+
+        let err = svc.repair_verified(&mut stripe, &scenario).unwrap_err();
+        match err {
+            DecodeError::EscalationExhausted { attempts, budget } => {
+                assert!(attempts > 0);
+                assert_eq!(budget, svc.fault_tolerance());
+            }
+            other => panic!("expected EscalationExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verified_repair_rejects_unexplainable_corruption_without_escalation() {
+        // Four declared failures consume four of the five parity rows;
+        // every single promotion would consume the fifth, leaving no
+        // surplus row to check — so escalation has no admissible attempt
+        // and the first pass's evidence comes back as VerificationFailed.
+        let mut svc = service(1);
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
+        svc.encode(&mut stripe).unwrap();
+        let scenario = FailureScenario::new(vec![2, 6, 10, 13]);
+
+        // Find the one surplus row and corrupt a survivor it covers.
+        let (plan, _) = svc.plan_for(&scenario).unwrap();
+        let rows = plan.surplus_row_indices();
+        assert_eq!(rows.len(), 1);
+        let h = ErasureCode::<u8>::parity_check_matrix(svc.code());
+        let victim = (0..plan.total_sectors())
+            .find(|&s| plan.faulty().binary_search(&s).is_err() && h.get(rows[0], s) != 0)
+            .expect("some survivor appears in the surplus row");
+        drop(plan);
+        stripe.erase(&scenario);
+        stripe.sector_mut(victim)[3] ^= 0x10;
+
+        let err = svc.repair_verified(&mut stripe, &scenario).unwrap_err();
+        match err {
+            DecodeError::VerificationFailed { violated_rows } => {
+                assert_eq!(violated_rows, rows);
+            }
+            other => panic!("expected VerificationFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_tolerance_is_captured_from_the_code() {
+        let svc = service(1);
+        // SD(n=4, r=4, m=1, s=1): budget m·r + s = 5.
+        assert_eq!(svc.fault_tolerance(), 5);
+        assert_eq!(svc.fault_tolerance(), svc.code().fault_tolerance());
     }
 
     #[test]

@@ -45,6 +45,97 @@ impl SubPlanStats {
     }
 }
 
+/// Telemetry for one verified repair: the surplus-row parity check and
+/// any erasure escalation it triggered.
+///
+/// The verify pass re-evaluates the parity-check rows of `H` that the
+/// decode's `F` did *not* consume; its cost model is exact — one
+/// `mult_XORs` per non-zero coefficient across the surplus rows — so
+/// [`VerifyStats::matches_prediction`] holding is the same
+/// executed-equals-predicted invariant the decode ledger asserts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Surplus parity-check rows available to the first verify pass.
+    pub rows_available: usize,
+    /// Predicted verify cost: non-zero coefficients summed over those
+    /// surplus rows.
+    pub predicted_mult_xors: usize,
+    /// Executed work of the first verify pass (over the original plan).
+    pub first_pass: SubPlanStats,
+    /// Extra work done by escalation: re-decodes plus re-verifies,
+    /// accumulated across all attempts.
+    pub extra: SubPlanStats,
+    /// Verification passes run (1 when the first pass was clean).
+    pub passes: usize,
+    /// Global `H` row indices the *first* pass found violated (empty when
+    /// the stripe verified clean immediately).
+    pub violated_rows: Vec<usize>,
+    /// Escalation decode attempts performed.
+    pub escalations: usize,
+    /// Sectors escalation identified as silently corrupt and repaired
+    /// (empty when no escalation was needed).
+    pub located: Vec<usize>,
+}
+
+impl VerifyStats {
+    /// True when the first verify pass executed exactly the predicted
+    /// number of `mult_XORs` — the surplus-row cost model analogue of
+    /// [`ExecStats::matches_prediction`].
+    pub fn matches_prediction(&self) -> bool {
+        self.first_pass.mult_xors == self.predicted_mult_xors as u64
+    }
+
+    /// True when the first pass found no violations and nothing was
+    /// escalated.
+    pub fn clean(&self) -> bool {
+        self.violated_rows.is_empty() && self.escalations == 0
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        push_kv(&mut out, "rows_available", &self.rows_available.to_string());
+        push_kv(
+            &mut out,
+            "predicted_mult_xors",
+            &self.predicted_mult_xors.to_string(),
+        );
+        push_kv(
+            &mut out,
+            "executed_mult_xors",
+            &self.first_pass.mult_xors.to_string(),
+        );
+        push_kv(
+            &mut out,
+            "matches_prediction",
+            if self.matches_prediction() {
+                "true"
+            } else {
+                "false"
+            },
+        );
+        push_kv(&mut out, "passes", &self.passes.to_string());
+        push_kv(&mut out, "escalations", &self.escalations.to_string());
+        let rows: Vec<String> = self.violated_rows.iter().map(|r| r.to_string()).collect();
+        push_kv(&mut out, "violated_rows", &format!("[{}]", rows.join(",")));
+        let located: Vec<String> = self.located.iter().map(|s| s.to_string()).collect();
+        push_kv(&mut out, "located", &format!("[{}]", located.join(",")));
+        push_kv(
+            &mut out,
+            "extra_mult_xors",
+            &self.extra.mult_xors.to_string(),
+        );
+        push_kv(
+            &mut out,
+            "nanos",
+            &(self.first_pass.nanos + self.extra.nanos).to_string(),
+        );
+        out.pop();
+        out.push('}');
+        out
+    }
+}
+
 /// Telemetry for one instrumented decode.
 ///
 /// Executed counters come from the region kernels themselves
@@ -78,6 +169,10 @@ pub struct ExecStats {
     pub phase_b: Option<SubPlanStats>,
     /// Wall time of the whole decode call, nanoseconds.
     pub total_nanos: u128,
+    /// Surplus-row verification and escalation telemetry, when the decode
+    /// went through [`RepairService::repair_verified`](crate::RepairService::repair_verified)
+    /// (plain decodes leave this `None`).
+    pub verify: Option<VerifyStats>,
 }
 
 impl ExecStats {
@@ -202,6 +297,10 @@ impl ExecStats {
             ),
             None => push_kv(&mut out, "phase_b", "null"),
         }
+        match &self.verify {
+            Some(v) => push_kv(&mut out, "verify", &v.to_json()),
+            None => push_kv(&mut out, "verify", "null"),
+        }
         // Drop the trailing comma push_kv left behind.
         out.pop();
         out.push('}');
@@ -260,6 +359,7 @@ mod tests {
                 nanos: 400,
             }),
             total_nanos: 600,
+            verify: None,
         }
     }
 
@@ -316,6 +416,60 @@ mod tests {
         assert!(j.contains("\"predicted_costs\":null"), "{j}");
         assert!(j.contains("\"phase_b\":null"), "{j}");
         assert!(j.contains("\"cache\":null"), "{j}");
+    }
+
+    #[test]
+    fn verify_stats_prediction_and_json() {
+        let v = VerifyStats {
+            rows_available: 3,
+            predicted_mult_xors: 12,
+            first_pass: SubPlanStats {
+                outputs: 0,
+                mult_xors: 12,
+                plain_xors: 2,
+                bytes: 768,
+                nanos: 50,
+            },
+            extra: SubPlanStats::default(),
+            passes: 1,
+            violated_rows: Vec::new(),
+            escalations: 0,
+            located: Vec::new(),
+        };
+        assert!(v.matches_prediction());
+        assert!(v.clean());
+
+        let s = ExecStats {
+            verify: Some(v.clone()),
+            ..sample()
+        };
+        let j = s.to_json();
+        assert!(j.contains("\"verify\":{\"rows_available\":3"), "{j}");
+        assert!(j.contains("\"violated_rows\":[]"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+
+        let escalated = VerifyStats {
+            violated_rows: vec![1, 4],
+            escalations: 2,
+            located: vec![7],
+            first_pass: SubPlanStats {
+                mult_xors: 11,
+                ..v.first_pass
+            },
+            ..v
+        };
+        assert!(!escalated.matches_prediction());
+        assert!(!escalated.clean());
+        let j = ExecStats {
+            verify: Some(escalated),
+            ..sample()
+        }
+        .to_json();
+        assert!(j.contains("\"violated_rows\":[1,4]"), "{j}");
+        assert!(j.contains("\"located\":[7]"), "{j}");
+        assert!(j.contains("\"escalations\":2"), "{j}");
+        assert!(j.contains("\"matches_prediction\":false"), "{j}");
     }
 
     #[test]

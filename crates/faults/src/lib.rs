@@ -1,0 +1,328 @@
+//! Deterministic fault injection for the verified-repair pipeline.
+//!
+//! Every robustness claim in this workspace is only as good as the
+//! faults it was tested against. This crate produces those faults,
+//! **reproducibly**: a [`FaultInjector`] is seeded, every choice it
+//! makes comes from that seed, and every injection returns a record
+//! describing exactly what was done — so a failing test names its fault
+//! and a CI seed matrix replays byte-identical corruption on every run.
+//!
+//! Four fault families, matching what verified repair must catch:
+//!
+//! * **Silent corruption** ([`FaultInjector::corrupt_survivor`],
+//!   [`FaultInjector::corrupt_survivors`]): bit-flips in surviving
+//!   blocks. The decode consumes them without complaint; only the
+//!   surplus-row parity check can notice.
+//! * **Geometry faults** ([`FaultInjector::truncated_stripe`],
+//!   [`FaultInjector::misaligned_stripe`]): stripes whose buffers are
+//!   shorter or shaped differently than the plan expects. These must be
+//!   rejected structurally (`RepairError::GeometryMismatch`), never
+//!   sliced out of bounds.
+//! * **Label faults** ([`FaultInjector::understate_scenario`],
+//!   [`FaultInjector::mislabel_scenario`]): erasure sets that disagree
+//!   with what was actually lost — the "operator fat-fingers the device
+//!   list" case. An understated label makes the decode read a lost
+//!   (zeroed) sector as if it survived; escalation must find it.
+//! * **Kernel faults** ([`FaultInjector::force_simd_miscompute`]):
+//!   flips the process-global switch that makes every SIMD region
+//!   kernel corrupt its first output byte, exercising the
+//!   scalar-fallback self-check in `ppm-gf`.
+//!
+//! The injector is intentionally free of any dependency on the decode
+//! stack: it mutates stripes and scenarios, and what the repair layer
+//! does about it is the repair layer's test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ppm_codes::FailureScenario;
+use ppm_codes::StripeLayout;
+use ppm_stripe::Stripe;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub use ppm_gf::{force_simd_miscompute, kernel_fallbacks, simd_miscompute_forced};
+
+/// One injected bit-flip: which sector, which byte, which mask.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitFlip {
+    /// Sector the flip landed in (always a surviving sector).
+    pub sector: usize,
+    /// Byte offset within the sector.
+    pub offset: usize,
+    /// Non-zero XOR mask applied to that byte.
+    pub mask: u8,
+}
+
+/// A deterministic, seeded source of faults.
+///
+/// Two injectors built with the same seed produce the same sequence of
+/// faults against the same inputs; the seed is carried in the record so
+/// failures can name it.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    seed: u64,
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Creates an injector whose entire fault stream is determined by
+    /// `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed this injector was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Flips one random bit-pattern in one random *surviving* sector of
+    /// `stripe` (surviving with respect to `scenario`), returning what
+    /// was done. The mask is never zero, so the stripe always changes.
+    ///
+    /// # Panics
+    /// Panics if every sector of the stripe is in `scenario` (nothing
+    /// survives to corrupt) — a test-harness misuse, not a data fault.
+    pub fn corrupt_survivor(&mut self, stripe: &mut Stripe, scenario: &FailureScenario) -> BitFlip {
+        let survivors: Vec<usize> = (0..stripe.layout().sectors())
+            .filter(|&s| !scenario.contains(s))
+            .collect();
+        assert!(
+            !survivors.is_empty(),
+            "no surviving sector to corrupt: scenario covers the stripe"
+        );
+        let sector = survivors[self.rng.random_range(0..survivors.len())];
+        self.corrupt_sector(stripe, sector)
+    }
+
+    /// Like [`FaultInjector::corrupt_survivor`], but injects `count`
+    /// flips into `count` *distinct* surviving sectors (or as many as
+    /// survive, whichever is smaller). Returns one record per flip.
+    pub fn corrupt_survivors(
+        &mut self,
+        stripe: &mut Stripe,
+        scenario: &FailureScenario,
+        count: usize,
+    ) -> Vec<BitFlip> {
+        let mut survivors: Vec<usize> = (0..stripe.layout().sectors())
+            .filter(|&s| !scenario.contains(s))
+            .collect();
+        let mut flips = Vec::new();
+        while flips.len() < count && !survivors.is_empty() {
+            let pick = self.rng.random_range(0..survivors.len());
+            let sector = survivors.swap_remove(pick);
+            flips.push(self.corrupt_sector(stripe, sector));
+        }
+        flips
+    }
+
+    /// Flips a random non-zero mask into a random byte of `sector`.
+    pub fn corrupt_sector(&mut self, stripe: &mut Stripe, sector: usize) -> BitFlip {
+        let bytes = stripe.sector_mut(sector);
+        let offset = self.rng.random_range(0..bytes.len());
+        let mask = loop {
+            let m: u8 = self.rng.random();
+            if m != 0 {
+                break m;
+            }
+        };
+        bytes[offset] ^= mask;
+        BitFlip {
+            sector,
+            offset,
+            mask,
+        }
+    }
+
+    /// A stripe assembled from device files that were each truncated by
+    /// at least one sector-row: same sector size and strip count, fewer
+    /// rows, so the sector count no longer matches the code's layout.
+    /// Feeding it to a repair must fail structurally
+    /// (`GeometryMismatch`), not slice out of bounds.
+    ///
+    /// Note that *uniform* shortening of every sector (same layout,
+    /// smaller aligned `sector_bytes`) is deliberately not modeled as a
+    /// fault: the parity-check relations hold per byte position, so such
+    /// a stripe is indistinguishable from a legitimately smaller volume
+    /// and no single-stripe check can object to it.
+    ///
+    /// # Panics
+    /// Panics if `original` has a single sector-row on a single strip
+    /// (nothing can be truncated away).
+    pub fn truncated_stripe(&mut self, original: &Stripe) -> Stripe {
+        let l = original.layout();
+        let cut = if l.r > 1 {
+            StripeLayout::new(l.n, self.rng.random_range(1..l.r))
+        } else {
+            assert!(l.n > 1, "cannot truncate a 1x1 stripe");
+            StripeLayout::new(self.rng.random_range(1..l.n), 1)
+        };
+        Stripe::zeroed(cut, original.sector_bytes())
+    }
+
+    /// A stripe with a random *different* geometry (one strip more or
+    /// fewer, or one sector-row more or fewer) — the "repair pointed at
+    /// the wrong volume" fault. The sector count always differs from
+    /// `original`'s, so geometry checks must trip.
+    pub fn misaligned_stripe(&mut self, original: &Stripe) -> Stripe {
+        let l = original.layout();
+        let candidates = [
+            StripeLayout::new(l.n + 1, l.r),
+            StripeLayout::new(l.n.max(2) - 1, l.r),
+            StripeLayout::new(l.n, l.r + 1),
+            StripeLayout::new(l.n, l.r.max(2) - 1),
+        ];
+        let valid: Vec<StripeLayout> = candidates
+            .into_iter()
+            .filter(|c| c.sectors() != l.sectors())
+            .collect();
+        let pick = valid[self.rng.random_range(0..valid.len())];
+        Stripe::zeroed(pick, original.sector_bytes())
+    }
+
+    /// Drops one randomly chosen faulty sector from `scenario`'s label —
+    /// the stripe still lost it, but the repair isn't told. Returns the
+    /// understated scenario and the dropped sector.
+    ///
+    /// # Panics
+    /// Panics if `scenario` is empty (nothing to understate).
+    pub fn understate_scenario(&mut self, scenario: &FailureScenario) -> (FailureScenario, usize) {
+        let faulty = scenario.faulty();
+        assert!(!faulty.is_empty(), "cannot understate an empty scenario");
+        let drop_at = self.rng.random_range(0..faulty.len());
+        let dropped = faulty[drop_at];
+        let rest: Vec<usize> = faulty.iter().copied().filter(|&s| s != dropped).collect();
+        (FailureScenario::new(rest), dropped)
+    }
+
+    /// Replaces one randomly chosen faulty sector in `scenario`'s label
+    /// with a sector that did *not* fail — the label is the right size
+    /// but points at the wrong block. Returns the mislabeled scenario,
+    /// the truly-lost sector the label omits, and the healthy sector it
+    /// wrongly names.
+    ///
+    /// # Panics
+    /// Panics if `scenario` is empty or covers every sector of a stripe
+    /// with `total_sectors` sectors (no healthy sector to misname).
+    pub fn mislabel_scenario(
+        &mut self,
+        scenario: &FailureScenario,
+        total_sectors: usize,
+    ) -> (FailureScenario, usize, usize) {
+        let faulty = scenario.faulty();
+        assert!(!faulty.is_empty(), "cannot mislabel an empty scenario");
+        let healthy: Vec<usize> = (0..total_sectors)
+            .filter(|&s| !scenario.contains(s))
+            .collect();
+        assert!(!healthy.is_empty(), "no healthy sector to misname");
+        let omit = faulty[self.rng.random_range(0..faulty.len())];
+        let wrong = healthy[self.rng.random_range(0..healthy.len())];
+        let relabeled: Vec<usize> = faulty
+            .iter()
+            .copied()
+            .filter(|&s| s != omit)
+            .chain([wrong])
+            .collect();
+        (FailureScenario::new(relabeled), omit, wrong)
+    }
+
+    /// Forces (or clears) the process-global SIMD-miscompute fault in
+    /// `ppm-gf`: while set, every SIMD region kernel flips the first
+    /// byte of its output. Re-exported here so harnesses drive all fault
+    /// families through one object. **Global state** — tests toggling it
+    /// must serialize (see `ppm-gf`'s `fault_hooks` tests).
+    pub fn force_simd_miscompute(&mut self, enabled: bool) {
+        force_simd_miscompute(enabled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_codes::StripeLayout;
+
+    fn stripe() -> Stripe {
+        Stripe::zeroed(StripeLayout::new(4, 4), 64)
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let sc = FailureScenario::new(vec![2, 6]);
+        let (mut a, mut b) = (stripe(), stripe());
+        let fa = FaultInjector::new(99).corrupt_survivor(&mut a, &sc);
+        let fb = FaultInjector::new(99).corrupt_survivor(&mut b, &sc);
+        assert_eq!(fa, fb);
+        assert_eq!(a, b);
+        // A different seed diverges somewhere in a short stream.
+        let mut c = stripe();
+        let mut other = FaultInjector::new(100);
+        let different = (0..8).any(|_| other.corrupt_survivor(&mut c, &sc) != fa);
+        assert!(different);
+    }
+
+    #[test]
+    fn corruption_hits_only_survivors_and_always_changes_bytes() {
+        let sc = FailureScenario::new(vec![0, 5, 10, 15]);
+        let mut inj = FaultInjector::new(7);
+        for _ in 0..50 {
+            let mut s = stripe();
+            let flip = inj.corrupt_survivor(&mut s, &sc);
+            assert!(!sc.contains(flip.sector));
+            assert_ne!(flip.mask, 0);
+            assert_eq!(s.sector(flip.sector)[flip.offset], flip.mask);
+        }
+    }
+
+    #[test]
+    fn multi_corruption_uses_distinct_sectors() {
+        let sc = FailureScenario::new(vec![2, 6]);
+        let mut inj = FaultInjector::new(8);
+        let mut s = stripe();
+        let flips = inj.corrupt_survivors(&mut s, &sc, 5);
+        assert_eq!(flips.len(), 5);
+        let mut sectors: Vec<usize> = flips.iter().map(|f| f.sector).collect();
+        sectors.sort_unstable();
+        sectors.dedup();
+        assert_eq!(sectors.len(), 5, "distinct sectors");
+        // Asking for more than survive caps at the survivor count.
+        let mut s = stripe();
+        assert_eq!(inj.corrupt_survivors(&mut s, &sc, 100).len(), 14);
+    }
+
+    #[test]
+    fn geometry_faults_always_differ_from_the_original() {
+        let orig = stripe();
+        let mut inj = FaultInjector::new(9);
+        for _ in 0..20 {
+            let t = inj.truncated_stripe(&orig);
+            assert_eq!(t.sector_bytes(), orig.sector_bytes());
+            assert_eq!(t.layout().n, orig.layout().n);
+            assert!(t.layout().sectors() < orig.layout().sectors());
+            let m = inj.misaligned_stripe(&orig);
+            assert_ne!(m.layout().sectors(), orig.layout().sectors());
+        }
+    }
+
+    #[test]
+    fn label_faults_disagree_with_the_truth() {
+        let sc = FailureScenario::new(vec![2, 6, 10]);
+        let mut inj = FaultInjector::new(10);
+        for _ in 0..20 {
+            let (under, dropped) = inj.understate_scenario(&sc);
+            assert!(sc.contains(dropped));
+            assert!(!under.contains(dropped));
+            assert_eq!(under.len(), sc.len() - 1);
+
+            let (wrongly, omitted, named) = inj.mislabel_scenario(&sc, 16);
+            assert!(sc.contains(omitted));
+            assert!(!wrongly.contains(omitted));
+            assert!(!sc.contains(named));
+            assert!(wrongly.contains(named));
+            assert_eq!(wrongly.len(), sc.len());
+        }
+    }
+}

@@ -40,12 +40,14 @@
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+mod fault;
 mod region;
 mod simd;
 mod stats;
 mod tables;
 mod word;
 
+pub use fault::{force_simd_miscompute, kernel_fallbacks, simd_miscompute_forced};
 pub use region::{xor_region, xor_region_with, RegionMul};
 pub use stats::RegionStats;
 pub use word::GfWord;

@@ -105,9 +105,51 @@ impl<W: GfWord> RegionMul<W> {
         }
     }
 
+    /// Like [`RegionMul::new`], but self-checking: after resolving the
+    /// backend, probes the dispatched kernel against the portable scalar
+    /// reference on a 64-byte buffer (covering every vector body and tail
+    /// path for w ∈ {8, 16, 32}). If the kernel disagrees — a miscompiled
+    /// vector path, a CPU erratum, or a fault forced via
+    /// [`crate::force_simd_miscompute`] — the multiplier demotes itself to
+    /// [`Backend::Scalar`] and bumps the process-wide
+    /// [`crate::kernel_fallbacks`] counter, so callers always get correct
+    /// region arithmetic. The probe runs once per constructed multiplier
+    /// (plan-build time, not per region op) and is noise next to building
+    /// the 256-entry split tables.
+    ///
+    /// # Panics
+    /// Panics if a forced SIMD backend is not available on this CPU.
+    pub fn new_checked(a: W, backend: Backend) -> Self {
+        let rm = Self::new(a, backend);
+        if rm.kind != Kind::Table || rm.backend == Backend::Scalar {
+            return rm;
+        }
+        let src: Vec<u8> = (0..64u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(11))
+            .collect();
+        let mut got = vec![0xA5u8; 64];
+        let mut want = got.clone();
+        rm.table_apply(&src, &mut got, true);
+        scalar_apply::<W>(&rm.tables, &src, &mut want, true);
+        if got == want {
+            rm
+        } else {
+            crate::fault::record_fallback();
+            RegionMul {
+                backend: Backend::Scalar,
+                ..rm
+            }
+        }
+    }
+
     /// The constant this region multiplier applies.
     pub fn constant(&self) -> W {
         self.a
+    }
+
+    /// The backend this multiplier resolved to (never [`Backend::Auto`]).
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// `dst ^= a · src` — the paper's `mult_XORs(src, dst, a)`.
@@ -182,6 +224,7 @@ impl<W: GfWord> RegionMul<W> {
                 std::slice::from_raw_parts(self.tables.as_ptr().cast::<u8>(), self.tables.len())
             };
             if simd::try_mul_u8(self.backend, t8, src, dst, accumulate) {
+                crate::fault::poison_if_forced(dst);
                 return;
             }
             if accumulate {
@@ -198,6 +241,7 @@ impl<W: GfWord> RegionMul<W> {
         if W::WIDTH == 32
             && simd::try_mul_u32(self.backend, self.a.to_u64() as u32, src, dst, accumulate)
         {
+            crate::fault::poison_if_forced(dst);
             return;
         }
         if W::WIDTH == 16 {
@@ -207,6 +251,7 @@ impl<W: GfWord> RegionMul<W> {
                 std::slice::from_raw_parts(self.tables.as_ptr().cast::<u16>(), self.tables.len())
             };
             if simd::try_mul_u16(self.backend, t16, src, dst, accumulate) {
+                crate::fault::poison_if_forced(dst);
                 return;
             }
         }

@@ -1,0 +1,133 @@
+//! Tests for the forced-miscompute switch and the checked constructor.
+//!
+//! These live in their own integration binary because the switch is
+//! process-global: toggling it while the unit binary's SIMD-vs-scalar
+//! comparison tests run would poison their results. Within this binary a
+//! mutex serializes every test that flips the switch.
+
+use ppm_gf::{
+    force_simd_miscompute, kernel_fallbacks, simd_miscompute_forced, Backend, GfWord, RegionMul,
+};
+use std::sync::{Mutex, PoisonError};
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the miscompute switch forced on, guaranteeing it is
+/// switched back off even if `f` panics.
+fn with_forced_miscompute<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            force_simd_miscompute(false);
+        }
+    }
+    let _reset = Reset;
+    force_simd_miscompute(true);
+    f()
+}
+
+fn pseudo_bytes(n: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            (x >> 33) as u8
+        })
+        .collect()
+}
+
+#[test]
+fn switch_roundtrips() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    assert!(!simd_miscompute_forced());
+    force_simd_miscompute(true);
+    assert!(simd_miscompute_forced());
+    force_simd_miscompute(false);
+    assert!(!simd_miscompute_forced());
+}
+
+#[test]
+fn forced_miscompute_corrupts_simd_output() {
+    if Backend::detect() == Backend::Scalar {
+        return; // no vector unit to corrupt
+    }
+    let src = pseudo_bytes(64, 3);
+    let base = pseudo_bytes(64, 4);
+    let mut expect = base.clone();
+    RegionMul::<u8>::new(0x1D, Backend::Scalar).mul_xor(&src, &mut expect);
+
+    let mut poisoned = base.clone();
+    with_forced_miscompute(|| {
+        RegionMul::<u8>::new(0x1D, Backend::Auto).mul_xor(&src, &mut poisoned);
+    });
+    assert_ne!(poisoned, expect, "forced fault must corrupt the SIMD path");
+    assert_eq!(poisoned[1..], expect[1..], "only the first byte is flipped");
+
+    // The scalar path ignores the switch entirely.
+    let mut scalar = base.clone();
+    with_forced_miscompute(|| {
+        RegionMul::<u8>::new(0x1D, Backend::Scalar).mul_xor(&src, &mut scalar);
+    });
+    assert_eq!(scalar, expect);
+}
+
+#[test]
+fn checked_constructor_demotes_faulty_kernel_to_scalar() {
+    let src = pseudo_bytes(64, 51);
+    let base = pseudo_bytes(64, 52);
+    let mut expect = base.clone();
+    RegionMul::<u8>::new(0x1D, Backend::Scalar).mul_xor(&src, &mut expect);
+
+    let before = kernel_fallbacks();
+    let (rm, faulted) = with_forced_miscompute(|| {
+        let rm = RegionMul::<u8>::new_checked(0x1D, Backend::Auto);
+        (rm, Backend::detect() != Backend::Scalar)
+    });
+    assert_eq!(rm.backend(), Backend::Scalar);
+    if faulted {
+        assert!(
+            kernel_fallbacks() > before,
+            "the probe mismatch must be counted"
+        );
+    }
+    // Post-fallback the multiplier computes correct bytes even while the
+    // fault persists.
+    let mut dst = base.clone();
+    with_forced_miscompute(|| rm.mul_xor(&src, &mut dst));
+    assert_eq!(dst, expect);
+}
+
+#[test]
+fn checked_constructor_keeps_healthy_kernel() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let before = kernel_fallbacks();
+    let rm = RegionMul::<u8>::new_checked(0x1D, Backend::Auto);
+    assert_eq!(rm.backend(), Backend::detect());
+    assert_eq!(kernel_fallbacks(), before, "healthy probe must not count");
+
+    // 0/1 fast paths skip the probe (no table kernel to check).
+    for a in [0u8, 1] {
+        let rm = RegionMul::<u8>::new_checked(a, Backend::Auto);
+        assert_eq!(rm.constant(), a);
+    }
+}
+
+#[test]
+fn checked_constructor_all_widths() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    macro_rules! go {
+        ($W:ty, $a:expr) => {{
+            let a = <$W as GfWord>::from_u64($a);
+            let src = pseudo_bytes(64, 7);
+            let mut want = pseudo_bytes(64, 8);
+            let mut got = want.clone();
+            RegionMul::<$W>::new(a, Backend::Scalar).mul_xor(&src, &mut want);
+            RegionMul::<$W>::new_checked(a, Backend::Auto).mul_xor(&src, &mut got);
+            assert_eq!(got, want, "w={}", <$W as GfWord>::WIDTH);
+        }};
+    }
+    go!(u8, 0x1D);
+    go!(u16, 0x1D2C);
+    go!(u32, 0xDEAD_BEEF);
+}

@@ -80,6 +80,33 @@ impl<W: GfWord> Factorization<W> {
         Some(Factorization { lu, perm })
     }
 
+    /// Factorizes the square sub-matrix `m[picked]` and returns it
+    /// together with the **residual rows** — the indices of `m` *not* in
+    /// `picked`, in ascending order.
+    ///
+    /// This is the verified-repair entry point: a decode consumes exactly
+    /// `|faulty|` independent rows of the parity-check matrix as its
+    /// system `F`; the residual rows are parity equations the recovery
+    /// never used, so re-checking them against the recovered stripe is an
+    /// independent detector for silently-corrupt "surviving" inputs.
+    ///
+    /// Returns `None` when the selected sub-matrix is singular or not
+    /// square (including out-of-range or duplicate indices in `picked`).
+    pub fn with_residual(m: &Matrix<W>, picked: &[usize]) -> Option<(Self, Vec<usize>)> {
+        if picked.iter().any(|&r| r >= m.rows()) {
+            return None;
+        }
+        let mut used = vec![false; m.rows()];
+        for &r in picked {
+            if std::mem::replace(&mut used[r], true) {
+                return None; // duplicate row selection
+            }
+        }
+        let fact = Self::new(&m.select_rows(picked))?;
+        let residual = (0..m.rows()).filter(|&r| !used[r]).collect();
+        Some((fact, residual))
+    }
+
     /// Dimension of the factored system.
     pub fn dim(&self) -> usize {
         self.lu.rows()
@@ -221,6 +248,43 @@ mod tests {
         assert_eq!(m.mul(&fact.inverse()), Matrix::identity(3));
         let b = vec![3u8, 5, 7];
         assert_eq!(m.mul_vec(&fact.solve_vec(&b)), b);
+    }
+
+    #[test]
+    fn with_residual_returns_complement() {
+        // 5 rows, pick an invertible 3×3 out of columns 0..3.
+        let m = Matrix::<u8>::from_fn(5, 3, |r, c| u8::gen_pow((r as u64) * (c as u64)));
+        let (fact, residual) = Factorization::with_residual(&m, &[0, 2, 4]).expect("invertible");
+        assert_eq!(fact.dim(), 3);
+        assert_eq!(residual, vec![1, 3]);
+        // The factorization is of exactly the picked rows.
+        let picked = m.select_rows(&[0, 2, 4]);
+        assert_eq!(picked.mul(&fact.inverse()), Matrix::identity(3));
+    }
+
+    #[test]
+    fn with_residual_rejects_bad_selections() {
+        let m = vandermonde(4);
+        // Not square (3 rows picked from a 4-column matrix).
+        assert!(Factorization::with_residual(&m, &[0, 1, 2]).is_none());
+        // Out of range.
+        assert!(Factorization::with_residual(&m, &[0, 1, 2, 9]).is_none());
+        // Duplicate (also singular).
+        assert!(Factorization::with_residual(&m, &[0, 0, 1, 2]).is_none());
+        // Singular selection: two identical rows.
+        let dup = Matrix::<u8>::from_rows(&[vec![1, 2], vec![1, 2], vec![3, 5]]);
+        assert!(Factorization::with_residual(&dup, &[0, 1]).is_none());
+        // A valid pick on the same matrix still works.
+        let (_, residual) = Factorization::with_residual(&dup, &[0, 2]).expect("invertible");
+        assert_eq!(residual, vec![1]);
+    }
+
+    #[test]
+    fn with_residual_empty_residual_when_all_rows_consumed() {
+        let m = vandermonde(3);
+        let (fact, residual) = Factorization::with_residual(&m, &[2, 0, 1]).expect("invertible");
+        assert_eq!(fact.dim(), 3);
+        assert!(residual.is_empty());
     }
 
     #[test]

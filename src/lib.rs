@@ -10,8 +10,11 @@
 //!   failure scenarios,
 //! * [`stripe`] — sector buffers and workload generation,
 //! * [`core`] — the PPM algorithm (log table, partition, cost model
-//!   `C₁..C₄`, bounded-thread parallel decode) and the traditional
-//!   baseline.
+//!   `C₁..C₄`, bounded-thread parallel decode), the traditional
+//!   baseline, and the verified-repair pipeline (surplus-row parity
+//!   checks with erasure escalation),
+//! * [`faults`] — deterministic seeded fault injection for exercising
+//!   that pipeline.
 //!
 //! The most common items are re-exported at the crate root; start with
 //! [`Decoder`] and an erasure code from [`codes`].
@@ -48,6 +51,7 @@
 
 pub use ppm_codes as codes;
 pub use ppm_core as core;
+pub use ppm_faults as faults;
 pub use ppm_gf as gf;
 pub use ppm_matrix as matrix;
 pub use ppm_stripe as stripe;
@@ -59,8 +63,10 @@ pub use ppm_codes::{
 pub use ppm_core::{
     cost, encode, parity_consistent, CalcSequence, DecodeError, DecodePlan, Decoder, DecoderConfig,
     ExecStats, LogTable, ParallelismCase, Partition, PlanCache, PlanCacheStats, PlanKey,
-    RepairService, ScratchArena, Strategy, SubPlanStats, UpdatePlan,
+    RepairError, RepairService, ScratchArena, Strategy, SubPlanStats, UpdatePlan, VerifyReport,
+    VerifyStats,
 };
+pub use ppm_faults::{BitFlip, FaultInjector};
 pub use ppm_gf::{Backend, GfWord, RegionMul};
 pub use ppm_matrix::{Factorization, Matrix};
 pub use ppm_stripe::Stripe;
