@@ -109,7 +109,7 @@ fn main() {
         // full plan build (factorization included).
         let mut cold = f64::INFINITY;
         for _ in 0..cold_runs {
-            let mut service = RepairService::new(code, config);
+            let service = RepairService::new(code, config);
             let mut broken = pristine.clone();
             broken.erase(scenario);
             let t0 = Instant::now();
@@ -121,7 +121,7 @@ fn main() {
 
         // Warm: one session, primed once; every timed repair re-uses the
         // cached plan and arena buffers.
-        let mut service = RepairService::new(code, config);
+        let service = RepairService::new(code, config);
         let mut primer = pristine.clone();
         primer.erase(scenario);
         service.repair(&mut primer, scenario).expect("prime");

@@ -82,7 +82,7 @@ fn main() {
         let sector_bytes = (args.stripe_bytes / sectors / 8 * 8).max(8);
 
         let mut rng = StdRng::seed_from_u64(args.seed ^ 0xC3C3);
-        let mut service = RepairService::new(code, config);
+        let service = RepairService::new(code, config);
         let mut pristine = random_data_stripe(&code, sector_bytes, &mut rng);
         service.encode(&mut pristine).expect("encode");
 

@@ -16,7 +16,10 @@ pub mod prep;
 pub mod table;
 
 pub use args::ExpArgs;
-pub use model::{improvement, modeled_decode_time, modeled_decode_time_chunked, throughput_mbs};
+pub use model::{
+    improvement, modeled_batch_time, modeled_decode_time, modeled_decode_time_chunked,
+    throughput_mbs,
+};
 pub use prep::{
     ledger_plan, prepare_lrc, prepare_rs, prepare_sd, prepare_sd_w, time_plan, Prepared,
 };

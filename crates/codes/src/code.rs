@@ -94,7 +94,12 @@ impl std::error::Error for CodeError {}
 /// sector (in [`StripeLayout`] order) and `parity_sectors().len()` rows, so
 /// encoding — solving for the parity sectors given the data sectors — is a
 /// square linear system.
-pub trait ErasureCode<W: GfWord> {
+///
+/// Codes are immutable descriptions (`Send + Sync` is a supertrait), so a
+/// [`RepairService`](../ppm_core/struct.RepairService.html) built over any
+/// code — including `&dyn ErasureCode<W>` — can be shared across repair
+/// worker threads.
+pub trait ErasureCode<W: GfWord>: Send + Sync {
     /// Human-readable instance name, e.g. `SD^{1,1}_{4,4}(8|1,2)`.
     fn name(&self) -> String;
 

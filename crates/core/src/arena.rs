@@ -7,45 +7,204 @@
 //! of allocator traffic for identically-sized buffers. [`ScratchArena`]
 //! keeps returned buffers and lends them back out, turning steady-state
 //! decode into a zero-allocation loop.
+//!
+//! The arena is built for many concurrent workers: buffers are parked in
+//! per-thread-affine shards (so the warm path rarely crosses a lock
+//! another worker holds), reuse prefers the best-fitting capacity (so a
+//! 64-byte take can never pin a multi-MiB chunked-decode buffer), and the
+//! total bytes parked across all shards are capped (so a burst of large
+//! decodes cannot strand unbounded memory in the pool).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError, TryLockError};
+
+/// Number of independent freelists. Matches the plan-cache shard count:
+/// enough that a handful of repair workers each effectively own a shard.
+const SHARD_COUNT: usize = 8;
+
+/// Round-robin seed for assigning each OS thread a home shard.
+static NEXT_HOME: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's home shard slot, assigned round-robin on first use.
+    static HOME_SLOT: usize = NEXT_HOME.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Point-in-time counters of a [`ScratchArena`], carried in
+/// [`ExecStats`](crate::ExecStats) next to the plan-cache counters so
+/// allocator behaviour shows up in the same telemetry stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffers that had to be freshly allocated (no fitting pooled one).
+    pub fresh: u64,
+    /// Buffers served by recycling a returned one.
+    pub reused: u64,
+    /// Returned buffers dropped because pooling them would exceed the
+    /// byte cap.
+    pub dropped: u64,
+    /// Takes/gives that found their home shard locked and had to wait
+    /// (cross-worker contention signal).
+    pub contended: u64,
+    /// Buffers currently parked across all shards.
+    pub pooled_buffers: usize,
+    /// Bytes (capacity) currently parked across all shards.
+    pub pooled_bytes: usize,
+    /// Configured cap on parked bytes.
+    pub max_pooled_bytes: usize,
+}
+
+impl ArenaStats {
+    /// Renders the counters as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"fresh\":{},\"reused\":{},\"dropped\":{},\"contended\":{},\
+             \"pooled_buffers\":{},\"pooled_bytes\":{},\"max_pooled_bytes\":{}}}",
+            self.fresh,
+            self.reused,
+            self.dropped,
+            self.contended,
+            self.pooled_buffers,
+            self.pooled_bytes,
+            self.max_pooled_bytes
+        )
+    }
+}
 
 /// A pool of byte buffers shared by decode workers.
 ///
 /// `take` hands out a zeroed buffer of the requested length, reusing a
 /// returned one when available; `give` returns a buffer to the pool.
 /// The arena is `Sync` — workers on different threads borrow and return
-/// concurrently — and deliberately unbounded in count but bounded in
-/// practice by the decode fan-out: a session holds at most
-/// (threads × buffers-per-subplan) buffers at peak, and they are all
-/// returned at the end of each decode.
+/// concurrently without serializing on one lock, because each thread is
+/// pinned (round-robin) to a home shard it uses first. A take that finds
+/// its home shard empty steals opportunistically from other shards, so
+/// producer/consumer thread patterns still recycle.
 ///
-/// Buffers are recycled by *capacity*, not exact length: a reused buffer
-/// is truncated/zero-extended to the requested length, so one arena can
-/// serve stripes of different sector sizes (chunked decode splits, mixed
-/// codes) without thrashing.
-#[derive(Debug, Default)]
+/// Buffers are recycled by *capacity* with best-fit selection: a take
+/// picks the smallest pooled buffer that already fits the request, so one
+/// arena serves stripes of different sector sizes (chunked decode splits,
+/// mixed codes) without a small request pinning a huge buffer. A reused
+/// buffer is truncated/zero-extended to the requested length. Total
+/// parked capacity is bounded by [`ScratchArena::max_pooled_bytes`];
+/// returns beyond the cap drop the buffer instead of growing the pool.
+///
+/// A panicking worker cannot wedge the arena: the shard guards hold plain
+/// `Vec`s with no cross-call invariant, so poisoned locks are stripped
+/// and the pool keeps serving.
+#[derive(Debug)]
 pub struct ScratchArena {
-    pool: Mutex<Vec<Vec<u8>>>,
+    shards: Box<[Mutex<Vec<Vec<u8>>>]>,
+    max_pooled_bytes: usize,
+    pooled_bytes: AtomicUsize,
     fresh: AtomicU64,
     reused: AtomicU64,
+    dropped: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl Default for ScratchArena {
+    fn default() -> Self {
+        Self::with_max_pooled_bytes(Self::DEFAULT_MAX_POOLED_BYTES)
+    }
 }
 
 impl ScratchArena {
-    /// Creates an empty arena.
+    /// Default cap on parked capacity: 64 MiB, comfortably above the
+    /// steady-state working set of (workers × buffers-per-subplan) for
+    /// realistic sector sizes, while bounding what a burst of large
+    /// chunked decodes can strand.
+    pub const DEFAULT_MAX_POOLED_BYTES: usize = 64 << 20;
+
+    /// Creates an empty arena with the default byte cap.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty arena capping parked capacity at `max_bytes`
+    /// (zero disables pooling entirely: every take allocates, every give
+    /// drops).
+    pub fn with_max_pooled_bytes(max_bytes: usize) -> Self {
+        let shards = (0..SHARD_COUNT).map(|_| Mutex::new(Vec::new())).collect();
+        ScratchArena {
+            shards,
+            max_pooled_bytes: max_bytes,
+            pooled_bytes: AtomicUsize::new(0),
+            fresh: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured cap on parked bytes.
+    pub fn max_pooled_bytes(&self) -> usize {
+        self.max_pooled_bytes
+    }
+
+    /// Index of the calling thread's home shard.
+    fn home_shard(&self) -> usize {
+        HOME_SLOT.with(|slot| slot % self.shards.len())
+    }
+
+    /// Locks `shard`, recovering from poison (the guarded `Vec` has no
+    /// invariant a panicking peer could break) and counting the lock as
+    /// contended when another worker held it.
+    fn lock_shard<'a>(&self, shard: &'a Mutex<Vec<Vec<u8>>>) -> MutexGuard<'a, Vec<Vec<u8>>> {
+        match shard.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                shard.lock().unwrap_or_else(PoisonError::into_inner)
+            }
+        }
+    }
+
+    /// Pops the best-fitting buffer (smallest capacity ≥ `len`) from
+    /// `pool`, if any.
+    fn pop_best_fit(pool: &mut Vec<Vec<u8>>, len: usize) -> Option<Vec<u8>> {
+        let mut best: Option<(usize, usize)> = None;
+        for (index, buf) in pool.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= len && best.is_none_or(|(_, best_cap)| cap < best_cap) {
+                best = Some((index, cap));
+                if cap == len {
+                    break;
+                }
+            }
+        }
+        best.map(|(index, _)| pool.swap_remove(index))
+    }
+
     /// Borrows a zeroed buffer of exactly `len` bytes.
     pub fn take(&self, len: usize) -> Vec<u8> {
-        let recycled = {
-            let mut pool = self.pool.lock().expect("arena pool poisoned");
-            pool.pop()
+        let home = self.home_shard();
+        // Home shard first; then steal a fitting buffer from any other
+        // shard that is free right now (never block on a foreign shard).
+        let mut recycled = {
+            let mut pool = self.lock_shard(&self.shards[home]);
+            Self::pop_best_fit(&mut pool, len)
         };
+        if recycled.is_none() {
+            for (index, shard) in self.shards.iter().enumerate() {
+                if index == home {
+                    continue;
+                }
+                let Ok(mut pool) = shard.try_lock() else {
+                    continue;
+                };
+                if let Some(buf) = Self::pop_best_fit(&mut pool, len) {
+                    recycled = Some(buf);
+                    break;
+                }
+            }
+        }
         match recycled {
             Some(mut buf) => {
+                self.pooled_bytes
+                    .fetch_sub(buf.capacity(), Ordering::Relaxed);
                 self.reused.fetch_add(1, Ordering::Relaxed);
                 buf.clear();
                 buf.resize(len, 0);
@@ -58,22 +217,40 @@ impl ScratchArena {
         }
     }
 
-    /// Returns a buffer to the pool for later reuse.
+    /// Returns a buffer to the pool for later reuse. Buffers that would
+    /// push parked capacity past the cap are dropped instead of pooled.
     pub fn give(&self, buf: Vec<u8>) {
+        let cap = buf.capacity();
         // Zero-capacity vectors carry nothing worth keeping.
-        if buf.capacity() == 0 {
+        if cap == 0 {
             return;
         }
-        let mut pool = self.pool.lock().expect("arena pool poisoned");
-        pool.push(buf);
+        // Reserve the bytes first; back out if the cap is exceeded. The
+        // reservation is atomic, so concurrent givers cannot jointly
+        // overshoot the bound.
+        if self.pooled_bytes.fetch_add(cap, Ordering::Relaxed) + cap > self.max_pooled_bytes {
+            self.pooled_bytes.fetch_sub(cap, Ordering::Relaxed);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let home = self.home_shard();
+        self.lock_shard(&self.shards[home]).push(buf);
     }
 
-    /// Buffers currently parked in the pool.
+    /// Buffers currently parked across all shards.
     pub fn pooled(&self) -> usize {
-        self.pool.lock().expect("arena pool poisoned").len()
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
     }
 
-    /// Buffers that had to be freshly allocated (pool was empty).
+    /// Bytes of capacity currently parked across all shards.
+    pub fn pooled_bytes(&self) -> usize {
+        self.pooled_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Buffers that had to be freshly allocated (no fitting pooled one).
     pub fn fresh_allocations(&self) -> u64 {
         self.fresh.load(Ordering::Relaxed)
     }
@@ -82,9 +259,33 @@ impl ScratchArena {
     pub fn reuses(&self) -> u64 {
         self.reused.load(Ordering::Relaxed)
     }
+
+    /// Buffers dropped at return because the pool was at its byte cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Lock acquisitions that had to wait behind another worker.
+    pub fn contended(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the cumulative counters.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            fresh: self.fresh_allocations(),
+            reused: self.reuses(),
+            dropped: self.dropped(),
+            contended: self.contended(),
+            pooled_buffers: self.pooled(),
+            pooled_bytes: self.pooled_bytes(),
+            max_pooled_bytes: self.max_pooled_bytes,
+        }
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -101,6 +302,7 @@ mod tests {
         assert_eq!(arena.reuses(), 1);
         assert_eq!(arena.fresh_allocations(), 1, "no second allocation");
         assert_eq!(arena.pooled(), 0);
+        assert_eq!(arena.pooled_bytes(), 0);
     }
 
     #[test]
@@ -113,7 +315,7 @@ mod tests {
         let b = arena.take(4);
         assert_eq!(b, vec![0u8; 4]);
         arena.give(b);
-        // Grow: still fully zeroed.
+        // Grow past the pooled capacity: a fresh, fully zeroed buffer.
         let c = arena.take(16);
         assert_eq!(c, vec![0u8; 16]);
     }
@@ -145,5 +347,129 @@ mod tests {
         let arena = ScratchArena::new();
         arena.give(Vec::new());
         assert_eq!(arena.pooled(), 0);
+        assert_eq!(arena.pooled_bytes(), 0);
+    }
+
+    #[test]
+    fn small_take_prefers_best_fit_over_large_buffer() {
+        // Mixed sector sizes: a chunked decode of large sectors and a
+        // small-sector repair share one arena. The 64-byte take must not
+        // pin the multi-MiB buffer.
+        let arena = ScratchArena::new();
+        let big = arena.take(4 << 20);
+        let small = arena.take(64);
+        arena.give(big);
+        arena.give(small);
+        let again = arena.take(64);
+        assert_eq!(again.capacity(), 64, "best fit picks the small buffer");
+        assert_eq!(arena.pooled_bytes(), 4 << 20, "big buffer stays pooled");
+        // And a large take still reuses the large buffer.
+        let big_again = arena.take(4 << 20);
+        assert!(big_again.capacity() >= 4 << 20);
+        assert_eq!(arena.reuses(), 2);
+        assert_eq!(arena.fresh_allocations(), 2);
+    }
+
+    #[test]
+    fn undersized_buffers_are_not_grown() {
+        // A take larger than everything pooled allocates fresh rather
+        // than stealing (and growing) a small buffer that a small take
+        // could have reused.
+        let arena = ScratchArena::new();
+        arena.give(arena.take(64));
+        let big = arena.take(1024);
+        assert_eq!(big.len(), 1024);
+        assert_eq!(arena.fresh_allocations(), 2);
+        assert_eq!(arena.pooled(), 1, "small buffer stays for small takes");
+    }
+
+    #[test]
+    fn pooled_bytes_are_bounded() {
+        let arena = ScratchArena::with_max_pooled_bytes(1024);
+        let a = arena.take(512);
+        let b = arena.take(512);
+        let c = arena.take(512);
+        arena.give(a);
+        arena.give(b);
+        // Third return would exceed the 1024-byte cap: dropped.
+        arena.give(c);
+        assert_eq!(arena.dropped(), 1);
+        assert!(arena.pooled_bytes() <= 1024);
+        assert_eq!(arena.pooled(), 2);
+    }
+
+    #[test]
+    fn zero_cap_disables_pooling() {
+        let arena = ScratchArena::with_max_pooled_bytes(0);
+        arena.give(arena.take(64));
+        assert_eq!(arena.pooled(), 0);
+        assert_eq!(arena.dropped(), 1);
+        let again = arena.take(64);
+        assert_eq!(again.len(), 64);
+        assert_eq!(arena.fresh_allocations(), 2);
+    }
+
+    #[test]
+    fn cross_thread_returns_are_stolen_not_lost() {
+        // Producer/consumer pattern: one thread takes, another gives.
+        // Different threads have different home shards, so the second
+        // take exercises the steal path.
+        let arena = std::sync::Arc::new(ScratchArena::new());
+        let buf = arena.take(256);
+        {
+            let arena = std::sync::Arc::clone(&arena);
+            std::thread::spawn(move || arena.give(buf)).join().unwrap();
+        }
+        assert_eq!(arena.pooled(), 1);
+        let again = arena.take(256);
+        assert_eq!(again.len(), 256);
+        assert_eq!(arena.reuses(), 1, "buffer stolen from the foreign shard");
+    }
+
+    #[test]
+    fn poisoned_shard_recovers() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let arena = std::sync::Arc::new(ScratchArena::new());
+        arena.give(arena.take(128));
+        // Poison every shard mutex by panicking while holding it; the
+        // arena must keep serving regardless of which shard a thread
+        // lands on afterwards.
+        for shard in arena.shards.iter() {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let _guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+                panic!("worker died holding the arena lock");
+            }));
+            assert!(result.is_err());
+        }
+        // take/give/pooled all strip the poison and keep working.
+        let buf = arena.take(128);
+        assert_eq!(buf, vec![0u8; 128]);
+        assert_eq!(arena.reuses(), 1, "pooled buffer survives the poison");
+        arena.give(buf);
+        assert_eq!(arena.pooled(), 1);
+    }
+
+    #[test]
+    fn stats_snapshot_and_json() {
+        let arena = ScratchArena::with_max_pooled_bytes(4096);
+        arena.give(arena.take(64));
+        let _ = arena.take(64);
+        let s = arena.stats();
+        assert_eq!((s.fresh, s.reused, s.dropped), (1, 1, 0));
+        assert_eq!((s.pooled_buffers, s.pooled_bytes), (0, 0));
+        assert_eq!(s.max_pooled_bytes, 4096);
+        let j = s.to_json();
+        for needle in [
+            "\"fresh\":1",
+            "\"reused\":1",
+            "\"dropped\":0",
+            "\"contended\":",
+            "\"pooled_buffers\":0",
+            "\"pooled_bytes\":0",
+            "\"max_pooled_bytes\":4096",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
     }
 }

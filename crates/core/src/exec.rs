@@ -230,6 +230,7 @@ impl Decoder {
             predicted_mult_xors: plan.mult_xors(),
             predicted_costs: plan.predicted_costs(),
             cache: None,
+            arena: None,
             phase_a,
             phase_a_nanos,
             phase_b,
@@ -398,6 +399,7 @@ impl Decoder {
             predicted_mult_xors: plan.mult_xors(),
             predicted_costs: plan.predicted_costs(),
             cache: None,
+            arena: None,
             phase_a,
             phase_a_nanos,
             phase_b,
@@ -429,19 +431,29 @@ impl Decoder {
                 });
             }
         }
-        let serial = Decoder {
-            config: self.config,
-            pool: None,
-        };
         match &self.pool {
-            Some(pool) if stripes.len() > 1 => pool.install(|| {
-                stripes
-                    .par_iter_mut()
-                    .try_for_each(|stripe| serial.decode(plan, stripe))
-            }),
+            Some(pool) if stripes.len() > 1 => {
+                // One worker per stripe; each stripe decodes serially, so
+                // the per-stripe decoder honestly reports a budget of 1.
+                let serial = Decoder {
+                    config: DecoderConfig {
+                        threads: 1,
+                        ..self.config
+                    },
+                    pool: None,
+                };
+                pool.install(|| {
+                    stripes
+                        .par_iter_mut()
+                        .try_for_each(|stripe| serial.decode(plan, stripe))
+                })
+            }
+            // Zero or one stripe: nothing to spread workers over, so keep
+            // the paper's *intra*-stripe parallelism by decoding through
+            // `self` (pooled when configured) instead of a serial clone.
             _ => stripes
                 .iter_mut()
-                .try_for_each(|stripe| serial.decode(plan, stripe)),
+                .try_for_each(|stripe| self.decode(plan, stripe)),
         }
     }
 
@@ -483,36 +495,49 @@ impl Decoder {
                 });
             }
         }
-        let serial = Decoder {
-            config: self.config,
-            pool: None,
-        };
-        // Stripes are decoded in parallel but results must come back in
-        // stripe order. Each stripe travels with its own stats slot, so
-        // workers write disjoint memory and no locking (or poisoning) is
-        // possible; order is preserved because the slots never move.
-        let mut tagged: Vec<(&mut Stripe, Option<ExecStats>)> =
-            stripes.iter_mut().map(|stripe| (stripe, None)).collect();
-        let run = |(stripe, slot): &mut (&mut Stripe, Option<ExecStats>)| {
-            *slot = Some(serial.decode_with_stats_inner(plan, stripe, arena)?);
-            Ok(())
-        };
         match &self.pool {
-            Some(pool) if tagged.len() > 1 => {
-                pool.install(|| tagged.par_iter_mut().try_for_each(run))?
+            Some(pool) if stripes.len() > 1 => {
+                // One worker per stripe; each stripe decodes serially, so
+                // the per-stripe decoder honestly reports a budget of 1.
+                let serial = Decoder {
+                    config: DecoderConfig {
+                        threads: 1,
+                        ..self.config
+                    },
+                    pool: None,
+                };
+                // Stripes are decoded in parallel but results must come
+                // back in stripe order. Each stripe travels with its own
+                // stats slot, so workers write disjoint memory and no
+                // locking (or poisoning) is possible; order is preserved
+                // because the slots never move.
+                let mut tagged: Vec<(&mut Stripe, Option<ExecStats>)> =
+                    stripes.iter_mut().map(|stripe| (stripe, None)).collect();
+                let run = |(stripe, slot): &mut (&mut Stripe, Option<ExecStats>)| {
+                    *slot = Some(serial.decode_with_stats_inner(plan, stripe, arena)?);
+                    Ok(())
+                };
+                pool.install(|| tagged.par_iter_mut().try_for_each(run))?;
+                let mut out = Vec::with_capacity(tagged.len());
+                for (_, slot) in tagged {
+                    match slot {
+                        Some(stats) => out.push(stats),
+                        // `try_for_each` returned Ok above, so every slot
+                        // was filled; nothing a caller passes in can
+                        // reach this.
+                        None => unreachable!("parallel driver visited every stripe"),
+                    }
+                }
+                Ok(out)
             }
-            _ => tagged.iter_mut().try_for_each(run)?,
+            // Zero or one stripe: decode through `self` so a singleton
+            // batch keeps the paper's intra-stripe parallelism (the old
+            // serial fallback silently wasted the configured pool).
+            _ => stripes
+                .iter_mut()
+                .map(|stripe| self.decode_with_stats_inner(plan, stripe, arena))
+                .collect(),
         }
-        let mut out = Vec::with_capacity(tagged.len());
-        for (_, slot) in tagged {
-            match slot {
-                Some(stats) => out.push(stats),
-                // `try_for_each` returned Ok above, so every slot was
-                // filled; nothing a caller passes in can reach this.
-                None => unreachable!("parallel driver visited every stripe"),
-            }
-        }
-        Ok(out)
     }
 
     /// Convenience: plan and decode in one call.
@@ -1104,6 +1129,54 @@ mod tests {
             DecodeError::GeometryMismatch { .. }
         ));
         assert_eq!(mixed[0], pristine[0], "validated batch must be untouched");
+    }
+
+    /// Regression: a single-stripe batch on a pooled decoder must decode
+    /// through the pool (the paper's intra-stripe parallelism), not fall
+    /// back to a serial clone. The stats expose which decoder ran each
+    /// stripe: the pooled path reports the full thread budget, the
+    /// one-worker-per-stripe path reports a budget of 1.
+    #[test]
+    fn singleton_batch_keeps_intra_stripe_parallelism() {
+        let code = SdCode::<u8>::new(6, 4, 2, 1, vec![1, 2, 4]).unwrap();
+        let h = code.parity_check_matrix();
+        let dec = decoder(4);
+        let mut rng = StdRng::seed_from_u64(67);
+        let sc = code.decodable_worst_case(1, &mut rng, 100).unwrap();
+        let plan = dec.plan(&h, &sc, Strategy::PpmAuto).unwrap();
+
+        let mut pristine = random_data_stripe(&code, 64, &mut rng);
+        encode(&code, &dec, &mut pristine).unwrap();
+
+        // Batch of one: decoded by `dec` itself (threads = 4).
+        let mut singleton = vec![pristine.clone()];
+        singleton[0].erase(&sc);
+        let stats = dec.decode_batch_with_stats(&plan, &mut singleton).unwrap();
+        assert_eq!(singleton[0], pristine);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(
+            stats[0].threads, 4,
+            "singleton batch must run on the pooled decoder"
+        );
+        assert!(stats[0].matches_prediction());
+
+        // Batch of three: one worker per stripe, each serial (threads = 1).
+        let mut batch = vec![pristine.clone(), pristine.clone(), pristine.clone()];
+        for stripe in batch.iter_mut() {
+            stripe.erase(&sc);
+        }
+        let stats = dec.decode_batch_with_stats(&plan, &mut batch).unwrap();
+        assert!(batch.iter().all(|s| s == &pristine));
+        assert!(
+            stats.iter().all(|s| s.threads == 1),
+            "multi-stripe batch decodes each stripe serially"
+        );
+
+        // The uninstrumented entry point restores the stripe either way.
+        let mut singleton = vec![pristine.clone()];
+        singleton[0].erase(&sc);
+        dec.decode_batch(&plan, &mut singleton).unwrap();
+        assert_eq!(singleton[0], pristine);
     }
 
     /// A restricted (degraded-read) plan recovers exactly the wanted

@@ -73,13 +73,13 @@ mod service;
 mod stats;
 mod update;
 
-pub use arena::ScratchArena;
+pub use arena::{ArenaStats, ScratchArena};
 pub use cache::{PlanCache, PlanCacheStats, PlanKey};
 pub use error::{DecodeError, RepairError};
 pub use exec::{encode, parity_consistent, Decoder, DecoderConfig, VerifyReport};
 pub use logtable::{LogTable, LogTableRow};
 pub use partition::{ParallelismCase, Partition, SubSystem};
 pub use plan::{CalcSequence, DecodePlan, Strategy};
-pub use service::RepairService;
+pub use service::{BatchReport, RepairService};
 pub use stats::{ExecStats, SubPlanStats, VerifyStats};
 pub use update::UpdatePlan;

@@ -10,6 +10,14 @@
 //! zero matrix factorizations and zero plan-time allocations: the plan is
 //! an `Arc` handed back by the cache, and the working buffers cycle
 //! through the arena.
+//!
+//! The service is a *shared* session: every entry point takes `&self` and
+//! `RepairService` is `Sync`, so N repair workers can drive one session
+//! concurrently — sharing the plan cache (with single-flight builds) and
+//! the scratch arena — either by hand or through the built-in
+//! [`RepairService::repair_batch`] / [`RepairService::repair_stream`]
+//! drivers, which split work between the paper's intra-stripe parallelism
+//! and one-worker-per-stripe parallelism adaptively.
 
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
@@ -23,16 +31,19 @@ use ppm_codes::{ErasureCode, FailureScenario};
 use ppm_gf::GfWord;
 use ppm_matrix::Matrix;
 use ppm_stripe::Stripe;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
 
 /// A long-lived repair session for one erasure code.
 ///
 /// The service is generic over the code (`&dyn ErasureCode<W>` works via
 /// the blanket borrow impl) and captures the parity-check matrix once at
-/// construction. Every decode entry point takes `&mut self` — the cache
-/// and its counters are session state — and returns [`ExecStats`] whose
-/// `cache` field carries the counters at that decode, so telemetry can
-/// assert hit rates end to end.
+/// construction. Every decode entry point takes `&self` — the cache, the
+/// arena, and their counters use interior mutability, and the service is
+/// `Sync` — and returns [`ExecStats`] whose `cache`/`arena` fields carry
+/// the counters at that decode, so telemetry can assert hit rates end to
+/// end.
 ///
 /// ```
 /// use ppm_codes::{FailureScenario, SdCode};
@@ -41,7 +52,7 @@ use std::sync::Arc;
 /// use rand::{rngs::StdRng, SeedableRng};
 ///
 /// let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
-/// let mut service = RepairService::new(code, Default::default());
+/// let service = RepairService::new(code, Default::default());
 /// let mut rng = StdRng::seed_from_u64(7);
 /// let mut stripe = random_data_stripe(service.code(), 512, &mut rng);
 /// service.encode(&mut stripe).unwrap();
@@ -61,9 +72,13 @@ use std::sync::Arc;
 /// ```
 pub struct RepairService<W: GfWord, C: ErasureCode<W>> {
     code: C,
-    code_id: String,
+    code_id: Arc<str>,
     h: Matrix<W>,
     decoder: Decoder,
+    /// A one-thread decoder for inter-stripe workers: when each worker
+    /// owns a whole stripe there is nothing left to parallelize inside
+    /// it, and a serial decoder reports its thread budget honestly.
+    serial: Decoder,
     cache: PlanCache<W>,
     arena: ScratchArena,
     strategy: Strategy,
@@ -77,7 +92,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     /// Creates a session for `code` with [`Strategy::PpmAuto`] and the
     /// default cache capacity.
     pub fn new(code: C, config: DecoderConfig) -> Self {
-        let code_id = code.cache_id();
+        let code_id: Arc<str> = Arc::from(code.cache_id());
         let h = code.parity_check_matrix();
         let tolerance = code.fault_tolerance();
         RepairService {
@@ -85,6 +100,10 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
             code_id,
             h,
             decoder: Decoder::new(config),
+            serial: Decoder::new(DecoderConfig {
+                threads: 1,
+                ..config
+            }),
             cache: PlanCache::with_default_capacity(),
             arena: ScratchArena::new(),
             strategy: Strategy::PpmAuto,
@@ -139,18 +158,25 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     }
 
     /// Drops every cached plan, keeping the cumulative counters.
-    pub fn clear_cache(&mut self) {
+    pub fn clear_cache(&self) {
         self.cache.clear();
+    }
+
+    /// Attaches the session's cache and arena counters to `stats`.
+    fn attach_counters(&self, stats: &mut ExecStats) {
+        stats.cache = Some(self.cache.stats());
+        stats.arena = Some(self.arena.stats());
     }
 
     /// The session's plan for `scenario`: cached when seen before (in
     /// any faulty-column order), built and cached otherwise. Returns the
-    /// plan and whether the lookup hit.
+    /// plan and whether the lookup hit. Concurrent callers missing on the
+    /// same cold key build the plan once (single-flight).
     pub fn plan_for(
-        &mut self,
+        &self,
         scenario: &FailureScenario,
     ) -> Result<(Arc<DecodePlan<W>>, bool), DecodeError> {
-        let key = PlanKey::new(self.code_id.clone(), W::WIDTH, scenario, self.strategy);
+        let key = PlanKey::new(Arc::clone(&self.code_id), W::WIDTH, scenario, self.strategy);
         let (h, backend, strategy) = (&self.h, self.decoder.config().backend, self.strategy);
         self.cache
             .get_or_build(key, || DecodePlan::build(h, scenario, strategy, backend))
@@ -160,7 +186,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     /// for) `scenario`, decodes through the arena, and returns the
     /// instrumented stats with the cache counters attached.
     pub fn repair(
-        &mut self,
+        &self,
         stripe: &mut Stripe,
         scenario: &FailureScenario,
     ) -> Result<ExecStats, DecodeError> {
@@ -168,7 +194,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
         let mut stats = self
             .decoder
             .decode_with_stats_in(&plan, stripe, &self.arena)?;
-        stats.cache = Some(self.cache.stats());
+        self.attach_counters(&mut stats);
         Ok(stats)
     }
 
@@ -224,7 +250,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     /// either error the stripe holds the unverified first decode —
     /// callers must treat its recovered sectors as untrusted.
     pub fn repair_verified(
-        &mut self,
+        &self,
         stripe: &mut Stripe,
         scenario: &FailureScenario,
     ) -> Result<ExecStats, DecodeError> {
@@ -250,7 +276,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
         };
         if report.clean() {
             stats.verify = Some(verify);
-            stats.cache = Some(self.cache.stats());
+            self.attach_counters(&mut stats);
             return Ok(stats);
         }
 
@@ -303,7 +329,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
                     verify.located = vec![suspect];
                     let mut out = esc_stats;
                     out.verify = Some(verify);
-                    out.cache = Some(self.cache.stats());
+                    self.attach_counters(&mut out);
                     return Ok(out);
                 }
             }
@@ -323,7 +349,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     /// whole batch; per-stripe stats come back in stripe order with the
     /// cache counters attached.
     pub fn decode_batch(
-        &mut self,
+        &self,
         stripes: &mut [Stripe],
         scenario: &FailureScenario,
     ) -> Result<Vec<ExecStats>, DecodeError> {
@@ -331,9 +357,11 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
         let mut all = self
             .decoder
             .decode_batch_with_stats_in(&plan, stripes, &self.arena)?;
-        let snapshot = self.cache.stats();
+        let cache = self.cache.stats();
+        let arena = self.arena.stats();
         for stats in &mut all {
-            stats.cache = Some(snapshot);
+            stats.cache = Some(cache);
+            stats.arena = Some(arena);
         }
         Ok(all)
     }
@@ -342,7 +370,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     /// [`Decoder::decode_chunked_with_stats`]), through the session's
     /// cache and arena.
     pub fn decode_chunked(
-        &mut self,
+        &self,
         stripe: &mut Stripe,
         scenario: &FailureScenario,
         chunk_bytes: usize,
@@ -351,7 +379,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
         let mut stats =
             self.decoder
                 .decode_chunked_with_stats_in(&plan, stripe, chunk_bytes, &self.arena)?;
-        stats.cache = Some(self.cache.stats());
+        self.attach_counters(&mut stats);
         Ok(stats)
     }
 
@@ -359,9 +387,253 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     /// parity sector is "faulty" (paper §II-B, footnote 1). The encode
     /// plan is cached like any repair plan, so streaming ingest pays the
     /// plan build once.
-    pub fn encode(&mut self, stripe: &mut Stripe) -> Result<ExecStats, DecodeError> {
+    pub fn encode(&self, stripe: &mut Stripe) -> Result<ExecStats, DecodeError> {
         let scenario = FailureScenario::new(self.code.parity_sectors());
         self.repair(stripe, &scenario)
+    }
+
+    /// Repairs a slice of stripes sharing one scenario with up to
+    /// `workers` OS worker threads driving this *shared* session.
+    ///
+    /// The split between the two axes of parallelism is adaptive:
+    ///
+    /// * **Many stripes** (`stripes.len() ≥ 2 × workers` and
+    ///   `workers > 1`): inter-stripe mode. The slice is partitioned into
+    ///   contiguous chunks, one scoped worker thread per chunk, each
+    ///   decoding its stripes serially. Stripe-level parallelism
+    ///   dominates here — every worker runs the full §III-B workload with
+    ///   no synchronization beyond the shared cache and arena.
+    /// * **Few stripes**: intra-stripe mode. Stripes decode sequentially
+    ///   on the calling thread through the pooled decoder, keeping the
+    ///   paper's §IV parallelism over independent sub-matrices — the only
+    ///   parallelism that helps when there aren't enough stripes to go
+    ///   around.
+    ///
+    /// Either way the plan is looked up once (workers arriving at a cold
+    /// key coalesce into a single build) and every worker borrows decode
+    /// buffers from the shared arena. Per-stripe stats come back in
+    /// stripe order inside a [`BatchReport`] with the cache/arena
+    /// counters of the batch attached.
+    ///
+    /// # Errors
+    /// Geometry is validated for the whole batch before any decode, so a
+    /// mixed-shape batch fails with
+    /// [`RepairError::GeometryMismatch`](crate::RepairError::GeometryMismatch)
+    /// leaving every stripe untouched. A decode error mid-batch (not
+    /// reachable for validated erasure repairs) aborts with stripes in
+    /// mixed states — like [`Decoder::decode_batch_with_stats`].
+    pub fn repair_batch(
+        &self,
+        stripes: &mut [Stripe],
+        scenario: &FailureScenario,
+        workers: usize,
+    ) -> Result<BatchReport, DecodeError> {
+        let workers = workers.max(1);
+        let started = Instant::now();
+        let (plan, _) = self.plan_for(scenario)?;
+        for stripe in stripes.iter() {
+            if stripe.layout().sectors() != plan.total_sectors() {
+                return Err(DecodeError::GeometryMismatch {
+                    expected: plan.total_sectors(),
+                    actual: stripe.layout().sectors(),
+                });
+            }
+        }
+        let inter_stripe = workers > 1 && stripes.len() >= 2 * workers;
+        let total = stripes.len();
+        let mut stats: Vec<ExecStats>;
+        let workers_used;
+        if inter_stripe {
+            let chunk = total.div_ceil(workers);
+            let plan = &plan;
+            let results: Vec<Result<Vec<ExecStats>, DecodeError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = stripes
+                    .chunks_mut(chunk)
+                    .map(|chunk_stripes| {
+                        scope.spawn(move || {
+                            let mut out = Vec::with_capacity(chunk_stripes.len());
+                            for stripe in chunk_stripes.iter_mut() {
+                                out.push(self.serial.decode_with_stats_in(
+                                    plan,
+                                    stripe,
+                                    &self.arena,
+                                )?);
+                            }
+                            Ok(out)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(join_worker).collect()
+            });
+            workers_used = results.len();
+            stats = Vec::with_capacity(total);
+            for chunk_stats in results {
+                stats.extend(chunk_stats?);
+            }
+        } else {
+            workers_used = 1;
+            stats = Vec::with_capacity(total);
+            for stripe in stripes.iter_mut() {
+                stats.push(
+                    self.decoder
+                        .decode_with_stats_in(&plan, stripe, &self.arena)?,
+                );
+            }
+        }
+        let cache = self.cache.stats();
+        let arena = self.arena.stats();
+        for s in &mut stats {
+            s.cache = Some(cache);
+            s.arena = Some(arena);
+        }
+        Ok(BatchReport {
+            stats,
+            workers: workers_used,
+            inter_stripe,
+            wall_nanos: started.elapsed().as_nanos(),
+        })
+    }
+
+    /// Streaming variant of [`RepairService::repair_batch`]: pulls owned
+    /// stripes from `stripes` as `workers` scoped threads become free
+    /// (work-stealing from one shared iterator, so skewed per-stripe
+    /// costs self-balance), repairs each against `scenario`, and returns
+    /// the repaired stripes **in input order** together with the batch
+    /// report. With `workers == 1` the stream is consumed on the calling
+    /// thread through the pooled (intra-stripe parallel) decoder.
+    ///
+    /// # Errors
+    /// The first decode error stops all workers and is returned; stripes
+    /// already pulled from the iterator are dropped with it. Use
+    /// [`RepairService::repair_batch`] when partial results must stay
+    /// addressable.
+    pub fn repair_stream<I>(
+        &self,
+        stripes: I,
+        scenario: &FailureScenario,
+        workers: usize,
+    ) -> Result<(Vec<Stripe>, BatchReport), DecodeError>
+    where
+        I: IntoIterator<Item = Stripe>,
+        I::IntoIter: Send,
+    {
+        let workers = workers.max(1);
+        let started = Instant::now();
+        let (plan, _) = self.plan_for(scenario)?;
+        let inter_stripe = workers > 1;
+        let worker_decoder = if inter_stripe {
+            &self.serial
+        } else {
+            &self.decoder
+        };
+        let source = Mutex::new(stripes.into_iter().enumerate());
+        let failed = AtomicBool::new(false);
+        let plan = &plan;
+        type Tagged = Vec<(usize, Stripe, ExecStats)>;
+        let results: Vec<Result<Tagged, DecodeError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out: Tagged = Vec::new();
+                        loop {
+                            if failed.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let next = source.lock().unwrap_or_else(PoisonError::into_inner).next();
+                            let Some((index, mut stripe)) = next else {
+                                break;
+                            };
+                            match worker_decoder.decode_with_stats_in(
+                                plan,
+                                &mut stripe,
+                                &self.arena,
+                            ) {
+                                Ok(stats) => out.push((index, stripe, stats)),
+                                Err(e) => {
+                                    failed.store(true, Ordering::Relaxed);
+                                    return Err(e);
+                                }
+                            }
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(join_worker).collect()
+        });
+        let mut tagged: Tagged = Vec::new();
+        for worker_out in results {
+            tagged.extend(worker_out?);
+        }
+        tagged.sort_by_key(|(index, _, _)| *index);
+        let cache = self.cache.stats();
+        let arena = self.arena.stats();
+        let mut out_stripes = Vec::with_capacity(tagged.len());
+        let mut stats = Vec::with_capacity(tagged.len());
+        for (_, stripe, mut s) in tagged {
+            s.cache = Some(cache);
+            s.arena = Some(arena);
+            out_stripes.push(stripe);
+            stats.push(s);
+        }
+        Ok((
+            out_stripes,
+            BatchReport {
+                stats,
+                workers,
+                inter_stripe,
+                wall_nanos: started.elapsed().as_nanos(),
+            },
+        ))
+    }
+}
+
+/// Outcome of one [`RepairService::repair_batch`] /
+/// [`RepairService::repair_stream`] run: per-stripe stats in stripe
+/// order plus how the driver split the work.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-stripe decode telemetry, in stripe order, each carrying the
+    /// batch's final cache/arena counters.
+    pub stats: Vec<ExecStats>,
+    /// Worker threads actually used at the stripe level (1 in
+    /// intra-stripe mode).
+    pub workers: usize,
+    /// True when the driver chose one-worker-per-stripe parallelism;
+    /// false when it kept the paper's intra-stripe parallelism.
+    pub inter_stripe: bool,
+    /// Wall time of the whole batch call, nanoseconds.
+    pub wall_nanos: u128,
+}
+
+impl BatchReport {
+    /// Stripes repaired.
+    pub fn stripes(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Batch throughput in stripes per second (0.0 for an empty or
+    /// instantaneous batch).
+    pub fn stripes_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.stats.len() as f64 * 1e9 / self.wall_nanos as f64
+    }
+
+    /// True when every stripe's executed `mult_XORs` matched the §III-B
+    /// prediction.
+    pub fn all_match_prediction(&self) -> bool {
+        self.stats.iter().all(ExecStats::matches_prediction)
+    }
+}
+
+/// Joins a scoped worker, resuming its panic on the driving thread so a
+/// worker's assertion failure is never silently swallowed.
+fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
     }
 }
 
@@ -415,7 +687,7 @@ mod tests {
 
     #[test]
     fn repeated_repair_hits_cache_and_reuses_buffers() {
-        let mut svc = service(2);
+        let svc = service(2);
         let mut rng = StdRng::seed_from_u64(3);
         let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
         svc.encode(&mut stripe).unwrap();
@@ -439,7 +711,7 @@ mod tests {
 
     #[test]
     fn scenario_order_does_not_defeat_the_cache() {
-        let mut svc = service(1);
+        let svc = service(1);
         let mut rng = StdRng::seed_from_u64(4);
         let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
         svc.encode(&mut stripe).unwrap();
@@ -459,7 +731,7 @@ mod tests {
 
     #[test]
     fn batch_and_chunked_flow_through_cache() {
-        let mut svc = service(2);
+        let svc = service(2);
         let scenario = FailureScenario::new(vec![2, 6]);
         let mut rng = StdRng::seed_from_u64(5);
 
@@ -490,7 +762,7 @@ mod tests {
 
     #[test]
     fn verified_repair_accepts_clean_stripes_with_telemetry() {
-        let mut svc = service(2);
+        let svc = service(2);
         let mut rng = StdRng::seed_from_u64(11);
         let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
         svc.encode(&mut stripe).unwrap();
@@ -511,7 +783,7 @@ mod tests {
 
     #[test]
     fn verified_repair_locates_and_repairs_a_corrupt_survivor() {
-        let mut svc = service(2);
+        let svc = service(2);
         let mut rng = StdRng::seed_from_u64(12);
         let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
         svc.encode(&mut stripe).unwrap();
@@ -544,7 +816,7 @@ mod tests {
         // sector-parity row surplus under every same-row hypothesis, so
         // only the true one verifies clean.
         let code = SdCode::<u8>::new(6, 4, 2, 1, vec![1, 2, 4]).unwrap();
-        let mut svc = RepairService::new(
+        let svc = RepairService::new(
             code,
             DecoderConfig {
                 threads: 1,
@@ -575,7 +847,7 @@ mod tests {
         // absorb at most one of the two violated disk-parity rows, so no
         // escalated verify can come out clean: the repair must fail
         // loudly — no panic, no silent acceptance.
-        let mut svc = service(2);
+        let svc = service(2);
         let mut rng = StdRng::seed_from_u64(14);
         let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
         svc.encode(&mut stripe).unwrap();
@@ -600,7 +872,7 @@ mod tests {
         // every single promotion would consume the fifth, leaving no
         // surplus row to check — so escalation has no admissible attempt
         // and the first pass's evidence comes back as VerificationFailed.
-        let mut svc = service(1);
+        let svc = service(1);
         let mut rng = StdRng::seed_from_u64(15);
         let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
         svc.encode(&mut stripe).unwrap();
@@ -639,7 +911,7 @@ mod tests {
     fn works_through_dyn_code() {
         let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
         let dynamic: &dyn ErasureCode<u8> = &code;
-        let mut svc = RepairService::new(
+        let svc = RepairService::new(
             dynamic,
             DecoderConfig {
                 threads: 1,
@@ -655,5 +927,107 @@ mod tests {
         broken.erase(&scenario);
         svc.repair(&mut broken, &scenario).unwrap();
         assert_eq!(broken, pristine);
+    }
+
+    /// Compile-time guarantee behind the shared-session design: the
+    /// service (including through a `dyn` code) can be referenced from
+    /// many worker threads at once.
+    #[test]
+    fn service_is_sync_and_shareable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RepairService<u8, SdCode<u8>>>();
+        assert_send_sync::<RepairService<u8, &dyn ErasureCode<u8>>>();
+    }
+
+    #[test]
+    fn repair_batch_picks_mode_adaptively_and_restores_bits() {
+        let svc = service(2);
+        let scenario = FailureScenario::new(vec![2, 6]);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut pristine = Vec::new();
+        for _ in 0..8 {
+            let mut s = random_data_stripe(svc.code(), 64, &mut rng);
+            svc.encode(&mut s).unwrap();
+            pristine.push(s);
+        }
+        let erase_all = |stripes: &mut [Stripe]| {
+            for s in stripes.iter_mut() {
+                s.erase(&scenario);
+            }
+        };
+
+        // Few stripes (< 2×workers): intra-stripe mode on the pooled
+        // decoder.
+        let mut few = pristine[..2].to_vec();
+        erase_all(&mut few);
+        let report = svc.repair_batch(&mut few, &scenario, 2).unwrap();
+        assert!(!report.inter_stripe);
+        assert_eq!(report.workers, 1);
+        assert_eq!(few, pristine[..2].to_vec());
+        assert!(report.all_match_prediction());
+
+        // Many stripes: one worker per chunk, serial per stripe.
+        let mut many = pristine.clone();
+        erase_all(&mut many);
+        let report = svc.repair_batch(&mut many, &scenario, 4).unwrap();
+        assert!(report.inter_stripe);
+        assert_eq!(report.workers, 4);
+        assert_eq!(many, pristine);
+        assert!(report.all_match_prediction());
+        assert_eq!(report.stripes(), 8);
+        assert!(report.stats.iter().all(|s| s.threads == 1));
+        assert!(report.stats.iter().all(|s| s.cache.is_some()));
+        assert!(report.stats.iter().all(|s| s.arena.is_some()));
+
+        // A bad-geometry batch is rejected up front, untouched.
+        let mut mixed = vec![
+            pristine[0].clone(),
+            Stripe::zeroed(ppm_codes::StripeLayout::new(3, 3), 64),
+        ];
+        assert!(matches!(
+            svc.repair_batch(&mut mixed, &scenario, 4).unwrap_err(),
+            DecodeError::GeometryMismatch { .. }
+        ));
+        assert_eq!(mixed[0], pristine[0]);
+    }
+
+    #[test]
+    fn repair_stream_returns_stripes_in_input_order() {
+        let svc = service(2);
+        let scenario = FailureScenario::new(vec![2, 6, 10]);
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut pristine = Vec::new();
+        for _ in 0..10 {
+            let mut s = random_data_stripe(svc.code(), 64, &mut rng);
+            svc.encode(&mut s).unwrap();
+            pristine.push(s);
+        }
+        let broken: Vec<Stripe> = pristine
+            .iter()
+            .map(|s| {
+                let mut b = s.clone();
+                b.erase(&scenario);
+                b
+            })
+            .collect();
+        let (repaired, report) = svc.repair_stream(broken, &scenario, 3).unwrap();
+        assert_eq!(repaired, pristine, "order and bits both preserved");
+        assert!(report.inter_stripe);
+        assert_eq!(report.stripes(), 10);
+        assert!(report.all_match_prediction());
+        assert!(report.stripes_per_sec() > 0.0);
+
+        // Single worker flows through the pooled decoder.
+        let broken: Vec<Stripe> = pristine
+            .iter()
+            .map(|s| {
+                let mut b = s.clone();
+                b.erase(&scenario);
+                b
+            })
+            .collect();
+        let (repaired, report) = svc.repair_stream(broken, &scenario, 1).unwrap();
+        assert_eq!(repaired, pristine);
+        assert!(!report.inter_stripe);
     }
 }

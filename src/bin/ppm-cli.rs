@@ -8,7 +8,7 @@
 //! ppm-cli encode  --code sd:6,8,2,2 [--sector-kib 64] [--stats] <input> <dir>
 //! ppm-cli verify  <dir>                 # H·B = 0 for every stripe
 //! ppm-cli corrupt <dir> --disks 1,3     # simulate device failures
-//! ppm-cli repair  <dir> [--threads T] [--stats] [--cache] [--verify] [--inject SEED]
+//! ppm-cli repair  <dir> [--threads T] [--workers N] [--stats] [--cache] [--verify] [--inject SEED]
 //! ppm-cli decode  <dir> <output>        # reassemble the original file
 //! ppm-cli info    <dir>
 //! ```
@@ -26,6 +26,15 @@
 //! buffers are recycled through a scratch arena, so every stripe after
 //! the first performs zero matrix factorizations. With `--stats`, the
 //! JSON gains a `"cache"` object (hits/misses/evictions/hit_rate).
+//!
+//! `repair --workers N` repairs the whole archive through one shared
+//! `RepairService` session driving `repair_batch`: the broken stripes
+//! are read into memory and split across `N` worker threads (the
+//! service picks inter-stripe vs intra-stripe parallelism adaptively —
+//! see `DESIGN.md` §9), then written back. The summary line reports the
+//! mode, throughput in stripes/s, and the session's plan-cache
+//! (hits/misses/coalesced) and scratch-arena (reuses/fresh/contended)
+//! counters.
 //!
 //! `repair --verify` checks every recovered stripe against the surplus
 //! parity-check rows of `H` (the rows the decode did not consume) and,
@@ -434,7 +443,7 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
     let (flags, pos) = split_flags(args);
     let [dir] = pos.as_slice() else {
         return Err(
-            "usage: repair <dir> [--threads T] [--stats] [--cache] [--verify] [--inject SEED]"
+            "usage: repair <dir> [--threads T] [--workers N] [--stats] [--cache] [--verify] [--inject SEED]"
                 .into(),
         );
     };
@@ -461,6 +470,16 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
         ),
         None => None,
     };
+    if let Some(workers) = flag_num(&flags, "workers") {
+        if flags.contains_key("verify") || inject_seed.is_some() {
+            return Err(
+                "--workers cannot be combined with --verify/--inject (verified repair \
+                 escalates per stripe and runs sequentially)"
+                    .into(),
+            );
+        }
+        return repair_workers(&archive, dyn_code, config, &scenario, want_stats, workers);
+    }
     if flags.contains_key("verify") {
         return repair_verified(
             &archive,
@@ -483,7 +502,7 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
         // Session path: the RepairService caches the plan by erasure
         // signature and recycles decode buffers, so stripes 1..N re-use
         // stripe 0's factorization.
-        let mut service = RepairService::new(dyn_code, config);
+        let service = RepairService::new(dyn_code, config);
         let (plan, _) = service
             .plan_for(&scenario)
             .map_err(|e| format!("unrepairable: {e}"))?;
@@ -563,6 +582,79 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `repair --workers N` path: every broken stripe is read into
+/// memory and repaired through one shared [`RepairService`] session via
+/// `repair_batch`, which splits the job across `N` worker threads
+/// (inter-stripe when the batch is large enough, intra-stripe
+/// otherwise) against the sharded plan cache and scratch arena.
+fn repair_workers(
+    archive: &Archive,
+    dyn_code: &dyn ErasureCode<u8>,
+    config: DecoderConfig,
+    scenario: &FailureScenario,
+    want_stats: bool,
+    workers: usize,
+) -> Result<(), String> {
+    let service = RepairService::new(dyn_code, config);
+    let (plan, _) = service
+        .plan_for(scenario)
+        .map_err(|e| format!("unrepairable: {e}"))?;
+    println!(
+        "repairing {} lost sectors/stripe (strategy {:?}, parallelism {}, {} mult_XORs/stripe, {} workers)",
+        scenario.len(),
+        plan.strategy(),
+        plan.parallelism(),
+        plan.mult_xors(),
+        workers.max(1)
+    );
+    let predicted = plan.mult_xors();
+    drop(plan);
+
+    let mut stripes = Vec::with_capacity(archive.stripes);
+    for s in 0..archive.stripes {
+        let (stripe, lost) = archive.read_stripe(s);
+        if &lost != scenario {
+            return Err(format!("stripe {s}: inconsistent failure pattern"));
+        }
+        stripes.push(stripe);
+    }
+    let report = service
+        .repair_batch(&mut stripes, scenario, workers)
+        .map_err(|e| e.to_string())?;
+    for (s, stripe) in stripes.iter().enumerate() {
+        archive.write_stripe(s, stripe).map_err(|e| e.to_string())?;
+    }
+
+    if want_stats {
+        let mut agg = StatsAgg::default();
+        for st in &report.stats {
+            agg.add(st);
+        }
+        println!("{}", agg.to_json(predicted));
+    }
+    let cs = service.cache_stats();
+    let ar = service.arena().stats();
+    println!(
+        "repaired {} stripes with {} workers ({} split) at {:.0} stripes/s \
+         (plan cache: {} hits / {} misses / {} coalesced; arena: {} reuses / {} fresh / {} contended)",
+        report.stripes(),
+        report.workers,
+        if report.inter_stripe {
+            "inter-stripe"
+        } else {
+            "intra-stripe"
+        },
+        report.stripes_per_sec(),
+        cs.hits,
+        cs.misses,
+        cs.coalesced,
+        ar.reused,
+        ar.fresh,
+        ar.contended,
+    );
+    Ok(())
+}
+
 /// The `repair --verify` path: every recovered stripe is checked against
 /// the surplus parity-check rows; violations trigger erasure escalation.
 /// With `inject_seed`, one surviving sector per stripe is bit-flipped
@@ -575,7 +667,7 @@ fn repair_verified(
     want_stats: bool,
     inject_seed: Option<u64>,
 ) -> Result<(), String> {
-    let mut service = RepairService::new(dyn_code, config);
+    let service = RepairService::new(dyn_code, config);
     let (plan, _) = service
         .plan_for(scenario)
         .map_err(|e| format!("unrepairable: {e}"))?;

@@ -61,10 +61,10 @@ pub use ppm_codes::{
     RsCode, SdCode, StarCode, StripeLayout,
 };
 pub use ppm_core::{
-    cost, encode, parity_consistent, CalcSequence, DecodeError, DecodePlan, Decoder, DecoderConfig,
-    ExecStats, LogTable, ParallelismCase, Partition, PlanCache, PlanCacheStats, PlanKey,
-    RepairError, RepairService, ScratchArena, Strategy, SubPlanStats, UpdatePlan, VerifyReport,
-    VerifyStats,
+    cost, encode, parity_consistent, ArenaStats, BatchReport, CalcSequence, DecodeError,
+    DecodePlan, Decoder, DecoderConfig, ExecStats, LogTable, ParallelismCase, Partition, PlanCache,
+    PlanCacheStats, PlanKey, RepairError, RepairService, ScratchArena, Strategy, SubPlanStats,
+    UpdatePlan, VerifyReport, VerifyStats,
 };
 pub use ppm_faults::{BitFlip, FaultInjector};
 pub use ppm_gf::{Backend, GfWord, RegionMul};

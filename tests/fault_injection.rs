@@ -70,7 +70,7 @@ where
     C: ErasureCode<u8>,
 {
     let h = code.parity_check_matrix();
-    let mut svc = RepairService::new(code, config);
+    let svc = RepairService::new(code, config);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
     svc.encode(&mut stripe).unwrap();
@@ -150,7 +150,7 @@ proptest! {
     #[test]
     fn geometry_faults_error_structurally(seed in any::<u64>()) {
         let code = SdCode::<u8>::new(6, 4, 2, 1, vec![1, 2, 4]).unwrap();
-        let mut svc = RepairService::new(code, DecoderConfig::default());
+        let svc = RepairService::new(code, DecoderConfig::default());
         let mut rng = StdRng::seed_from_u64(seed);
         let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
         svc.encode(&mut stripe).unwrap();
@@ -177,7 +177,7 @@ proptest! {
     #[test]
     fn label_faults_never_yield_silent_wrong_bytes(seed in any::<u64>()) {
         let code = SdCode::<u8>::new(6, 4, 2, 1, vec![1, 2, 4]).unwrap();
-        let mut svc = RepairService::new(code, DecoderConfig::default());
+        let svc = RepairService::new(code, DecoderConfig::default());
         let mut rng = StdRng::seed_from_u64(seed);
         let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
         svc.encode(&mut stripe).unwrap();
@@ -222,7 +222,7 @@ fn forced_simd_miscompute_falls_back_to_scalar_and_still_verifies() {
     let _reset = Reset;
 
     let code = SdCode::<u8>::new(6, 4, 2, 1, vec![1, 2, 4]).unwrap();
-    let mut svc = RepairService::new(
+    let svc = RepairService::new(
         code,
         DecoderConfig {
             threads: 2,

@@ -87,7 +87,7 @@ fn warm_hit_decode_is_bit_identical_to_cold() {
 
     for threads in [1usize, 4] {
         for &backend in &backends {
-            let mut svc = RepairService::new(&code, DecoderConfig { threads, backend });
+            let svc = RepairService::new(&code, DecoderConfig { threads, backend });
             let mut rng = StdRng::seed_from_u64(101);
             let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
             svc.encode(&mut stripe).unwrap();
@@ -134,7 +134,7 @@ fn session_cache_evicts_least_recently_used() {
         threads: 1,
         backend: Backend::Scalar,
     };
-    let mut svc = RepairService::new(&code, config).with_cache_capacity(2);
+    let svc = RepairService::new(&code, config).with_cache_capacity(2);
 
     // Encode outside the session so the cache only ever sees repairs.
     let dec = Decoder::new(config);
@@ -146,7 +146,7 @@ fn session_cache_evicts_least_recently_used() {
     let a = FailureScenario::new(vec![2]);
     let b = FailureScenario::new(vec![6]);
     let c = FailureScenario::new(vec![10]);
-    let mut run = |sc: &FailureScenario| {
+    let run = |sc: &FailureScenario| {
         let mut broken = pristine.clone();
         broken.erase(sc);
         svc.repair(&mut broken, sc).unwrap();
@@ -173,7 +173,7 @@ fn session_cache_evicts_least_recently_used() {
 fn batch_and_chunked_report_full_stats() {
     let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
     let scenario = FailureScenario::new(vec![2, 6, 10, 13, 14]);
-    let mut svc = RepairService::new(
+    let svc = RepairService::new(
         &code,
         DecoderConfig {
             threads: 4,
