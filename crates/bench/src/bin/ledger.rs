@@ -6,7 +6,7 @@
 //!
 //! `cargo run --release -p ppm-bench --bin ledger [--stripe-mib 4] [--threads T]`
 
-use ppm_bench::{ledger_plan, ExpArgs, Table};
+use ppm_bench::{ledger_plan, write_bench_json, ExpArgs, Table};
 use ppm_core::Strategy;
 
 fn main() {
@@ -26,6 +26,7 @@ fn main() {
         "util",
     ]);
     let mut rows = 0usize;
+    let mut json_rows: Vec<String> = Vec::new();
 
     let mut emit = |name: &str, stats: &ppm_core::ExecStats| {
         t.row(&[
@@ -37,6 +38,17 @@ fn main() {
             stats.executed_plain_xors().to_string(),
             format!("{:.0}%", 100.0 * stats.thread_utilization()),
         ]);
+        json_rows.push(format!(
+            "{{\"instance\":\"{name}\",\"strategy\":\"{:?}\",\"parallelism\":{},\
+             \"predicted_mult_xors\":{},\"executed_mult_xors\":{},\"executed_plain_xors\":{},\
+             \"matches_prediction\":{}}}",
+            stats.strategy,
+            stats.parallelism,
+            stats.predicted_mult_xors,
+            stats.executed_mult_xors(),
+            stats.executed_plain_xors(),
+            stats.matches_prediction(),
+        ));
         rows += 1;
     };
 
@@ -67,5 +79,16 @@ fn main() {
     }
 
     assert!(rows > 0, "no instance prepared");
-    println!("\nevery row decoded bit-exact with executed == predicted ✓");
+    let json = format!(
+        "{{\"experiment\":\"ledger\",\"seed\":{},\"threads\":{},\"stripe_bytes\":{},\"rows\":[{}]}}",
+        args.seed,
+        args.threads,
+        args.stripe_bytes,
+        json_rows.join(",")
+    );
+    let path = write_bench_json("ledger", &json);
+    println!(
+        "\nevery row decoded bit-exact with executed == predicted ✓ (json: {})",
+        path.display()
+    );
 }

@@ -16,7 +16,7 @@
 //!
 //! `cargo run --release -p ppm-bench --bin throughput [--smoke] [--reps N] [--threads T] [--seed N]`
 
-use ppm_bench::{modeled_batch_time, ExpArgs, Table};
+use ppm_bench::{modeled_batch_time, write_bench_json, ExpArgs, Table};
 use ppm_codes::{ErasureCode, FailureScenario, SdCode};
 use ppm_core::{Decoder, DecoderConfig, RepairService, Strategy};
 use ppm_gf::Backend;
@@ -100,6 +100,7 @@ fn main() {
     ]);
     let mut serial_secs = None;
     let mut modeled_speedup_at_8 = 1.0;
+    let mut json_rows: Vec<String> = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let mut best = f64::INFINITY;
         let mut inter = false;
@@ -140,7 +141,20 @@ fn main() {
             format!("{:.2}ms", modeled * 1e3),
             format!("{:.2}x", speedup),
         ]);
+        json_rows.push(format!(
+            "{{\"workers\":{workers},\"inter_stripe\":{inter},\"measured_secs\":{best:.6},\
+             \"stripes_per_sec\":{:.1},\"modeled_secs\":{modeled:.6},\"modeled_speedup\":{speedup:.4}}}",
+            batch as f64 / best
+        ));
     }
+    let json = format!(
+        "{{\"experiment\":\"throughput\",\"seed\":{},\"batch\":{batch},\"sector_bytes\":{sector_bytes},\
+         \"model_cores\":{MODEL_CORES},\"sweep\":[{}]}}",
+        args.seed,
+        json_rows.join(",")
+    );
+    let json_path = write_bench_json("throughput", &json);
+    println!("json: {}", json_path.display());
     println!(
         "\nmodeled {MODEL_CORES}-core projection: 8-worker repair_batch runs \
          {modeled_speedup_at_8:.2}x the single-worker rate (target >=4x: {})",

@@ -13,6 +13,7 @@
 pub mod args;
 pub mod model;
 pub mod prep;
+pub mod report;
 pub mod table;
 
 pub use args::ExpArgs;
@@ -23,4 +24,5 @@ pub use model::{
 pub use prep::{
     ledger_plan, prepare_lrc, prepare_rs, prepare_sd, prepare_sd_w, time_plan, Prepared,
 };
+pub use report::{bench_dir, write_bench_json};
 pub use table::Table;

@@ -1,0 +1,43 @@
+//! Machine-readable experiment output: every headline bench writes a
+//! `BENCH_<name>.json` snapshot next to the human-readable table, so CI
+//! and the EXPERIMENTS.md tables can diff numbers without scraping
+//! stdout.
+//!
+//! The file lands at the workspace root by default (the repo carries
+//! the committed snapshots there); set `PPM_BENCH_DIR` to redirect —
+//! CI points it at a scratch directory and compares.
+
+use std::path::{Path, PathBuf};
+
+/// Directory `BENCH_*.json` files are written to: `PPM_BENCH_DIR` if
+/// set, else the workspace root (two levels above this crate).
+pub fn bench_dir() -> PathBuf {
+    match std::env::var_os("PPM_BENCH_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    }
+}
+
+/// Writes `json` to `BENCH_<name>.json` in [`bench_dir`], returning the
+/// path. Panics on I/O failure — a bench that cannot record its result
+/// has failed.
+pub fn write_bench_json(name: &str, json: &str) -> PathBuf {
+    let path = bench_dir().join(format!("BENCH_{name}.json"));
+    let mut text = json.trim_end().to_string();
+    text.push('\n');
+    std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_override_redirects() {
+        // Not a full write test (the env var is process-global); just
+        // check the default resolves inside the workspace.
+        let dir = bench_dir();
+        assert!(dir.join("Cargo.toml").exists() || std::env::var_os("PPM_BENCH_DIR").is_some());
+    }
+}

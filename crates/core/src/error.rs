@@ -33,6 +33,16 @@ pub enum RepairError {
         /// The offending sector index.
         sector: usize,
     },
+    /// A small-write payload (or delta scratch buffer) is not exactly one
+    /// sector long, so the delta-parity patch cannot be formed.
+    SectorLengthMismatch {
+        /// The sector being updated.
+        sector: usize,
+        /// The stripe's sector size in bytes.
+        expected: usize,
+        /// The length actually supplied.
+        actual: usize,
+    },
     /// The stripe's geometry does not match the plan's.
     GeometryMismatch {
         /// What the plan was built for.
@@ -90,6 +100,16 @@ impl std::fmt::Display for RepairError {
                     "sector {sector} holds parity; only data sectors can be updated"
                 )
             }
+            RepairError::SectorLengthMismatch {
+                sector,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "update of sector {sector} supplied {actual} bytes, sector size is {expected}"
+                )
+            }
             RepairError::GeometryMismatch { expected, actual } => {
                 write!(f, "stripe has {actual} sectors, plan expects {expected}")
             }
@@ -143,6 +163,12 @@ mod tests {
             actual: 12,
         };
         assert!(e.to_string().contains("12"));
+        let e = RepairError::SectorLengthMismatch {
+            sector: 3,
+            expected: 64,
+            actual: 48,
+        };
+        assert!(e.to_string().contains("48") && e.to_string().contains("64"));
         let e = RepairError::BadChunkSize { chunk_bytes: 12 };
         assert!(e.to_string().contains("12"));
         let e = RepairError::VerificationFailed {

@@ -235,6 +235,7 @@ impl Decoder {
             phase_a_nanos,
             phase_b,
             verify: None,
+            update: None,
             total_nanos: started.elapsed().as_nanos(),
         })
     }
@@ -404,6 +405,7 @@ impl Decoder {
             phase_a_nanos,
             phase_b,
             verify: None,
+            update: None,
             total_nanos: started.elapsed().as_nanos(),
         })
     }

@@ -81,5 +81,5 @@ pub use logtable::{LogTable, LogTableRow};
 pub use partition::{ParallelismCase, Partition, SubSystem};
 pub use plan::{CalcSequence, DecodePlan, Strategy};
 pub use service::{BatchReport, RepairService};
-pub use stats::{ExecStats, SubPlanStats, VerifyStats};
+pub use stats::{ExecStats, SubPlanStats, UpdateStats, VerifyStats};
 pub use update::UpdatePlan;

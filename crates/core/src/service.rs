@@ -25,14 +25,15 @@ use crate::arena::ScratchArena;
 use crate::cache::{PlanCache, PlanCacheStats, PlanKey};
 use crate::exec::{Decoder, DecoderConfig, VerifyReport};
 use crate::plan::{DecodePlan, Strategy};
-use crate::stats::{ExecStats, SubPlanStats, VerifyStats};
+use crate::stats::{ExecStats, SubPlanStats, UpdateStats, VerifyStats};
+use crate::update::UpdatePlan;
 use crate::DecodeError;
 use ppm_codes::{ErasureCode, FailureScenario};
-use ppm_gf::GfWord;
+use ppm_gf::{GfWord, RegionStats};
 use ppm_matrix::Matrix;
 use ppm_stripe::Stripe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// A long-lived repair session for one erasure code.
@@ -81,6 +82,10 @@ pub struct RepairService<W: GfWord, C: ErasureCode<W>> {
     serial: Decoder,
     cache: PlanCache<W>,
     arena: ScratchArena,
+    /// The small-write planner, built lazily on the first update and
+    /// shared by every subsequent flush (one generator inversion per
+    /// session, like one plan build per erasure signature).
+    update_plan: OnceLock<Arc<UpdatePlan<W>>>,
     strategy: Strategy,
     /// The code's declared erasure budget
     /// ([`ErasureCode::fault_tolerance`]), captured once: erasure
@@ -106,6 +111,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
             }),
             cache: PlanCache::with_default_capacity(),
             arena: ScratchArena::new(),
+            update_plan: OnceLock::new(),
             strategy: Strategy::PpmAuto,
             tolerance,
         }
@@ -390,6 +396,110 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     pub fn encode(&self, stripe: &mut Stripe) -> Result<ExecStats, DecodeError> {
         let scenario = FailureScenario::new(self.code.parity_sectors());
         self.repair(stripe, &scenario)
+    }
+
+    /// The session's small-write planner ([`UpdatePlan`]), built on first
+    /// use and shared thereafter. Concurrent first callers may race the
+    /// build; exactly one result is kept and every caller gets the same
+    /// `Arc` from then on.
+    pub fn update_plan(&self) -> Result<Arc<UpdatePlan<W>>, DecodeError> {
+        if let Some(plan) = self.update_plan.get() {
+            return Ok(Arc::clone(plan));
+        }
+        let built = Arc::new(UpdatePlan::build(
+            &self.code,
+            self.decoder.config().backend,
+        )?);
+        // A lost race keeps the winner's plan — both builds are
+        // identical, the session just refuses to hold two.
+        let _ = self.update_plan.set(Arc::clone(&built));
+        Ok(self.update_plan.get().map(Arc::clone).unwrap_or(built))
+    }
+
+    /// Applies a batch of small writes (`(data_sector, new_contents)`)
+    /// to one stripe through the session: delta scratch comes from the
+    /// shared arena, parity patches run through the counted kernels, and
+    /// the result is an [`ExecStats`] whose `phase_a` carries one
+    /// [`SubPlanStats`] per write and whose `update` field records the
+    /// flush totals ([`UpdateStats`]).
+    ///
+    /// The prediction side of the ledger is
+    /// [`UpdatePlan::update_mult_xors`] summed over the batch, so
+    /// [`ExecStats::matches_prediction`] holds for updates exactly as it
+    /// does for decodes. Later writes to the same sector supersede
+    /// earlier ones, as on a real device.
+    ///
+    /// Like every session entry point this takes `&self`: N workers may
+    /// flush different stripes through one service concurrently.
+    ///
+    /// # Errors
+    /// Structured [`RepairError`](crate::RepairError)s from the planner
+    /// or the per-write validation (geometry, non-data sector, length
+    /// mismatch). The stripe holds all writes before the failing one.
+    pub fn apply_update(
+        &self,
+        stripe: &mut Stripe,
+        writes: &[(usize, &[u8])],
+    ) -> Result<ExecStats, DecodeError> {
+        let started = Instant::now();
+        let plan = self.update_plan()?;
+        let mut predicted = 0usize;
+        for &(sector, _) in writes {
+            predicted += plan.update_mult_xors(sector)?;
+        }
+
+        let mut scratch = self.arena.take(stripe.sector_bytes());
+        let sink = RegionStats::new();
+        let mut phase_a = Vec::with_capacity(writes.len());
+        let mut parity_patches = 0usize;
+        let mut dirty_bytes = 0u64;
+        for &(sector, data) in writes {
+            let before = (sink.mult_xors(), sink.plain_xors(), sink.bytes());
+            let write_started = Instant::now();
+            match plan.apply_with_stats(stripe, sector, data, &mut scratch, &sink) {
+                Ok(patched) => {
+                    parity_patches += patched;
+                    dirty_bytes += data.len() as u64;
+                    phase_a.push(SubPlanStats {
+                        outputs: patched,
+                        mult_xors: sink.mult_xors() - before.0,
+                        plain_xors: sink.plain_xors() - before.1,
+                        bytes: sink.bytes() - before.2,
+                        nanos: write_started.elapsed().as_nanos(),
+                    });
+                }
+                Err(e) => {
+                    self.arena.give(scratch);
+                    return Err(e);
+                }
+            }
+        }
+        self.arena.give(scratch);
+
+        let parallelism = phase_a.len();
+        let phase_a_nanos = phase_a.iter().map(|s| s.nanos).sum();
+        let mut stats = ExecStats {
+            strategy: self.strategy,
+            threads: 1,
+            parallelism,
+            predicted_mult_xors: predicted,
+            predicted_costs: None,
+            cache: None,
+            arena: None,
+            phase_a,
+            phase_a_nanos,
+            phase_b: None,
+            verify: None,
+            update: Some(UpdateStats {
+                sectors_patched: writes.len(),
+                parity_patches,
+                full_reencode: false,
+                dirty_bytes,
+            }),
+            total_nanos: started.elapsed().as_nanos(),
+        };
+        self.attach_counters(&mut stats);
+        Ok(stats)
     }
 
     /// Repairs a slice of stripes sharing one scenario with up to
@@ -989,6 +1099,126 @@ mod tests {
             DecodeError::GeometryMismatch { .. }
         ));
         assert_eq!(mixed[0], pristine[0]);
+    }
+
+    #[test]
+    fn apply_update_patches_parity_and_matches_prediction() {
+        let svc = service(1);
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
+        svc.encode(&mut stripe).unwrap();
+
+        let a = vec![0xA1u8; stripe.sector_bytes()];
+        let b = vec![0x5Eu8; stripe.sector_bytes()];
+        let writes: Vec<(usize, &[u8])> = vec![(0, a.as_slice()), (1, b.as_slice())];
+        let stats = svc.apply_update(&mut stripe, &writes).unwrap();
+
+        assert!(stats.matches_prediction(), "update ledger is exact");
+        assert_eq!(stats.phase_a.len(), 2, "one sub-plan entry per write");
+        let u = stats.update.expect("update stats attached");
+        assert_eq!(u.sectors_patched, 2);
+        assert!(!u.full_reencode);
+        assert_eq!(u.dirty_bytes, 2 * stripe.sector_bytes() as u64);
+        assert_eq!(
+            u.parity_patches as u64,
+            stats.executed_mult_xors(),
+            "every executed mult_XOR is a parity patch"
+        );
+        assert!(stats.cache.is_some() && stats.arena.is_some());
+        let h = ErasureCode::<u8>::parity_check_matrix(svc.code());
+        assert!(crate::parity_consistent(
+            &h,
+            &stripe,
+            svc.decoder().config().backend
+        ));
+        assert_eq!(stripe.sector(0), a.as_slice());
+        assert_eq!(stripe.sector(1), b.as_slice());
+
+        // A second flush reuses both the plan and the arena scratch.
+        let stats2 = svc.apply_update(&mut stripe, &writes).unwrap();
+        assert!(stats2.matches_prediction());
+        assert!(svc.arena().reuses() > 0, "delta scratch recycled");
+    }
+
+    #[test]
+    fn apply_update_error_reports_structured_and_returns_scratch() {
+        let svc = service(1);
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut stripe = random_data_stripe(svc.code(), 64, &mut rng);
+        svc.encode(&mut stripe).unwrap();
+        let good = vec![0u8; stripe.sector_bytes()];
+        let short = vec![0u8; stripe.sector_bytes() - 8];
+
+        // Prediction-time validation: a parity target fails the whole
+        // batch before any write lands.
+        let untouched = stripe.clone();
+        let err = svc
+            .apply_update(&mut stripe, &[(3, good.as_slice())])
+            .unwrap_err();
+        assert_eq!(err, DecodeError::NotADataSector { sector: 3 });
+        assert_eq!(stripe, untouched);
+
+        // Apply-time validation: the bad write surfaces its error and
+        // the arena gets its scratch buffer back (give resets counters'
+        // balance — a following flush reuses rather than allocates).
+        let before_fresh = svc.arena().fresh_allocations();
+        let err = svc
+            .apply_update(&mut stripe, &[(0, good.as_slice()), (1, short.as_slice())])
+            .unwrap_err();
+        assert!(matches!(err, DecodeError::SectorLengthMismatch { .. }));
+        svc.apply_update(&mut stripe, &[(0, good.as_slice())])
+            .unwrap();
+        assert_eq!(
+            svc.arena().fresh_allocations(),
+            before_fresh,
+            "error path returned its scratch for reuse"
+        );
+    }
+
+    #[test]
+    fn update_plan_is_shared_across_threads() {
+        let svc = service(1);
+        let plans: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| svc.update_plan().unwrap()))
+                .collect();
+            handles.into_iter().map(join_worker).collect()
+        });
+        for pair in plans.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0], &pair[1]), "one plan per session");
+        }
+    }
+
+    #[test]
+    fn concurrent_updates_share_the_session() {
+        // N workers flush different stripes through one service on
+        // `&self` — the update analogue of `repair_batch`.
+        let svc = service(1);
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut stripes = Vec::new();
+        for _ in 0..8 {
+            let mut s = random_data_stripe(svc.code(), 64, &mut rng);
+            svc.encode(&mut s).unwrap();
+            stripes.push(s);
+        }
+        let payload = vec![0xC3u8; 64];
+        let results: Vec<ExecStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = stripes
+                .iter_mut()
+                .map(|stripe| {
+                    scope.spawn(|| {
+                        svc.apply_update(stripe, &[(0, payload.as_slice())])
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(join_worker).collect()
+        });
+        assert!(results.iter().all(ExecStats::matches_prediction));
+        let h = ErasureCode::<u8>::parity_check_matrix(svc.code());
+        for s in &stripes {
+            assert!(crate::parity_consistent(&h, s, Backend::Scalar));
+        }
     }
 
     #[test]

@@ -137,6 +137,38 @@ impl VerifyStats {
     }
 }
 
+/// Telemetry for one small-write flush through the session layer.
+///
+/// A flush settles buffered dirty ranges into a stripe by one of two
+/// routes: *delta patching* (per dirty data sector, `Δ = old ⊕ new` is
+/// multiplied into every dependent parity — [`crate::UpdatePlan`]) or a
+/// *full re-encode* when the stripe is dirty enough that re-deriving all
+/// parities is cheaper under the §III-B cost model. Either way the region
+/// work lands in the owning [`ExecStats`]'s phase ledger; this struct
+/// records which route ran and how much payload it settled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Data sectors the flush wrote (patched or rewritten).
+    pub sectors_patched: usize,
+    /// Parity-sector region patches applied (0 on the re-encode route,
+    /// where every parity is re-derived by the encode plan instead).
+    pub parity_patches: usize,
+    /// True when the flush chose full-stripe re-encode over delta
+    /// patching.
+    pub full_reencode: bool,
+    /// Dirty payload bytes the flush settled.
+    pub dirty_bytes: u64,
+}
+
+impl UpdateStats {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"sectors_patched\":{},\"parity_patches\":{},\"full_reencode\":{},\"dirty_bytes\":{}}}",
+            self.sectors_patched, self.parity_patches, self.full_reencode, self.dirty_bytes
+        )
+    }
+}
+
 /// Telemetry for one instrumented decode.
 ///
 /// Executed counters come from the region kernels themselves
@@ -179,6 +211,11 @@ pub struct ExecStats {
     /// went through [`RepairService::repair_verified`](crate::RepairService::repair_verified)
     /// (plain decodes leave this `None`).
     pub verify: Option<VerifyStats>,
+    /// Small-write flush telemetry, when the stats describe an update
+    /// flush through
+    /// [`RepairService::apply_update`](crate::RepairService::apply_update)
+    /// or the `ppm-update` engine (decodes leave this `None`).
+    pub update: Option<UpdateStats>,
 }
 
 impl ExecStats {
@@ -311,6 +348,10 @@ impl ExecStats {
             Some(v) => push_kv(&mut out, "verify", &v.to_json()),
             None => push_kv(&mut out, "verify", "null"),
         }
+        match &self.update {
+            Some(u) => push_kv(&mut out, "update", &u.to_json()),
+            None => push_kv(&mut out, "update", "null"),
+        }
         // Drop the trailing comma push_kv left behind.
         out.pop();
         out.push('}');
@@ -371,6 +412,7 @@ mod tests {
             }),
             total_nanos: 600,
             verify: None,
+            update: None,
         }
     }
 
@@ -482,6 +524,27 @@ mod tests {
         assert!(j.contains("\"located\":[7]"), "{j}");
         assert!(j.contains("\"escalations\":2"), "{j}");
         assert!(j.contains("\"matches_prediction\":false"), "{j}");
+    }
+
+    #[test]
+    fn update_stats_json() {
+        let s = ExecStats {
+            update: Some(UpdateStats {
+                sectors_patched: 2,
+                parity_patches: 6,
+                full_reencode: false,
+                dirty_bytes: 96,
+            }),
+            ..sample()
+        };
+        let j = s.to_json();
+        assert!(j.contains("\"update\":{\"sectors_patched\":2"), "{j}");
+        assert!(j.contains("\"parity_patches\":6"), "{j}");
+        assert!(j.contains("\"full_reencode\":false"), "{j}");
+        assert!(j.contains("\"dirty_bytes\":96"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let j = sample().to_json();
+        assert!(j.contains("\"update\":null"), "{j}");
     }
 
     #[test]

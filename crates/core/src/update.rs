@@ -13,9 +13,11 @@
 //! parities — the same locality the paper's degraded-read motivation is
 //! built on.
 
-use crate::DecodeError;
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::RepairError;
 use ppm_codes::ErasureCode;
-use ppm_gf::{Backend, GfWord, RegionMul};
+use ppm_gf::{Backend, GfWord, RegionMul, RegionStats};
 use ppm_matrix::Matrix;
 use ppm_stripe::Stripe;
 use std::collections::HashMap;
@@ -58,16 +60,16 @@ impl<W: GfWord> UpdatePlan<W> {
     /// Builds the planner for `code`, preparing region tables on
     /// `backend`.
     ///
-    /// Fails with [`DecodeError::Unrecoverable`] if the code cannot
+    /// Fails with [`RepairError::Unrecoverable`] if the code cannot
     /// encode (its parity columns are singular) — the same condition
     /// under which encoding itself would fail.
-    pub fn build<C: ErasureCode<W>>(code: &C, backend: Backend) -> Result<Self, DecodeError> {
+    pub fn build<C: ErasureCode<W>>(code: &C, backend: Backend) -> Result<Self, RepairError> {
         let h = code.parity_check_matrix();
         let parity = code.parity_sectors();
         let data = code.data_sectors();
         let f = h.select_columns(&parity);
         let s = h.select_columns(&data);
-        let f_inv = f.inverse().ok_or(DecodeError::Unrecoverable {
+        let f_inv = f.inverse().ok_or(RepairError::Unrecoverable {
             needed: parity.len(),
             rank: f.rank(),
         })?;
@@ -101,7 +103,7 @@ impl<W: GfWord> UpdatePlan<W> {
     ///
     /// # Errors
     /// Rejects out-of-range and parity sectors.
-    pub fn parity_touched(&self, data_sector: usize) -> Result<Vec<(usize, W)>, DecodeError> {
+    pub fn parity_touched(&self, data_sector: usize) -> Result<Vec<(usize, W)>, RepairError> {
         let j = self.data_column(data_sector)?;
         Ok(self
             .parity
@@ -114,6 +116,22 @@ impl<W: GfWord> UpdatePlan<W> {
             .collect())
     }
 
+    /// The `mult_XORs` a write to `data_sector` will execute: one region
+    /// multiply per parity with a non-zero generator coefficient. This is
+    /// the update path's analogue of
+    /// [`DecodePlan::mult_xors`](crate::DecodePlan::mult_xors) — the
+    /// §III-B cost-model unit — so flush engines can weigh delta patching
+    /// against a full re-encode in the same currency.
+    ///
+    /// # Errors
+    /// Rejects out-of-range and parity sectors.
+    pub fn update_mult_xors(&self, data_sector: usize) -> Result<usize, RepairError> {
+        let j = self.data_column(data_sector)?;
+        Ok((0..self.gen.rows())
+            .filter(|&q| self.gen.get(q, j) != W::ZERO)
+            .count())
+    }
+
     /// Writes `new_data` into `data_sector` and patches every dependent
     /// parity sector in place. The stripe must be parity-consistent
     /// before the call; it is parity-consistent after.
@@ -122,33 +140,74 @@ impl<W: GfWord> UpdatePlan<W> {
         stripe: &mut Stripe,
         data_sector: usize,
         new_data: &[u8],
-    ) -> Result<(), DecodeError> {
+    ) -> Result<(), RepairError> {
+        let mut delta = vec![0u8; stripe.sector_bytes()];
+        let sink = RegionStats::new();
+        self.apply_with_stats(stripe, data_sector, new_data, &mut delta, &sink)
+            .map(|_| ())
+    }
+
+    /// Like [`apply`](Self::apply), but recycles a caller-supplied delta
+    /// scratch buffer and records the parity patches' region traffic into
+    /// `sink`, so a session layer can fold small writes into its
+    /// [`ExecStats`](crate::ExecStats) ledger. Returns the number of
+    /// parity sectors patched (the write's executed `mult_XORs`).
+    ///
+    /// The Δ-computation XOR is bookkeeping, not parity math, and is left
+    /// uncounted: the ledger records exactly the `G[q,d]·Δ` multiplies the
+    /// cost model predicts.
+    pub fn apply_with_stats(
+        &self,
+        stripe: &mut Stripe,
+        data_sector: usize,
+        new_data: &[u8],
+        delta_scratch: &mut [u8],
+        sink: &RegionStats,
+    ) -> Result<usize, RepairError> {
         if stripe.layout().sectors() != self.total_sectors {
-            return Err(DecodeError::GeometryMismatch {
+            return Err(RepairError::GeometryMismatch {
                 expected: self.total_sectors,
                 actual: stripe.layout().sectors(),
             });
         }
         let j = self.data_column(data_sector)?;
-        assert_eq!(
-            new_data.len(),
-            stripe.sector_bytes(),
-            "sector length mismatch"
-        );
+        if new_data.len() != stripe.sector_bytes() {
+            return Err(RepairError::SectorLengthMismatch {
+                sector: data_sector,
+                expected: stripe.sector_bytes(),
+                actual: new_data.len(),
+            });
+        }
+        if delta_scratch.len() != stripe.sector_bytes() {
+            return Err(RepairError::SectorLengthMismatch {
+                sector: data_sector,
+                expected: stripe.sector_bytes(),
+                actual: delta_scratch.len(),
+            });
+        }
 
         // Δ = old ⊕ new, then sector := new.
-        let mut delta = new_data.to_vec();
-        ppm_gf::xor_region(stripe.sector(data_sector), &mut delta);
+        delta_scratch.copy_from_slice(new_data);
+        ppm_gf::xor_region(stripe.sector(data_sector), delta_scratch);
         stripe.write_sector(data_sector, new_data);
 
+        let mut patched = 0;
         for (q, &p) in self.parity.iter().enumerate() {
             let c = self.gen.get(q, j);
             if c == W::ZERO {
                 continue;
             }
-            self.regions[&c.to_u64()].mul_xor(&delta, stripe.sector_mut(p));
+            let region = self
+                .regions
+                .get(&c.to_u64())
+                .ok_or(RepairError::Unrecoverable {
+                    needed: self.parity.len(),
+                    rank: 0,
+                })?;
+            region.mul_xor_with(delta_scratch, stripe.sector_mut(p), sink);
+            patched += 1;
         }
-        Ok(())
+        Ok(patched)
     }
 
     /// Applies several updates in sequence (later writes to the same
@@ -157,25 +216,27 @@ impl<W: GfWord> UpdatePlan<W> {
         &self,
         stripe: &mut Stripe,
         updates: &[(usize, &[u8])],
-    ) -> Result<(), DecodeError> {
+    ) -> Result<(), RepairError> {
         for &(sector, data) in updates {
             self.apply(stripe, sector, data)?;
         }
         Ok(())
     }
 
-    fn data_column(&self, sector: usize) -> Result<usize, DecodeError> {
+    fn data_column(&self, sector: usize) -> Result<usize, RepairError> {
         if sector >= self.total_sectors {
-            return Err(DecodeError::SectorOutOfRange {
+            return Err(RepairError::SectorOutOfRange {
                 sector,
                 total: self.total_sectors,
             });
         }
-        self.data_index[sector].ok_or(DecodeError::NotADataSector { sector })
+        let slot = self.data_index.get(sector).copied().unwrap_or(None);
+        slot.ok_or(RepairError::NotADataSector { sector })
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use crate::{DecodePlan, Strategy};
     use ppm_codes::FailureScenario;
@@ -186,7 +247,7 @@ mod tests {
         code: &C,
         decoder: &crate::Decoder,
         stripe: &mut Stripe,
-    ) -> Result<(), DecodeError> {
+    ) -> Result<(), RepairError> {
         let scenario = FailureScenario::new(code.parity_sectors());
         let h = code.parity_check_matrix();
         let plan = DecodePlan::build(&h, &scenario, Strategy::PpmAuto, decoder.config().backend)?;
@@ -300,11 +361,11 @@ mod tests {
         let data = vec![0u8; stripe.sector_bytes()];
         assert_eq!(
             plan.apply(&mut stripe, 3, &data).unwrap_err(),
-            DecodeError::NotADataSector { sector: 3 }
+            RepairError::NotADataSector { sector: 3 }
         );
         assert_eq!(
             plan.apply(&mut stripe, 99, &data).unwrap_err(),
-            DecodeError::SectorOutOfRange {
+            RepairError::SectorOutOfRange {
                 sector: 99,
                 total: 16
             }
@@ -312,7 +373,68 @@ mod tests {
         let mut wrong = Stripe::zeroed(ppm_codes::StripeLayout::new(3, 3), 64);
         assert!(matches!(
             plan.apply(&mut wrong, 0, &[0u8; 64]).unwrap_err(),
-            DecodeError::GeometryMismatch { .. }
+            RepairError::GeometryMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn apply_with_stats_counts_exactly_the_patches() {
+        let code = LrcCode::<u8>::new(6, 2, 2, 4).unwrap();
+        let plan = UpdatePlan::build(&code, Backend::Scalar).unwrap();
+        let mut stripe = encoded_stripe(&code, 9);
+        let sector_bytes = stripe.sector_bytes();
+        let layout = code.layout();
+        let d = layout.sector(1, 1);
+
+        let predicted = plan.update_mult_xors(d).unwrap();
+        assert_eq!(predicted, plan.parity_touched(d).unwrap().len());
+
+        let sink = RegionStats::new();
+        let mut scratch = vec![0u8; sector_bytes];
+        let new_data = vec![0x3Cu8; sector_bytes];
+        let patched = plan
+            .apply_with_stats(&mut stripe, d, &new_data, &mut scratch, &sink)
+            .unwrap();
+        assert_eq!(patched, predicted);
+        // The ledger records exactly the parity patches: one region
+        // multiply per touched parity (coefficient-1 patches additionally
+        // tally a plain XOR), the Δ XOR stays uncounted.
+        assert_eq!(sink.mult_xors(), predicted as u64);
+        let ones = plan
+            .parity_touched(d)
+            .unwrap()
+            .iter()
+            .filter(|&&(_, c)| c == 1)
+            .count();
+        assert_eq!(sink.plain_xors(), ones as u64);
+        assert!(parity_consistent(
+            &code.parity_check_matrix(),
+            &stripe,
+            Backend::Scalar
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_length_payload_and_scratch() {
+        let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).unwrap();
+        let plan = UpdatePlan::build(&code, Backend::Scalar).unwrap();
+        let mut stripe = encoded_stripe(&code, 13);
+        let short = vec![0u8; stripe.sector_bytes() - 8];
+        assert_eq!(
+            plan.apply(&mut stripe, 0, &short).unwrap_err(),
+            RepairError::SectorLengthMismatch {
+                sector: 0,
+                expected: stripe.sector_bytes(),
+                actual: stripe.sector_bytes() - 8,
+            }
+        );
+        let good = vec![0u8; stripe.sector_bytes()];
+        let mut bad_scratch = vec![0u8; stripe.sector_bytes() + 8];
+        let sink = RegionStats::new();
+        assert!(matches!(
+            plan.apply_with_stats(&mut stripe, 0, &good, &mut bad_scratch, &sink)
+                .unwrap_err(),
+            RepairError::SectorLengthMismatch { .. }
         ));
     }
 

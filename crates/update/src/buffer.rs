@@ -1,0 +1,322 @@
+//! The bounded dirty buffer: staged writes awaiting a flush.
+//!
+//! Writes land here first — payload bytes into a per-stripe staging
+//! image, dirty extents into that stripe's [`RangeSet`] — and parity
+//! math happens only when a stripe is flushed. The buffer is bounded in
+//! *dirty bytes* (coalesced, not raw written bytes), and when it
+//! overflows an [`EvictionPolicy`] picks which stripe to flush.
+
+use crate::RangeSet;
+use std::collections::HashMap;
+
+/// Which pending stripe to flush when the buffer is over capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Least-recently-used: evict the stripe untouched the longest.
+    Lru,
+    /// Most-modified-block: evict the stripe containing the single
+    /// dirtiest sector — that sector's delta is closest to "rewrite the
+    /// whole block", so its buffering buys the least.
+    MostModifiedBlock,
+    /// Most-modified-stripe: evict the stripe with the most dirty bytes
+    /// overall — frees the most buffer per flush, and the dirtiest
+    /// stripe is the one nearest the re-encode crossover.
+    MostModifiedStripe,
+}
+
+impl EvictionPolicy {
+    /// Parses a CLI spelling: `lru`, `mmb`, `mms` (long forms accepted).
+    pub fn parse(spec: &str) -> Option<EvictionPolicy> {
+        match spec.trim().to_ascii_lowercase().as_str() {
+            "lru" => Some(EvictionPolicy::Lru),
+            "mmb" | "most-modified-block" => Some(EvictionPolicy::MostModifiedBlock),
+            "mms" | "most-modified-stripe" => Some(EvictionPolicy::MostModifiedStripe),
+            _ => None,
+        }
+    }
+}
+
+/// One stripe's pending state: the dirty extents and a staging image of
+/// the stripe's *data* address range holding the newest payload bytes.
+///
+/// Only bytes covered by `ranges` are meaningful in `data`; the rest is
+/// whatever the staging buffer last held (zeroes on first touch).
+#[derive(Clone, Debug)]
+pub struct PendingStripe {
+    /// Dirty extents, stripe-relative (offset 0 = first data byte of
+    /// this stripe).
+    pub ranges: RangeSet,
+    /// Staging image of the stripe's data range; `ranges` says which
+    /// bytes are live.
+    pub data: Vec<u8>,
+    /// Buffer tick of the last write into this stripe (LRU key).
+    pub last_touch: u64,
+    /// Writes staged into this stripe since it became pending.
+    pub writes: usize,
+}
+
+/// A bounded buffer of [`PendingStripe`]s, keyed by stripe index.
+///
+/// `stage` accounts capacity in *newly dirty* bytes — overlapping
+/// rewrites of hot bytes are free, which is exactly the economy a
+/// dirty buffer exists to exploit. The buffer itself never flushes;
+/// the engine asks [`DirtyBuffer::over_capacity`] and
+/// [`DirtyBuffer::victim`] and settles the evicted stripe through the
+/// repair session.
+#[derive(Clone, Debug)]
+pub struct DirtyBuffer {
+    capacity: u64,
+    dirty: u64,
+    tick: u64,
+    pending: HashMap<usize, PendingStripe>,
+}
+
+impl DirtyBuffer {
+    /// A buffer bounded at `capacity` dirty bytes.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a zero-byte buffer cannot hold
+    /// even one write, so every `stage` would immediately deadlock the
+    /// evict loop.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "dirty buffer capacity must be non-zero");
+        DirtyBuffer {
+            capacity,
+            dirty: 0,
+            tick: 0,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Stages `payload` at `offset` within stripe `stripe` (both
+    /// stripe-relative; the engine's address map does the splitting)
+    /// and returns the newly dirty bytes this write added.
+    ///
+    /// `data_bytes` is the stripe's data-range size, fixed per volume;
+    /// the staging image is allocated on the stripe's first pending
+    /// write.
+    ///
+    /// # Panics
+    /// Panics if the write runs past `data_bytes` — the address map
+    /// upstream guarantees splits fit, so this is a caller bug.
+    pub fn stage(&mut self, stripe: usize, offset: u64, payload: &[u8], data_bytes: usize) -> u64 {
+        let end = offset as usize + payload.len();
+        assert!(end <= data_bytes, "staged write outruns the stripe");
+        self.tick += 1;
+        let entry = self.pending.entry(stripe).or_insert_with(|| PendingStripe {
+            ranges: RangeSet::new(),
+            data: vec![0; data_bytes],
+            last_touch: 0,
+            writes: 0,
+        });
+        entry.last_touch = self.tick;
+        entry.writes += 1;
+        if let Some(slice) = entry.data.get_mut(offset as usize..end) {
+            slice.copy_from_slice(payload);
+        }
+        let newly = entry.ranges.insert(offset, payload.len() as u64);
+        self.dirty += newly;
+        newly
+    }
+
+    /// True when pending dirty bytes exceed the capacity bound.
+    pub fn over_capacity(&self) -> bool {
+        self.dirty > self.capacity
+    }
+
+    /// Total coalesced dirty bytes pending.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty
+    }
+
+    /// Stripes with pending writes.
+    pub fn stripes_pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The capacity bound, in dirty bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Picks the stripe `policy` would flush next, or `None` when the
+    /// buffer is empty. Ties break toward the smaller stripe index so
+    /// replay is deterministic across platforms.
+    ///
+    /// `sector_bytes` parameterizes [`EvictionPolicy::MostModifiedBlock`],
+    /// which scores each stripe by its dirtiest single sector.
+    pub fn victim(&self, policy: EvictionPolicy, sector_bytes: usize) -> Option<usize> {
+        let score = |stripe: &usize, p: &PendingStripe| -> (u64, std::cmp::Reverse<usize>) {
+            let key = match policy {
+                // Oldest touch first → maximize the *negated* tick.
+                EvictionPolicy::Lru => u64::MAX - p.last_touch,
+                EvictionPolicy::MostModifiedBlock => dirtiest_sector_bytes(&p.ranges, sector_bytes),
+                EvictionPolicy::MostModifiedStripe => p.ranges.dirty_bytes(),
+            };
+            (key, std::cmp::Reverse(*stripe))
+        };
+        self.pending
+            .iter()
+            .max_by_key(|(stripe, p)| score(stripe, p))
+            .map(|(stripe, _)| *stripe)
+    }
+
+    /// Removes and returns stripe `stripe`'s pending state.
+    pub fn take(&mut self, stripe: usize) -> Option<PendingStripe> {
+        let p = self.pending.remove(&stripe)?;
+        self.dirty -= p.ranges.dirty_bytes();
+        Some(p)
+    }
+
+    /// Drains every pending stripe, in ascending stripe order.
+    pub fn drain(&mut self) -> Vec<(usize, PendingStripe)> {
+        let mut all: Vec<(usize, PendingStripe)> = self.pending.drain().collect();
+        all.sort_by_key(|(stripe, _)| *stripe);
+        self.dirty = 0;
+        all
+    }
+}
+
+/// The dirty-byte count of the dirtiest single sector in `ranges` —
+/// the most-modified-block eviction score.
+fn dirtiest_sector_bytes(ranges: &RangeSet, sector_bytes: usize) -> u64 {
+    let sb = sector_bytes as u64;
+    let mut best = 0u64;
+    let mut current_sector = u64::MAX;
+    let mut current = 0u64;
+    for (start, end) in ranges.iter() {
+        let mut s = start;
+        while s < end {
+            let sector = s / sb;
+            let span = ((sector + 1) * sb).min(end) - s;
+            if sector == current_sector {
+                current += span;
+            } else {
+                best = best.max(current);
+                current_sector = sector;
+                current = span;
+            }
+            s += span;
+        }
+    }
+    best.max(current)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staging_accounts_coalesced_bytes() {
+        let mut buf = DirtyBuffer::new(1024);
+        assert_eq!(buf.stage(0, 0, &[1; 64], 256), 64);
+        // Overlapping rewrite of the same bytes adds nothing.
+        assert_eq!(buf.stage(0, 16, &[2; 32], 256), 0);
+        // Adjacent extension adds only the extension.
+        assert_eq!(buf.stage(0, 64, &[3; 8], 256), 8);
+        assert_eq!(buf.dirty_bytes(), 72);
+        assert_eq!(buf.stripes_pending(), 1);
+
+        let p = buf.take(0).unwrap();
+        assert_eq!(buf.dirty_bytes(), 0);
+        assert_eq!(p.writes, 3);
+        assert_eq!(p.ranges.ranges(), &[(0, 72)]);
+        // Newest payload wins in the staging image.
+        assert_eq!(&p.data[16..48], &[2; 32]);
+        assert_eq!(&p.data[0..16], &[1; 16]);
+        assert_eq!(&p.data[64..72], &[3; 8]);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_stripe() {
+        let mut buf = DirtyBuffer::new(64);
+        buf.stage(5, 0, &[1; 16], 256);
+        buf.stage(2, 0, &[1; 16], 256);
+        buf.stage(9, 0, &[1; 16], 256);
+        buf.stage(5, 32, &[1; 16], 256); // stripe 5 is hot again
+        assert_eq!(buf.victim(EvictionPolicy::Lru, 64), Some(2));
+        buf.take(2);
+        assert_eq!(buf.victim(EvictionPolicy::Lru, 64), Some(9));
+    }
+
+    #[test]
+    fn mms_evicts_the_dirtiest_stripe() {
+        let mut buf = DirtyBuffer::new(1024);
+        buf.stage(1, 0, &[1; 16], 256);
+        buf.stage(3, 0, &[1; 200], 256);
+        buf.stage(7, 0, &[1; 64], 256);
+        assert_eq!(buf.victim(EvictionPolicy::MostModifiedStripe, 64), Some(3));
+    }
+
+    #[test]
+    fn mmb_scores_by_dirtiest_single_sector() {
+        let mut buf = DirtyBuffer::new(1024);
+        // Stripe 1: 3 sectors × 20 dirty bytes each (60 total).
+        buf.stage(1, 0, &[1; 20], 256);
+        buf.stage(1, 64, &[1; 20], 256);
+        buf.stage(1, 128, &[1; 20], 256);
+        // Stripe 2: one sector 50/64 dirty (50 total).
+        buf.stage(2, 0, &[1; 50], 256);
+        assert_eq!(buf.victim(EvictionPolicy::MostModifiedStripe, 64), Some(1));
+        assert_eq!(buf.victim(EvictionPolicy::MostModifiedBlock, 64), Some(2));
+    }
+
+    #[test]
+    fn victim_ties_break_toward_smaller_index() {
+        let mut buf = DirtyBuffer::new(1024);
+        buf.stage(4, 0, &[1; 16], 256);
+        buf.stage(2, 0, &[1; 16], 256);
+        assert_eq!(buf.victim(EvictionPolicy::MostModifiedStripe, 64), Some(2));
+        assert_eq!(buf.victim(EvictionPolicy::MostModifiedBlock, 64), Some(2));
+    }
+
+    #[test]
+    fn drain_is_sorted_and_empties() {
+        let mut buf = DirtyBuffer::new(1024);
+        buf.stage(9, 0, &[1; 8], 256);
+        buf.stage(0, 0, &[1; 8], 256);
+        buf.stage(4, 0, &[1; 8], 256);
+        let drained = buf.drain();
+        let order: Vec<usize> = drained.iter().map(|(s, _)| *s).collect();
+        assert_eq!(order, vec![0, 4, 9]);
+        assert_eq!(buf.dirty_bytes(), 0);
+        assert_eq!(buf.stripes_pending(), 0);
+    }
+
+    #[test]
+    fn over_capacity_uses_coalesced_bytes() {
+        let mut buf = DirtyBuffer::new(64);
+        buf.stage(0, 0, &[1; 64], 256);
+        assert!(!buf.over_capacity(), "exactly at capacity is fine");
+        buf.stage(0, 0, &[2; 64], 256); // rewrite: no new dirty bytes
+        assert!(!buf.over_capacity());
+        buf.stage(1, 0, &[1; 1], 256);
+        assert!(buf.over_capacity());
+    }
+
+    #[test]
+    fn dirtiest_sector_spans_are_split_on_boundaries() {
+        let mut r = RangeSet::new();
+        // [60, 80): 4 bytes in sector 0, 16 in sector 1.
+        r.insert(60, 20);
+        assert_eq!(dirtiest_sector_bytes(&r, 64), 16);
+        // Add more of sector 0 → sector 0 wins with 40.
+        r.insert(10, 36);
+        assert_eq!(dirtiest_sector_bytes(&r, 64), 40);
+    }
+
+    #[test]
+    fn policy_parse_spellings() {
+        assert_eq!(EvictionPolicy::parse("lru"), Some(EvictionPolicy::Lru));
+        assert_eq!(
+            EvictionPolicy::parse("MMB"),
+            Some(EvictionPolicy::MostModifiedBlock)
+        );
+        assert_eq!(
+            EvictionPolicy::parse("most-modified-stripe"),
+            Some(EvictionPolicy::MostModifiedStripe)
+        );
+        assert_eq!(EvictionPolicy::parse("fifo"), None);
+    }
+}

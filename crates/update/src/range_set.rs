@@ -1,0 +1,171 @@
+//! Coalescing sets of dirty byte-ranges.
+//!
+//! Small writes arrive unaligned and overlapping; the parity math wants
+//! whole dirty sectors. [`RangeSet`] sits between the two: it absorbs
+//! writes as half-open byte ranges, merges anything overlapping *or
+//! adjacent* (two abutting writes dirty one contiguous region — there is
+//! no byte between them to keep clean), and reports exact dirty-byte
+//! totals so a [`DirtyBuffer`](crate::DirtyBuffer) can enforce its
+//! capacity in bytes actually pending, not bytes written.
+
+/// A sorted set of disjoint, non-adjacent, half-open byte ranges
+/// `[start, end)`.
+///
+/// The three invariants (sorted by start, pairwise disjoint, never
+/// touching end-to-start) are maintained by [`RangeSet::insert`] and
+/// checked by the property suite; `dirty_bytes` is therefore always the
+/// exact measure of the union of every inserted range.
+///
+/// ```
+/// use ppm_update::RangeSet;
+///
+/// let mut set = RangeSet::new();
+/// assert_eq!(set.insert(10, 10), 10); // [10, 20)
+/// assert_eq!(set.insert(30, 10), 10); // [30, 40) — disjoint
+/// assert_eq!(set.insert(15, 20), 10); // bridges both: [10, 40)
+/// assert_eq!(set.ranges(), &[(10, 40)]);
+/// assert_eq!(set.dirty_bytes(), 30);
+/// assert_eq!(set.insert(12, 3), 0); // already dirty
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RangeSet {
+    /// `(start, end)` pairs — sorted, disjoint, non-adjacent.
+    ranges: Vec<(u64, u64)>,
+    /// Cached Σ (end − start), kept in lockstep by `insert`/`clear`.
+    dirty: u64,
+}
+
+impl RangeSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        RangeSet::default()
+    }
+
+    /// Marks `[start, start + len)` dirty, merging with any overlapping
+    /// or adjacent resident range, and returns how many of those bytes
+    /// were *newly* dirty (0 when the range was already fully covered).
+    /// Zero-length inserts are no-ops.
+    pub fn insert(&mut self, start: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let end = start.saturating_add(len);
+        // Resident ranges strictly left of `start` (not even adjacent)
+        // are unaffected; everything from the first range with
+        // `range.end >= start` up to the last with `range.start <= end`
+        // merges into one.
+        let lo = self.ranges.partition_point(|&(_, e)| e < start);
+        let hi = self.ranges.partition_point(|&(s, _)| s <= end);
+        let mut merged = (start, end);
+        let mut absorbed = 0u64;
+        for &(s, e) in self.ranges.get(lo..hi).unwrap_or(&[]) {
+            merged.0 = merged.0.min(s);
+            merged.1 = merged.1.max(e);
+            absorbed += e - s;
+        }
+        self.ranges.splice(lo..hi, std::iter::once(merged));
+        let newly = (merged.1 - merged.0) - absorbed;
+        self.dirty += newly;
+        newly
+    }
+
+    /// Total dirty bytes — the exact measure of the union.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty
+    }
+
+    /// The resident ranges, sorted, disjoint, non-adjacent.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+
+    /// Iterates the resident `(start, end)` ranges in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.ranges.iter().copied()
+    }
+
+    /// True when nothing is dirty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Forgets every range.
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+        self.dirty = 0;
+    }
+
+    /// True when byte `at` is dirty.
+    pub fn contains(&self, at: u64) -> bool {
+        let i = self.ranges.partition_point(|&(_, e)| e <= at);
+        matches!(self.ranges.get(i), Some(&(s, _)) if s <= at)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn set_of(ranges: &[(u64, u64)]) -> RangeSet {
+        let mut s = RangeSet::new();
+        for &(start, end) in ranges {
+            s.insert(start, end - start);
+        }
+        s
+    }
+
+    #[test]
+    fn disjoint_inserts_stay_sorted() {
+        let s = set_of(&[(30, 40), (10, 20), (50, 60)]);
+        assert_eq!(s.ranges(), &[(10, 20), (30, 40), (50, 60)]);
+        assert_eq!(s.dirty_bytes(), 30);
+    }
+
+    #[test]
+    fn adjacent_ranges_coalesce() {
+        let s = set_of(&[(10, 20), (20, 30)]);
+        assert_eq!(s.ranges(), &[(10, 30)]);
+        assert_eq!(s.dirty_bytes(), 20);
+    }
+
+    #[test]
+    fn overlap_bridges_many_ranges() {
+        let mut s = set_of(&[(0, 5), (10, 15), (20, 25), (40, 45)]);
+        // [4, 22) swallows the first three, not the fourth.
+        assert_eq!(s.insert(4, 18), 22 - 4 - 1 - 5 - 2);
+        assert_eq!(s.ranges(), &[(0, 25), (40, 45)]);
+    }
+
+    #[test]
+    fn fully_covered_insert_returns_zero() {
+        let mut s = set_of(&[(10, 50)]);
+        assert_eq!(s.insert(20, 10), 0);
+        assert_eq!(s.ranges(), &[(10, 50)]);
+    }
+
+    #[test]
+    fn zero_length_is_a_noop() {
+        let mut s = set_of(&[(10, 20)]);
+        assert_eq!(s.insert(5, 0), 0);
+        assert_eq!(s.ranges(), &[(10, 20)]);
+    }
+
+    #[test]
+    fn contains_probes_boundaries() {
+        let s = set_of(&[(10, 20)]);
+        assert!(!s.contains(9));
+        assert!(s.contains(10));
+        assert!(s.contains(19));
+        assert!(!s.contains(20));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = set_of(&[(10, 20)]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.dirty_bytes(), 0);
+        assert_eq!(s.insert(0, 4), 4);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the [`RangeSet`] invariants: sorted,
+//! disjoint, non-adjacent ranges; insertion-order independence of the
+//! coalesced result; and dirty-byte conservation against both a bitmap
+//! reference and the sum of per-insert newly-dirty returns.
+
+use ppm_update::RangeSet;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as ProptestStrategy;
+
+/// Strategy: up to 24 writes in a 512-byte space, lengths 0..=64 (zero
+/// lengths exercise the no-op path).
+fn writes() -> impl ProptestStrategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..512, 0u64..=64), 0..24)
+}
+
+fn build(writes: &[(u64, u64)]) -> RangeSet {
+    let mut set = RangeSet::new();
+    for &(start, len) in writes {
+        set.insert(start, len);
+    }
+    set
+}
+
+/// Reference model: one bool per byte.
+fn bitmap(writes: &[(u64, u64)]) -> Vec<bool> {
+    let mut map = vec![false; 512 + 64 + 1];
+    for &(start, len) in writes {
+        for b in start..start + len {
+            map[b as usize] = true;
+        }
+    }
+    map
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The resident ranges are always sorted by start, pairwise
+    /// disjoint, never empty, and never adjacent (adjacent ranges must
+    /// have merged).
+    #[test]
+    fn invariants_hold(writes in writes()) {
+        let set = build(&writes);
+        let ranges = set.ranges();
+        for &(s, e) in ranges {
+            prop_assert!(s < e, "empty range resident");
+        }
+        for pair in ranges.windows(2) {
+            prop_assert!(
+                pair[0].1 < pair[1].0,
+                "ranges {:?} and {:?} overlap or touch",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    /// The coalesced result is a pure function of the *set* of writes:
+    /// any insertion order produces identical ranges and totals.
+    #[test]
+    fn insertion_order_is_irrelevant(writes in writes(), rot in 0usize..24) {
+        let forward = build(&writes);
+        let mut reversed: Vec<_> = writes.clone();
+        reversed.reverse();
+        let mut rotated = writes.clone();
+        if !rotated.is_empty() {
+            let by = rot % rotated.len();
+            rotated.rotate_left(by);
+        }
+        prop_assert_eq!(&forward, &build(&reversed));
+        prop_assert_eq!(&forward, &build(&rotated));
+    }
+
+    /// `dirty_bytes` equals the bitmap population count, the measure of
+    /// the resident ranges, and the sum of every insert's newly-dirty
+    /// return — three independent routes to the same total.
+    #[test]
+    fn dirty_bytes_conserved(writes in writes()) {
+        let map = bitmap(&writes);
+        let truth = map.iter().filter(|&&b| b).count() as u64;
+
+        let mut set = RangeSet::new();
+        let mut newly_sum = 0u64;
+        for &(start, len) in &writes {
+            newly_sum += set.insert(start, len);
+        }
+        let measure: u64 = set.iter().map(|(s, e)| e - s).sum();
+
+        prop_assert_eq!(set.dirty_bytes(), truth);
+        prop_assert_eq!(newly_sum, truth);
+        prop_assert_eq!(measure, truth);
+
+        // `contains` agrees with the bitmap byte for byte.
+        for (at, &dirty) in map.iter().enumerate() {
+            prop_assert_eq!(set.contains(at as u64), dirty);
+        }
+    }
+}

@@ -9,6 +9,8 @@
 //! ppm-cli verify  <dir>                 # H·B = 0 for every stripe
 //! ppm-cli corrupt <dir> --disks 1,3     # simulate device failures
 //! ppm-cli repair  <dir> [--threads T] [--workers N] [--stats] [--cache] [--verify] [--inject SEED]
+//! ppm-cli update  <dir> (--trace FILE | --synth zipf|seq|uniform) [--ops N] [--write-bytes B]
+//!                 [--policy lru|mmb|mms] [--buffer BYTES] [--workers N] [--seed S] [--naive] [--stats]
 //! ppm-cli decode  <dir> <output>        # reassemble the original file
 //! ppm-cli info    <dir>
 //! ```
@@ -45,11 +47,27 @@
 //! surviving sector of every stripe before repairing it — a
 //! deterministic end-to-end demonstration that silent corruption is
 //! detected, located, and healed.
+//!
+//! `update` replays a small-write trace against a healthy archive
+//! through the buffered update engine (`ppm_update::UpdateEngine`):
+//! writes coalesce in a bounded dirty buffer (`--buffer`, evicting by
+//! `--policy`), and each flush settles by delta-parity patching or full
+//! re-encode, whichever the §III-B cost model prices cheaper. The trace
+//! is either a CSV/JSONL file (`offset,len[,timestamp]`) or a seeded
+//! synthetic workload (`--synth zipf[:SKEW]|seq|uniform`, `--ops`,
+//! `--write-bytes`, `--seed` — payload bytes are derived
+//! deterministically from the seed and op index, so two replays of the
+//! same trace produce bit-identical archives). `--naive` forces every
+//! flush down the full re-encode route — the ground-truth baseline the
+//! buffered path is compared against in CI. `--workers N` drains the
+//! final flush with N threads through the one shared session.
 
+use ppm::update::trace::{parse_trace, synthesize, SynthKind, TraceOp};
 use ppm::{
-    encode, parity_consistent, Backend, Decoder, DecoderConfig, ErasureCode, EvenOddCode,
-    ExecStats, FailureScenario, FaultInjector, LrcCode, PmdsCode, RdpCode, RepairService, RsCode,
-    SdCode, StarCode, Strategy, Stripe, StripeLayout,
+    encode, parity_consistent, Backend, Decoder, DecoderConfig, EngineConfig, ErasureCode,
+    EvenOddCode, EvictionPolicy, ExecStats, FailureScenario, FaultInjector, FlushMode, LrcCode,
+    PmdsCode, RdpCode, RepairService, RsCode, SdCode, StarCode, Strategy, Stripe, StripeLayout,
+    UpdateEngine,
 };
 use std::fs;
 use std::io::{Read, Write};
@@ -740,6 +758,174 @@ fn repair_verified(
     Ok(())
 }
 
+/// Deterministic payload bytes for synthetic replay: xorshift64* keyed
+/// by `(seed, op index)`, so buffered and naive runs of the same trace
+/// write identical data without threading an RNG through the CLI.
+fn payload_bytes(seed: u64, index: u64, len: usize) -> Vec<u8> {
+    let mut x = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
+    let mut out = Vec::with_capacity(len + 8);
+    while out.len() < len {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        out.extend_from_slice(&x.wrapping_mul(0x2545_F491_4F6C_DD1D).to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+fn cmd_update(args: &[String]) -> Result<(), String> {
+    let (flags, pos) = split_flags(args);
+    let [dir] = pos.as_slice() else {
+        return Err(
+            "usage: update <dir> (--trace FILE | --synth zipf|seq|uniform) [--ops N] \
+             [--write-bytes B] [--policy lru|mmb|mms] [--buffer BYTES] [--workers N] \
+             [--threads T] [--seed S] [--naive] [--stats]"
+                .into(),
+        );
+    };
+    let archive = Archive::load(Path::new(dir))?;
+    let dyn_code = archive.code.as_dyn();
+    let data_per_stripe = archive.data_per_stripe() as u64;
+    let volume_bytes = data_per_stripe * archive.stripes as u64;
+
+    let seed: u64 = match flags.get("seed") {
+        Some(v) => v.parse().map_err(|e| format!("bad --seed: {e}"))?,
+        None => 2015,
+    };
+    let ops: Vec<TraceOp> = match (flags.get("trace"), flags.get("synth")) {
+        (Some(path), None) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            parse_trace(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        (None, Some(spec)) => {
+            let kind = SynthKind::parse(spec)
+                .ok_or_else(|| format!("bad --synth {spec:?} (zipf[:SKEW], seq, uniform)"))?;
+            let n = flag_num(&flags, "ops").unwrap_or(256);
+            let write_bytes = flag_num(&flags, "write-bytes")
+                .map(|b| b as u64)
+                .unwrap_or_else(|| (archive.sector_bytes as u64 / 4).max(1))
+                .min(volume_bytes);
+            synthesize(kind, n, volume_bytes, write_bytes, seed)
+        }
+        (Some(_), Some(_)) => return Err("--trace and --synth are mutually exclusive".into()),
+        (None, None) => return Err("update requires --trace FILE or --synth KIND".into()),
+    };
+    let policy = match flags.get("policy") {
+        Some(p) => EvictionPolicy::parse(p).ok_or_else(|| format!("bad --policy {p:?}"))?,
+        None => EvictionPolicy::Lru,
+    };
+    let buffer_bytes = flag_num(&flags, "buffer")
+        .map(|b| b.max(1) as u64)
+        .unwrap_or(1 << 20);
+    let workers = flag_num(&flags, "workers").unwrap_or(1);
+    let threads = flag_num(&flags, "threads").unwrap_or(4);
+    let mode = if flags.contains_key("naive") {
+        FlushMode::ReencodeOnly
+    } else {
+        FlushMode::Auto
+    };
+
+    // The whole archive must be healthy: updates patch parity in place,
+    // so a missing device would silently diverge.
+    let mut stripes = Vec::with_capacity(archive.stripes);
+    for s in 0..archive.stripes {
+        let (stripe, lost) = archive.read_stripe(s);
+        if !lost.is_empty() {
+            return Err(format!(
+                "stripe {s}: {} sectors unavailable (run repair before update)",
+                lost.len()
+            ));
+        }
+        stripes.push(stripe);
+    }
+
+    let service = RepairService::new(
+        dyn_code,
+        DecoderConfig {
+            threads,
+            backend: Backend::Auto,
+        },
+    );
+    let config = EngineConfig {
+        buffer_bytes,
+        policy,
+        mode,
+    };
+    let mut engine =
+        UpdateEngine::new(&service, stripes, config).map_err(|e| format!("update: {e}"))?;
+
+    let started = std::time::Instant::now();
+    let mut reports = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let payload = payload_bytes(seed, i as u64, op.len as usize);
+        reports.extend(
+            engine
+                .write(op.offset, &payload)
+                .map_err(|e| format!("op {i} (offset {}, len {}): {e}", op.offset, op.len))?,
+        );
+    }
+    reports.extend(
+        engine
+            .flush_all(workers)
+            .map_err(|e| format!("final flush: {e}"))?,
+    );
+    let elapsed = started.elapsed();
+
+    let stats = engine.stats();
+    let reencode_cost = engine.reencode_mult_xors();
+    let volume = engine.into_volume();
+    for (s, stripe) in volume.iter().enumerate() {
+        archive.write_stripe(s, stripe).map_err(|e| e.to_string())?;
+    }
+
+    if flags.contains_key("stats") {
+        let executed: u64 = reports.iter().map(|r| r.exec.executed_mult_xors()).sum();
+        let predicted: u64 = reports
+            .iter()
+            .map(|r| r.exec.predicted_mult_xors as u64)
+            .sum();
+        let matches = reports.iter().all(|r| r.exec.matches_prediction());
+        let sample = reports.first().map(|r| r.exec.to_json());
+        let ar = service.arena().stats();
+        println!(
+            "{{\"ops\":{},\"volume_bytes\":{},\"policy\":{:?},\"mode\":{:?},\"workers\":{},\
+             \"engine\":{},\"predicted_mult_xors_total\":{},\"executed_mult_xors_total\":{},\
+             \"matches_prediction\":{},\"reencode_mult_xors_per_stripe\":{},\
+             \"arena\":{{\"reuses\":{},\"fresh\":{},\"contended\":{}}},\"nanos\":{},\"sample\":{}}}",
+            ops.len(),
+            volume_bytes,
+            format!("{policy:?}").to_ascii_lowercase(),
+            format!("{mode:?}").to_ascii_lowercase(),
+            workers.max(1),
+            stats.to_json(),
+            predicted,
+            executed,
+            matches,
+            reencode_cost,
+            ar.reused,
+            ar.fresh,
+            ar.contended,
+            elapsed.as_nanos(),
+            sample.as_deref().unwrap_or("null"),
+        );
+    }
+    println!(
+        "replayed {} writes ({} bytes, {} coalesced) in {} flushes \
+         ({} delta / {} re-encode, {} evictions, {} parity patches) in {:.1} ms",
+        stats.writes,
+        stats.bytes_written,
+        stats.bytes_coalesced,
+        stats.flushes,
+        stats.delta_flushes,
+        stats.reencode_flushes,
+        stats.evictions,
+        stats.parity_patches,
+        elapsed.as_secs_f64() * 1e3,
+    );
+    Ok(())
+}
+
 fn cmd_verify(args: &[String]) -> Result<(), String> {
     let (_, pos) = split_flags(args);
     let [dir] = pos.as_slice() else {
@@ -814,7 +1000,7 @@ fn split_flags(args: &[String]) -> (std::collections::HashMap<String, String>, V
     let mut flags = std::collections::HashMap::new();
     let mut pos = Vec::new();
     // Flags that take no value; everything else consumes the next token.
-    const BOOLEAN: &[&str] = &["stats", "cache", "verify"];
+    const BOOLEAN: &[&str] = &["stats", "cache", "verify", "naive"];
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
@@ -838,13 +1024,14 @@ fn flag_num(flags: &std::collections::HashMap<String, String>, name: &str) -> Op
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: ppm-cli <encode|corrupt|repair|verify|decode|info> ...");
+        eprintln!("usage: ppm-cli <encode|corrupt|repair|update|verify|decode|info> ...");
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
         "encode" => cmd_encode(rest),
         "corrupt" => cmd_corrupt(rest),
         "repair" => cmd_repair(rest),
+        "update" => cmd_update(rest),
         "verify" => cmd_verify(rest),
         "decode" => cmd_decode(rest),
         "info" => cmd_info(rest),

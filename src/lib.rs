@@ -14,7 +14,11 @@
 //!   baseline, and the verified-repair pipeline (surplus-row parity
 //!   checks with erasure escalation),
 //! * [`faults`] — deterministic seeded fault injection for exercising
-//!   that pipeline.
+//!   that pipeline,
+//! * [`update`] — the trace-driven small-write path: coalescing dirty
+//!   ranges, a bounded eviction buffer, and a flush engine that picks
+//!   delta-parity patching or full re-encode per flush by the §III-B
+//!   cost model.
 //!
 //! The most common items are re-exported at the crate root; start with
 //! [`Decoder`] and an erasure code from [`codes`].
@@ -55,6 +59,7 @@ pub use ppm_faults as faults;
 pub use ppm_gf as gf;
 pub use ppm_matrix as matrix;
 pub use ppm_stripe as stripe;
+pub use ppm_update as update;
 
 pub use ppm_codes::{
     CodeError, ErasureCode, EvenOddCode, FailureScenario, LrcCode, ParityKind, PmdsCode, RdpCode,
@@ -64,9 +69,13 @@ pub use ppm_core::{
     cost, encode, parity_consistent, ArenaStats, BatchReport, CalcSequence, DecodeError,
     DecodePlan, Decoder, DecoderConfig, ExecStats, LogTable, ParallelismCase, Partition, PlanCache,
     PlanCacheStats, PlanKey, RepairError, RepairService, ScratchArena, Strategy, SubPlanStats,
-    UpdatePlan, VerifyReport, VerifyStats,
+    UpdatePlan, UpdateStats, VerifyReport, VerifyStats,
 };
 pub use ppm_faults::{BitFlip, FaultInjector};
 pub use ppm_gf::{Backend, GfWord, RegionMul};
 pub use ppm_matrix::{Factorization, Matrix};
 pub use ppm_stripe::Stripe;
+pub use ppm_update::{
+    DirtyBuffer, EngineConfig, EngineStats, EvictionPolicy, FlushMode, FlushReport, RangeSet,
+    UpdateEngine, UpdateError,
+};
