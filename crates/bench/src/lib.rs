@@ -22,7 +22,8 @@ pub use model::{
     throughput_mbs,
 };
 pub use prep::{
-    ledger_plan, prepare_lrc, prepare_rs, prepare_sd, prepare_sd_w, time_plan, Prepared,
+    ledger_plan, prepare_lrc, prepare_rs, prepare_sd, prepare_sd_w, time_plan, time_tape_vs_graph,
+    Prepared,
 };
 pub use report::{bench_dir, write_bench_json};
 pub use table::Table;

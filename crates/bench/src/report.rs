@@ -21,11 +21,18 @@ pub fn bench_dir() -> PathBuf {
 /// Writes `json` to `BENCH_<name>.json` in [`bench_dir`], returning the
 /// path. Panics on I/O failure — a bench that cannot record its result
 /// has failed.
+///
+/// The write is crash-safe: the content lands in a `.tmp` sibling first
+/// and is renamed over the target, so a bench killed mid-write leaves
+/// the committed snapshot intact rather than truncated.
 pub fn write_bench_json(name: &str, json: &str) -> PathBuf {
     let path = bench_dir().join(format!("BENCH_{name}.json"));
+    let tmp = bench_dir().join(format!("BENCH_{name}.json.tmp"));
     let mut text = json.trim_end().to_string();
     text.push('\n');
-    std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    std::fs::write(&tmp, text).unwrap_or_else(|e| panic!("cannot write {}: {e}", tmp.display()));
+    std::fs::rename(&tmp, &path)
+        .unwrap_or_else(|e| panic!("cannot rename {} to {}: {e}", tmp.display(), path.display()));
     path
 }
 
@@ -39,5 +46,27 @@ mod tests {
         // check the default resolves inside the workspace.
         let dir = bench_dir();
         assert!(dir.join("Cargo.toml").exists() || std::env::var_os("PPM_BENCH_DIR").is_some());
+    }
+
+    #[test]
+    fn write_is_atomic_and_newline_terminated() {
+        // The env var is process-global, so this test only runs the
+        // writer when CI already points PPM_BENCH_DIR at scratch space;
+        // otherwise it exercises the same path against a unique name in
+        // the default dir and cleans up after itself.
+        let name = format!("selftest_{}", std::process::id());
+        let path = write_bench_json(&name, "{\"ok\": true}  \n\n");
+        let text = std::fs::read_to_string(&path).expect("snapshot readable");
+        assert_eq!(text, "{\"ok\": true}\n");
+        // The temporary is gone: the only artifact is the snapshot.
+        assert!(!path.with_extension("json.tmp").exists());
+        // Overwrite goes through the same rename, replacing content.
+        let again = write_bench_json(&name, "{\"ok\": false}");
+        assert_eq!(again, path);
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("snapshot readable"),
+            "{\"ok\": false}\n"
+        );
+        std::fs::remove_file(&path).expect("cleanup");
     }
 }

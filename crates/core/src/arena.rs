@@ -180,6 +180,20 @@ impl ScratchArena {
 
     /// Borrows a zeroed buffer of exactly `len` bytes.
     pub fn take(&self, len: usize) -> Vec<u8> {
+        self.take_inner(len, true)
+    }
+
+    /// Borrows a buffer of exactly `len` bytes whose contents are
+    /// arbitrary (stale bytes from a previous borrower, or zeros when
+    /// freshly allocated). For callers that overwrite every byte before
+    /// reading — the plan tape's first-write-overwrites instruction
+    /// streams — this skips [`ScratchArena::take`]'s zeroing pass, which
+    /// is a full write sweep of the buffer on every reuse.
+    pub fn take_dirty(&self, len: usize) -> Vec<u8> {
+        self.take_inner(len, false)
+    }
+
+    fn take_inner(&self, len: usize, zero: bool) -> Vec<u8> {
         let home = self.home_shard();
         // Home shard first; then steal a fitting buffer from any other
         // shard that is free right now (never block on a foreign shard).
@@ -206,7 +220,11 @@ impl ScratchArena {
                 self.pooled_bytes
                     .fetch_sub(buf.capacity(), Ordering::Relaxed);
                 self.reused.fetch_add(1, Ordering::Relaxed);
-                buf.clear();
+                if zero {
+                    buf.clear();
+                }
+                // Without the clear, stale bytes stay in place and only
+                // the extension (if any) is zero-filled.
                 buf.resize(len, 0);
                 buf
             }
@@ -318,6 +336,30 @@ mod tests {
         // Grow past the pooled capacity: a fresh, fully zeroed buffer.
         let c = arena.take(16);
         assert_eq!(c, vec![0u8; 16]);
+    }
+
+    #[test]
+    fn dirty_take_skips_zeroing_but_still_sizes() {
+        let arena = ScratchArena::new();
+        let mut a = arena.take(8);
+        a.iter_mut().for_each(|b| *b = 0xAB);
+        arena.give(a);
+        // Reuse without zeroing: stale bytes survive, count as a reuse.
+        let b = arena.take_dirty(8);
+        assert_eq!(b, vec![0xAB; 8]);
+        assert_eq!(arena.reuses(), 1);
+        arena.give(b);
+        // Growing still zero-fills the extension beyond the stale bytes.
+        let c = arena.take_dirty(12);
+        assert_eq!(&c[8..], &[0u8; 4]);
+        assert_eq!(c.len(), 12);
+        arena.give(c);
+        // Shrinking truncates to the requested length.
+        let d = arena.take_dirty(4);
+        assert_eq!(d.len(), 4);
+        // A fresh dirty allocation is zeroed by construction.
+        let e = arena.take_dirty(64);
+        assert_eq!(e, vec![0u8; 64]);
     }
 
     #[test]

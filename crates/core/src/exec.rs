@@ -17,9 +17,10 @@
 use crate::arena::ScratchArena;
 use crate::plan::{DecodePlan, Program, RegionCache, Strategy, SubPlan};
 use crate::stats::{ExecStats, SubPlanStats};
+use crate::tape::{Instr, Loc, OpCode, TapeSegment};
 use crate::DecodeError;
 use ppm_codes::{ErasureCode, FailureScenario};
-use ppm_gf::{Backend, GfWord, RegionMul, RegionStats};
+use ppm_gf::{mul_copy_fused, mul_copy_fused_with, Backend, GfWord, RegionMul, RegionStats};
 use ppm_matrix::Matrix;
 use ppm_stripe::Stripe;
 use rayon::prelude::*;
@@ -236,6 +237,7 @@ impl Decoder {
             phase_b,
             verify: None,
             update: None,
+            tape: false,
             total_nanos: started.elapsed().as_nanos(),
         })
     }
@@ -406,6 +408,7 @@ impl Decoder {
             phase_b,
             verify: None,
             update: None,
+            tape: false,
             total_nanos: started.elapsed().as_nanos(),
         })
     }
@@ -630,6 +633,235 @@ impl Decoder {
             stats,
         })
     }
+
+    /// Executes `plan` through its compiled instruction tape (see
+    /// [`crate::PlanTape`]): bit-identical to [`Decoder::decode`] — per-
+    /// byte XOR accumulation is order-independent and the tape holds
+    /// exactly the plan's terms — but each segment makes one flat arena
+    /// reservation sliced at its precomputed layout, and same-destination
+    /// runs execute as fused multi-source accumulates, so warm repairs
+    /// replay pure region arithmetic with no graph walking.
+    pub fn decode_tape<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &mut Stripe,
+    ) -> Result<(), DecodeError> {
+        self.decode_tape_inner(plan, stripe, None)
+    }
+
+    /// [`Decoder::decode_tape`] with buffers borrowed from `arena` (see
+    /// [`Decoder::decode_in`]).
+    pub fn decode_tape_in<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &mut Stripe,
+        arena: &ScratchArena,
+    ) -> Result<(), DecodeError> {
+        self.decode_tape_inner(plan, stripe, Some(arena))
+    }
+
+    fn decode_tape_inner<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &mut Stripe,
+        arena: Option<&ScratchArena>,
+    ) -> Result<(), DecodeError> {
+        if stripe.layout().sectors() != plan.total_sectors() {
+            return Err(DecodeError::GeometryMismatch {
+                expected: plan.total_sectors(),
+                actual: stripe.layout().sectors(),
+            });
+        }
+        let tape = plan.ensure_tape();
+
+        // Phase A: independent segments, parallel as in `decode`.
+        let flats: Vec<Vec<u8>> = match &self.pool {
+            Some(pool) if tape.phase_a.len() > 1 => pool.install(|| {
+                tape.phase_a
+                    .par_iter()
+                    .map(|seg| run_tape_segment(seg, stripe, None, arena))
+                    .collect()
+            }),
+            _ => tape
+                .phase_a
+                .iter()
+                .map(|seg| run_tape_segment(seg, stripe, None, arena))
+                .collect(),
+        };
+        for (seg, flat) in tape.phase_a.iter().zip(flats) {
+            install_tape_outputs(seg, flat, stripe, arena);
+        }
+
+        // Phase B: the H_rest segment, reading recovered blocks.
+        if let Some(seg) = &tape.phase_b {
+            let flat = run_tape_segment(seg, stripe, None, arena);
+            install_tape_outputs(seg, flat, stripe, arena);
+        }
+        Ok(())
+    }
+
+    /// [`Decoder::decode_tape`] with the instrumentation of
+    /// [`Decoder::decode_with_stats`]. The returned ledger has
+    /// [`ExecStats::tape`] set and still satisfies executed == predicted:
+    /// fused runs tally one `mult_XORs` per term, exactly like the graph
+    /// walker.
+    pub fn decode_tape_with_stats<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &mut Stripe,
+    ) -> Result<ExecStats, DecodeError> {
+        self.decode_tape_with_stats_inner(plan, stripe, None)
+    }
+
+    /// [`Decoder::decode_tape_with_stats`] with buffers borrowed from
+    /// `arena` (see [`Decoder::decode_in`]).
+    pub fn decode_tape_with_stats_in<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &mut Stripe,
+        arena: &ScratchArena,
+    ) -> Result<ExecStats, DecodeError> {
+        self.decode_tape_with_stats_inner(plan, stripe, Some(arena))
+    }
+
+    fn decode_tape_with_stats_inner<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &mut Stripe,
+        arena: Option<&ScratchArena>,
+    ) -> Result<ExecStats, DecodeError> {
+        if stripe.layout().sectors() != plan.total_sectors() {
+            return Err(DecodeError::GeometryMismatch {
+                expected: plan.total_sectors(),
+                actual: stripe.layout().sectors(),
+            });
+        }
+        let tape = plan.ensure_tape();
+        let started = Instant::now();
+
+        let results: Vec<(Vec<u8>, SubPlanStats)> = match &self.pool {
+            Some(pool) if tape.phase_a.len() > 1 => pool.install(|| {
+                tape.phase_a
+                    .par_iter()
+                    .map(|seg| run_tape_segment_instrumented(seg, stripe, arena))
+                    .collect()
+            }),
+            _ => tape
+                .phase_a
+                .iter()
+                .map(|seg| run_tape_segment_instrumented(seg, stripe, arena))
+                .collect(),
+        };
+        let phase_a_nanos = started.elapsed().as_nanos();
+        let mut phase_a = Vec::with_capacity(results.len());
+        for (seg, (flat, stats)) in tape.phase_a.iter().zip(results) {
+            phase_a.push(stats);
+            install_tape_outputs(seg, flat, stripe, arena);
+        }
+
+        let phase_b = match &tape.phase_b {
+            Some(seg) => {
+                let (flat, stats) = run_tape_segment_instrumented(seg, stripe, arena);
+                install_tape_outputs(seg, flat, stripe, arena);
+                Some(stats)
+            }
+            None => None,
+        };
+
+        Ok(ExecStats {
+            strategy: plan.strategy(),
+            threads: self.config.threads,
+            parallelism: plan.parallelism(),
+            predicted_mult_xors: plan.mult_xors(),
+            predicted_costs: plan.predicted_costs(),
+            cache: None,
+            arena: None,
+            phase_a,
+            phase_a_nanos,
+            phase_b,
+            verify: None,
+            update: None,
+            tape: true,
+            total_nanos: started.elapsed().as_nanos(),
+        })
+    }
+
+    /// [`Decoder::verify`] through the plan's compiled tape: each surplus
+    /// row replays as one fused run into a single accumulator slot.
+    /// Bit-identical verdicts and an identical `mult_XORs` ledger to the
+    /// graph pass.
+    pub fn verify_tape<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &Stripe,
+    ) -> Result<VerifyReport, DecodeError> {
+        self.verify_tape_inner(plan, stripe, None)
+    }
+
+    /// [`Decoder::verify_tape`] with the accumulator borrowed from
+    /// `arena` (see [`Decoder::decode_in`]).
+    pub fn verify_tape_in<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &Stripe,
+        arena: &ScratchArena,
+    ) -> Result<VerifyReport, DecodeError> {
+        self.verify_tape_inner(plan, stripe, Some(arena))
+    }
+
+    fn verify_tape_inner<W: GfWord>(
+        &self,
+        plan: &DecodePlan<W>,
+        stripe: &Stripe,
+        arena: Option<&ScratchArena>,
+    ) -> Result<VerifyReport, DecodeError> {
+        if !plan.supports_verify() {
+            return Err(DecodeError::VerificationUnavailable);
+        }
+        if stripe.layout().sectors() != plan.total_sectors() {
+            return Err(DecodeError::GeometryMismatch {
+                expected: plan.total_sectors(),
+                actual: stripe.layout().sectors(),
+            });
+        }
+        let tape = plan.ensure_tape();
+        let sink = RegionStats::new();
+        let started = Instant::now();
+        let mut violated = Vec::new();
+        // Each run's head overwrites the accumulator, so it needs no
+        // zeroing — not on take, not between rows.
+        let mut acc = take_buf_dirty(arena, stripe.sector_bytes());
+        for run in &tape.verify {
+            if run.instrs.is_empty() {
+                // An all-zero surplus row: the empty XOR sum is zero,
+                // never violated (the graph walker agrees vacuously).
+                continue;
+            }
+            run_tape_section(
+                &run.instrs,
+                |loc| match loc {
+                    Loc::Sector(s) => stripe.sector(s),
+                    // Verify runs are lowered from surplus rows, whose
+                    // terms are all stripe sectors.
+                    Loc::Slot(_) => unreachable!("verify runs read sectors only"),
+                },
+                &mut acc,
+                0,
+                stripe.sector_bytes(),
+                Some(&sink),
+            );
+            if acc.iter().any(|&b| b != 0) {
+                violated.push(run.row);
+            }
+        }
+        give_bufs(arena, [acc]);
+        let stats = SubPlanStats::collect(&sink, 0, started.elapsed());
+        Ok(VerifyReport {
+            rows_checked: tape.verify.len(),
+            violated_rows: violated,
+            stats,
+        })
+    }
 }
 
 /// Outcome of one surplus-row verification pass (see
@@ -665,6 +897,15 @@ fn take_buf(arena: Option<&ScratchArena>, len: usize) -> Vec<u8> {
     }
 }
 
+/// [`take_buf`] without the zeroing guarantee — for the tape executor,
+/// whose overwriting run heads never read the buffer's prior contents.
+fn take_buf_dirty(arena: Option<&ScratchArena>, len: usize) -> Vec<u8> {
+    match arena {
+        Some(a) => a.take_dirty(len),
+        None => vec![0u8; len],
+    }
+}
+
 /// Returns buffers to `arena` (no-op without one).
 fn give_bufs(arena: Option<&ScratchArena>, bufs: impl IntoIterator<Item = Vec<u8>>) {
     if let Some(a) = arena {
@@ -692,8 +933,10 @@ fn install_outputs(
 /// When `arena` is given, scratch and output buffers are borrowed from
 /// it (the caller returns the output buffers after installing them).
 //
-// `scratch[e]` is safe by plan construction: every `Normal` program's
-// f-term indices point into its own t-term list, which built `scratch`.
+// The `T` accumulators of a `Normal` program live in *one* flat buffer
+// (one arena round-trip per invocation instead of one per t-term); the
+// `scratch[e * sb..]` slices are safe by plan construction: every f-term
+// index points into the program's own t-term list, which sized `scratch`.
 #[allow(clippy::indexing_slicing)]
 fn run_subplan<W: GfWord>(
     sp: &SubPlan<W>,
@@ -703,7 +946,7 @@ fn run_subplan<W: GfWord>(
     arena: Option<&ScratchArena>,
 ) -> SubPlanOutputs {
     let sb = stripe.sector_bytes();
-    let apply = |c: W, src: &[u8], dst: &mut Vec<u8>| {
+    let apply = |c: W, src: &[u8], dst: &mut [u8]| {
         let rm = regions.get(c);
         match stats {
             Some(s) => rm.mul_xor_with(src, dst, s),
@@ -722,27 +965,23 @@ fn run_subplan<W: GfWord>(
             })
             .collect(),
         Program::Normal { t_terms, f_terms } => {
-            let scratch: Vec<Vec<u8>> = t_terms
-                .iter()
-                .map(|terms| {
-                    let mut buf = take_buf(arena, sb);
-                    for &(c, src) in terms {
-                        apply(c, stripe.sector(src), &mut buf);
-                    }
-                    buf
-                })
-                .collect();
+            let mut scratch = take_buf(arena, t_terms.len() * sb);
+            for (terms, slot) in t_terms.iter().zip(scratch.chunks_exact_mut(sb)) {
+                for &(c, src) in terms {
+                    apply(c, stripe.sector(src), slot);
+                }
+            }
             let out: SubPlanOutputs = f_terms
                 .iter()
                 .map(|(sector, terms)| {
                     let mut buf = take_buf(arena, sb);
                     for &(c, e) in terms {
-                        apply(c, &scratch[e], &mut buf);
+                        apply(c, &scratch[e * sb..(e + 1) * sb], &mut buf);
                     }
                     (*sector, buf)
                 })
                 .collect();
-            give_bufs(arena, scratch);
+            give_bufs(arena, [scratch]);
             out
         }
     }
@@ -876,6 +1115,148 @@ fn run_subplan_chunked<W: GfWord>(
             out
         }
     }
+}
+
+/// Executes one tape segment against the stripe: takes the segment's
+/// single arena reservation, replays its fused instruction runs, and
+/// returns the flat buffer with the outputs at their precomputed slots
+/// (the caller installs them and recycles the buffer).
+//
+// The slot arithmetic is safe by tape construction (`crate::tape`):
+// every destination is below the segment's slot count, every `Slot`
+// source is below `scratch_slots`, and the reservation is exactly
+// `total_slots()` sectors long.
+#[allow(clippy::indexing_slicing)]
+fn run_tape_segment<W: GfWord>(
+    seg: &TapeSegment<W>,
+    stripe: &Stripe,
+    stats: Option<&RegionStats>,
+    arena: Option<&ScratchArena>,
+) -> Vec<u8> {
+    let sb = stripe.sector_bytes();
+    // Unzeroed reservation: every slot's first touch is an overwriting
+    // run head (enforced at tape compile), except the listed zero slots
+    // — degenerate empty term lists — which are cleared here.
+    let mut flat = take_buf_dirty(arena, seg.total_slots() * sb);
+    for &slot in &seg.zero_slots {
+        flat[slot * sb..(slot + 1) * sb].fill(0);
+    }
+    let (scratch, outs) = flat.split_at_mut(seg.scratch_slots * sb);
+
+    // Intermediate section: T-slot accumulators, reading sectors only.
+    run_tape_section(
+        &seg.instrs[..seg.scratch_boundary],
+        |loc| match loc {
+            Loc::Sector(s) => stripe.sector(s),
+            // Tape invariant: the intermediate section never reads slots.
+            Loc::Slot(_) => unreachable!("scratch section reads sectors only"),
+        },
+        scratch,
+        0,
+        sb,
+        stats,
+    );
+
+    // Output section: reads sectors or the intermediates just computed.
+    run_tape_section(
+        &seg.instrs[seg.scratch_boundary..],
+        |loc| match loc {
+            Loc::Sector(s) => stripe.sector(s),
+            Loc::Slot(e) => &scratch[e * sb..(e + 1) * sb],
+        },
+        outs,
+        seg.scratch_slots,
+        sb,
+        stats,
+    );
+    flat
+}
+
+/// Replays one tape section: gathers each maximal same-destination run
+/// (one [`OpCode::MulCopy`] plus its [`OpCode::MulXorFusedCont`]s) and
+/// applies it as a single fused operation into `dst_region`, whose
+/// first slot is absolute slot `slot_base`. The run head *overwrites*
+/// its slot (tape slots are taken unzeroed — every slot's first touch
+/// is a head, enforced at compile), continuations accumulate.
+//
+// Indexing is safe by tape construction: run boundaries come from the
+// opcodes the compiler emitted, and destinations lie inside this
+// section's slot range.
+#[allow(clippy::indexing_slicing)]
+fn run_tape_section<'a, W: GfWord>(
+    instrs: &[Instr<W>],
+    source: impl Fn(Loc) -> &'a [u8],
+    dst_region: &mut [u8],
+    slot_base: usize,
+    sb: usize,
+    stats: Option<&RegionStats>,
+) {
+    let mut terms: Vec<(&RegionMul<W>, &[u8])> = Vec::new();
+    let mut i = 0;
+    while i < instrs.len() {
+        let dst = instrs[i].dst;
+        let mut j = i + 1;
+        while j < instrs.len() && instrs[j].op == OpCode::MulXorFusedCont {
+            j += 1;
+        }
+        let off = (dst - slot_base) * sb;
+        let dslice = &mut dst_region[off..off + sb];
+        if j == i + 1 {
+            // Single-term run: dispatch the kernel directly, skipping
+            // the fused block sweep and its term list. The head
+            // overwrites — the slot arrives with arbitrary contents.
+            let ins = &instrs[i];
+            match stats {
+                Some(s) => ins.kernel.mul_copy_with(source(ins.src), dslice, s),
+                None => ins.kernel.mul_copy(source(ins.src), dslice),
+            }
+        } else {
+            terms.clear();
+            terms.extend(
+                instrs[i..j]
+                    .iter()
+                    .map(|ins| (&*ins.kernel, source(ins.src))),
+            );
+            match stats {
+                Some(s) => mul_copy_fused_with(&terms, dslice, s),
+                None => mul_copy_fused(&terms, dslice),
+            }
+        }
+        i = j;
+    }
+}
+
+/// Runs one tape segment with a fresh counter sink and wall-clock timer
+/// (the tape counterpart of [`run_subplan_instrumented`]).
+fn run_tape_segment_instrumented<W: GfWord>(
+    seg: &TapeSegment<W>,
+    stripe: &Stripe,
+    arena: Option<&ScratchArena>,
+) -> (Vec<u8>, SubPlanStats) {
+    let sink = RegionStats::new();
+    let t = Instant::now();
+    let flat = run_tape_segment(seg, stripe, Some(&sink), arena);
+    let stats = SubPlanStats::collect(&sink, seg.outputs.len(), t.elapsed());
+    (flat, stats)
+}
+
+/// Writes a tape segment's outputs into the stripe from its flat
+/// reservation, then recycles the buffer.
+//
+// `slot * sb..` is in bounds: outputs live inside the reservation the
+// tape sized (see `run_tape_segment`).
+#[allow(clippy::indexing_slicing)]
+fn install_tape_outputs<W: GfWord>(
+    seg: &TapeSegment<W>,
+    flat: Vec<u8>,
+    stripe: &mut Stripe,
+    arena: Option<&ScratchArena>,
+) {
+    let sb = stripe.sector_bytes();
+    for &(slot, sector) in &seg.outputs {
+        stripe.write_sector(sector, &flat[slot * sb..(slot + 1) * sb]);
+    }
+    give_bufs(arena, [flat]);
 }
 
 /// Encodes a stripe in place: computes every parity sector from the data

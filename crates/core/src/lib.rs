@@ -71,6 +71,7 @@ mod partition;
 mod plan;
 mod service;
 mod stats;
+mod tape;
 mod update;
 
 pub use arena::{ArenaStats, ScratchArena};
@@ -80,6 +81,7 @@ pub use exec::{encode, parity_consistent, Decoder, DecoderConfig, VerifyReport};
 pub use logtable::{LogTable, LogTableRow};
 pub use partition::{ParallelismCase, Partition, SubSystem};
 pub use plan::{CalcSequence, DecodePlan, Strategy};
-pub use service::{BatchReport, RepairService};
+pub use service::{BatchReport, ExecMode, RepairService};
 pub use stats::{ExecStats, SubPlanStats, UpdateStats, VerifyStats};
+pub use tape::PlanTape;
 pub use update::UpdatePlan;

@@ -15,6 +15,7 @@ use ppm_codes::FailureScenario;
 use ppm_gf::{Backend, GfWord, RegionMul};
 use ppm_matrix::Matrix;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// The two orders in which `F⁻¹ · S · BS` can be evaluated (paper §II-B).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -182,13 +183,17 @@ pub(crate) struct SubPlan<W: GfWord> {
 }
 
 /// Precomputed [`RegionMul`] per distinct coefficient of a plan.
+///
+/// Kernels are held behind `Arc` so derived plans ([`DecodePlan::
+/// restrict_to`]) and compiled tapes ([`crate::tape::PlanTape`]) share
+/// the parent's multiplication tables instead of rebuilding them.
 #[derive(Debug)]
 pub(crate) struct RegionCache<W: GfWord> {
-    map: HashMap<u64, RegionMul<W>>,
+    map: HashMap<u64, Arc<RegionMul<W>>>,
 }
 
 impl<W: GfWord> RegionCache<W> {
-    fn build(coeffs: impl Iterator<Item = W>, backend: Backend) -> Self {
+    pub(crate) fn build(coeffs: impl Iterator<Item = W>, backend: Backend) -> Self {
         let mut map = HashMap::new();
         for c in coeffs {
             // Checked construction: each multiplier probes its dispatched
@@ -196,7 +201,24 @@ impl<W: GfWord> RegionCache<W> {
             // per region op) and demotes itself to scalar on a mismatch,
             // so a faulty SIMD unit degrades throughput instead of bytes.
             map.entry(c.to_u64())
-                .or_insert_with(|| RegionMul::new_checked(c, backend));
+                .or_insert_with(|| Arc::new(RegionMul::new_checked(c, backend)));
+        }
+        RegionCache { map }
+    }
+
+    /// A cache for the subset `coeffs`, sharing this cache's kernels: a
+    /// restricted plan's coefficients all come from parent programs, so
+    /// restriction never rebuilds a table the parent already owns. (A
+    /// coefficient the parent somehow lacks is built fresh rather than
+    /// panicking.)
+    fn share(&self, coeffs: impl Iterator<Item = W>, backend: Backend) -> Self {
+        let mut map = HashMap::new();
+        for c in coeffs {
+            let key = c.to_u64();
+            map.entry(key).or_insert_with(|| match self.map.get(&key) {
+                Some(kernel) => Arc::clone(kernel),
+                None => Arc::new(RegionMul::new_checked(c, backend)),
+            });
         }
         RegionCache { map }
     }
@@ -204,6 +226,12 @@ impl<W: GfWord> RegionCache<W> {
     /// Looks up the multiplier for `c` (must have been collected at build).
     pub(crate) fn get(&self, c: W) -> &RegionMul<W> {
         &self.map[&c.to_u64()]
+    }
+
+    /// Like [`RegionCache::get`], but hands out a shared handle — the tape
+    /// compiler embeds these in its instructions.
+    pub(crate) fn get_arc(&self, c: W) -> Arc<RegionMul<W>> {
+        Arc::clone(&self.map[&c.to_u64()])
     }
 }
 
@@ -236,6 +264,10 @@ pub struct DecodePlan<W: GfWord> {
     /// (they do not materialize the full stripe, so no full parity
     /// equation can be checked).
     pub(crate) surplus: Option<Vec<SurplusRow<W>>>,
+    /// Lazily compiled linear instruction tape (see [`crate::tape`]).
+    /// Filled at most once; [`PlanCache`](crate::PlanCache) compiles it
+    /// at insert time so warm hits execute pure region arithmetic.
+    pub(crate) tape: OnceLock<crate::tape::PlanTape<W>>,
 }
 
 /// One surplus parity-check row: its global `H` row index and the
@@ -446,6 +478,7 @@ impl<W: GfWord> DecodePlan<W> {
             cost,
             predicted: None,
             surplus: Some(surplus),
+            tape: OnceLock::new(),
         })
     }
 
@@ -545,7 +578,7 @@ impl<W: GfWord> DecodePlan<W> {
         DecodePlan {
             phase_a,
             phase_b,
-            regions: RegionCache::build(coeffs.into_iter(), self.backend),
+            regions: self.regions.share(coeffs.into_iter(), self.backend),
             total_sectors: self.total_sectors,
             faulty,
             strategy: self.strategy,
@@ -557,7 +590,18 @@ impl<W: GfWord> DecodePlan<W> {
             // A restricted decode leaves unwanted faulty sectors erased,
             // so no full parity equation can be evaluated afterwards.
             surplus: None,
+            tape: OnceLock::new(),
         }
+    }
+
+    /// The plan's compiled instruction tape, compiling it on first use.
+    ///
+    /// [`PlanCache`](crate::PlanCache) calls this at insert time, so a
+    /// warm cache hit always finds the tape ready; calling it again is a
+    /// cheap read of the `OnceLock`.
+    pub fn ensure_tape(&self) -> &crate::tape::PlanTape<W> {
+        self.tape
+            .get_or_init(|| crate::tape::PlanTape::compile(self))
     }
 
     /// The degree of parallelism `p`: how many independent sub-matrices
@@ -871,6 +915,30 @@ mod tests {
         let none = full.restrict_to(&[0, 1]);
         assert_eq!(none.mult_xors(), 0);
         assert_eq!(none.parallelism(), 0);
+    }
+
+    /// Restriction shares the parent's region kernels: every coefficient
+    /// of a restricted plan resolves to the *same* `RegionMul` allocation
+    /// the parent owns — no multiplication table is rebuilt.
+    #[test]
+    fn restrict_to_shares_parent_kernels() {
+        let (h, sc) = paper_case();
+        let full = DecodePlan::build(&h, &sc, Strategy::PpmNormalRest, Backend::Scalar).unwrap();
+        for wanted in [&[2][..], &[13], &[2, 6, 10, 13, 14]] {
+            let restricted = full.restrict_to(wanted);
+            assert!(!restricted.regions.map.is_empty(), "{wanted:?}");
+            for (key, kernel) in &restricted.regions.map {
+                let parent = full
+                    .regions
+                    .map
+                    .get(key)
+                    .expect("restricted coefficient must come from the parent");
+                assert!(
+                    Arc::ptr_eq(kernel, parent),
+                    "kernel for coefficient {key:#x} was rebuilt on restriction"
+                );
+            }
+        }
     }
 
     /// The Algorithm 1 fast path must yield plans with identical cost and

@@ -36,6 +36,24 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
+/// Which execution path the session's decode entry points take for a
+/// warm (cached) plan.
+///
+/// The default, [`ExecMode::Tape`], replays the plan's compiled
+/// instruction tape ([`crate::PlanTape`]) — a flat run of fused region
+/// ops with a precomputed scratch layout. [`ExecMode::Graph`] is the
+/// escape hatch back to the interpretive per-term graph walker; both
+/// paths are bit-identical and keep the same mult_XORs ledger, so the
+/// switch is purely about dispatch overhead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Replay the compiled instruction tape (default).
+    #[default]
+    Tape,
+    /// Walk the plan's term graph per decode.
+    Graph,
+}
+
 /// A long-lived repair session for one erasure code.
 ///
 /// The service is generic over the code (`&dyn ErasureCode<W>` works via
@@ -87,6 +105,7 @@ pub struct RepairService<W: GfWord, C: ErasureCode<W>> {
     /// session, like one plan build per erasure signature).
     update_plan: OnceLock<Arc<UpdatePlan<W>>>,
     strategy: Strategy,
+    exec: ExecMode,
     /// The code's declared erasure budget
     /// ([`ErasureCode::fault_tolerance`]), captured once: erasure
     /// escalation never promotes a scenario past this many sectors.
@@ -113,6 +132,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
             arena: ScratchArena::new(),
             update_plan: OnceLock::new(),
             strategy: Strategy::PpmAuto,
+            exec: ExecMode::Tape,
             tolerance,
         }
     }
@@ -123,6 +143,16 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     /// the cache holding both).
     pub fn with_strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Sets the execution path used for decodes: [`ExecMode::Tape`]
+    /// (default) replays the compiled instruction tape, while
+    /// [`ExecMode::Graph`] is the escape hatch back to the per-term
+    /// graph walker. Both produce bit-identical bytes and identical
+    /// op counts.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec = mode;
         self
     }
 
@@ -150,6 +180,11 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     /// The strategy requested for plan builds.
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+
+    /// The execution path used for decodes.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec
     }
 
     /// Cumulative plan-cache counters.
@@ -188,8 +223,23 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
             .get_or_build(key, || DecodePlan::build(h, scenario, strategy, backend))
     }
 
+    /// Decodes one stripe through `decoder` on the session's configured
+    /// execution mode, borrowing scratch from the shared arena.
+    fn decode_via(
+        &self,
+        decoder: &Decoder,
+        plan: &DecodePlan<W>,
+        stripe: &mut Stripe,
+    ) -> Result<ExecStats, DecodeError> {
+        match self.exec {
+            ExecMode::Tape => decoder.decode_tape_with_stats_in(plan, stripe, &self.arena),
+            ExecMode::Graph => decoder.decode_with_stats_in(plan, stripe, &self.arena),
+        }
+    }
+
     /// Repairs one stripe in place: plans (or re-uses the cached plan
-    /// for) `scenario`, decodes through the arena, and returns the
+    /// for) `scenario`, decodes through the arena on the configured
+    /// [`ExecMode`] (instruction tape by default), and returns the
     /// instrumented stats with the cache counters attached.
     pub fn repair(
         &self,
@@ -197,9 +247,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
         scenario: &FailureScenario,
     ) -> Result<ExecStats, DecodeError> {
         let (plan, _) = self.plan_for(scenario)?;
-        let mut stats = self
-            .decoder
-            .decode_with_stats_in(&plan, stripe, &self.arena)?;
+        let mut stats = self.decode_via(&self.decoder, &plan, stripe)?;
         self.attach_counters(&mut stats);
         Ok(stats)
     }
@@ -266,9 +314,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
         // stripe as handed in.
         let baseline = stripe.clone();
         let (plan, _) = self.plan_for(scenario)?;
-        let mut stats = self
-            .decoder
-            .decode_with_stats_in(&plan, stripe, &self.arena)?;
+        let mut stats = self.decode_via(&self.decoder, &plan, stripe)?;
         let report = self.decoder.verify_in(&plan, stripe, &self.arena)?;
         let mut verify = VerifyStats {
             rows_available: plan.verify_rows(),
@@ -323,9 +369,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
                 }
                 attempts += 1;
                 let mut candidate = baseline.clone();
-                let esc_stats =
-                    self.decoder
-                        .decode_with_stats_in(&esc_plan, &mut candidate, &self.arena)?;
+                let esc_stats = self.decode_via(&self.decoder, &esc_plan, &mut candidate)?;
                 let esc_report = self.decoder.verify_in(&esc_plan, &candidate, &self.arena)?;
                 verify.passes += 1;
                 accumulate_extra(&mut verify.extra, &esc_stats, &esc_report);
@@ -496,6 +540,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
                 full_reencode: false,
                 dirty_bytes,
             }),
+            tape: false,
             total_nanos: started.elapsed().as_nanos(),
         };
         self.attach_counters(&mut stats);
@@ -563,11 +608,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
                         scope.spawn(move || {
                             let mut out = Vec::with_capacity(chunk_stripes.len());
                             for stripe in chunk_stripes.iter_mut() {
-                                out.push(self.serial.decode_with_stats_in(
-                                    plan,
-                                    stripe,
-                                    &self.arena,
-                                )?);
+                                out.push(self.decode_via(&self.serial, plan, stripe)?);
                             }
                             Ok(out)
                         })
@@ -584,10 +625,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
             workers_used = 1;
             stats = Vec::with_capacity(total);
             for stripe in stripes.iter_mut() {
-                stats.push(
-                    self.decoder
-                        .decode_with_stats_in(&plan, stripe, &self.arena)?,
-                );
+                stats.push(self.decode_via(&self.decoder, &plan, stripe)?);
             }
         }
         let cache = self.cache.stats();
@@ -653,11 +691,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
                             let Some((index, mut stripe)) = next else {
                                 break;
                             };
-                            match worker_decoder.decode_with_stats_in(
-                                plan,
-                                &mut stripe,
-                                &self.arena,
-                            ) {
+                            match self.decode_via(worker_decoder, plan, &mut stripe) {
                                 Ok(stats) => out.push((index, stripe, stats)),
                                 Err(e) => {
                                     failed.store(true, Ordering::Relaxed);
@@ -817,6 +851,51 @@ mod tests {
         }
         // Warm rounds recycled buffers instead of allocating.
         assert!(svc.arena().reuses() > 0);
+
+        // Graph-path steady state: a warm repair of the paper case takes
+        // exactly 6 arena buffers — 3 matrix-first outputs in phase A,
+        // then 1 flat t-term scratch + 2 outputs for the Normal H_rest —
+        // and every one of them is a reuse, not a fresh allocation.
+        let graph = service(1).with_exec_mode(ExecMode::Graph);
+        assert_eq!(graph.exec_mode(), ExecMode::Graph);
+        for _ in 0..2 {
+            let mut broken = pristine.clone();
+            broken.erase(&scenario);
+            graph.repair(&mut broken, &scenario).unwrap();
+            assert_eq!(broken, pristine);
+        }
+        let before = graph.arena().stats();
+        let mut broken = pristine.clone();
+        broken.erase(&scenario);
+        graph.repair(&mut broken, &scenario).unwrap();
+        assert_eq!(broken, pristine);
+        let after = graph.arena().stats();
+        assert_eq!(after.fresh, before.fresh, "steady state allocates nothing");
+        assert_eq!(after.reused - before.reused, 6, "one take per buffer role");
+    }
+
+    #[test]
+    fn tape_and_graph_repairs_are_bit_identical() {
+        let tape = service(2);
+        let graph = service(2).with_exec_mode(ExecMode::Graph);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut stripe = random_data_stripe(tape.code(), 96, &mut rng);
+        tape.encode(&mut stripe).unwrap();
+        let pristine = stripe.clone();
+        let scenario = FailureScenario::new(vec![2, 6, 10, 13, 14]);
+
+        let mut via_tape = pristine.clone();
+        via_tape.erase(&scenario);
+        let t = tape.repair(&mut via_tape, &scenario).unwrap();
+        let mut via_graph = pristine.clone();
+        via_graph.erase(&scenario);
+        let g = graph.repair(&mut via_graph, &scenario).unwrap();
+
+        assert_eq!(via_tape, pristine);
+        assert_eq!(via_graph, pristine);
+        assert!(t.tape && !g.tape);
+        assert!(t.matches_prediction() && g.matches_prediction());
+        assert_eq!(t.executed_mult_xors(), g.executed_mult_xors());
     }
 
     #[test]

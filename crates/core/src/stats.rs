@@ -216,6 +216,10 @@ pub struct ExecStats {
     /// [`RepairService::apply_update`](crate::RepairService::apply_update)
     /// or the `ppm-update` engine (decodes leave this `None`).
     pub update: Option<UpdateStats>,
+    /// Whether the decode replayed the plan's compiled instruction tape
+    /// (see [`crate::PlanTape`]) instead of walking the term graph. The
+    /// ledger semantics are identical either way.
+    pub tape: bool,
 }
 
 impl ExecStats {
@@ -352,6 +356,7 @@ impl ExecStats {
             Some(u) => push_kv(&mut out, "update", &u.to_json()),
             None => push_kv(&mut out, "update", "null"),
         }
+        push_kv(&mut out, "tape", if self.tape { "true" } else { "false" });
         // Drop the trailing comma push_kv left behind.
         out.pop();
         out.push('}');
@@ -413,6 +418,7 @@ mod tests {
             total_nanos: 600,
             verify: None,
             update: None,
+            tape: false,
         }
     }
 

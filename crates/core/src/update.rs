@@ -21,6 +21,7 @@ use ppm_gf::{Backend, GfWord, RegionMul, RegionStats};
 use ppm_matrix::Matrix;
 use ppm_stripe::Stripe;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A precomputed small-write planner for one code instance.
 ///
@@ -53,7 +54,12 @@ pub struct UpdatePlan<W: GfWord> {
     data_index: Vec<Option<usize>>,
     /// `gen[q][j]`: coefficient of data column `j` in parity `q`.
     gen: Matrix<W>,
-    regions: HashMap<u64, RegionMul<W>>,
+    /// The write's delta plan, lowered at build time: per data column
+    /// `j`, the `(parity_sector, kernel)` patches a write to `j` applies
+    /// — the non-zero entries of `gen`'s column `j` with their region
+    /// kernels resolved, so the flush hot path walks a flat list instead
+    /// of scanning the generator and hashing coefficients per patch.
+    patches: Vec<Vec<(usize, Arc<RegionMul<W>>)>>,
 }
 
 impl<W: GfWord> UpdatePlan<W> {
@@ -79,22 +85,38 @@ impl<W: GfWord> UpdatePlan<W> {
         for (j, &d) in data.iter().enumerate() {
             data_index[d] = Some(j);
         }
-        let mut regions = HashMap::new();
+        let mut regions: HashMap<u64, Arc<RegionMul<W>>> = HashMap::new();
         for q in 0..gen.rows() {
             for &c in gen.row(q) {
                 if c != W::ZERO {
                     regions
                         .entry(c.to_u64())
-                        .or_insert_with(|| RegionMul::new(c, backend));
+                        .or_insert_with(|| Arc::new(RegionMul::new(c, backend)));
                 }
             }
+        }
+        let mut patches = Vec::with_capacity(gen.cols());
+        for j in 0..gen.cols() {
+            let mut list = Vec::new();
+            for (q, &p) in parity.iter().enumerate() {
+                let c = gen.get(q, j);
+                if c == W::ZERO {
+                    continue;
+                }
+                let kernel = regions.get(&c.to_u64()).ok_or(RepairError::Unrecoverable {
+                    needed: parity.len(),
+                    rank: 0,
+                })?;
+                list.push((p, Arc::clone(kernel)));
+            }
+            patches.push(list);
         }
         Ok(UpdatePlan {
             total_sectors: h.cols(),
             parity,
             data_index,
             gen,
-            regions,
+            patches,
         })
     }
 
@@ -127,9 +149,7 @@ impl<W: GfWord> UpdatePlan<W> {
     /// Rejects out-of-range and parity sectors.
     pub fn update_mult_xors(&self, data_sector: usize) -> Result<usize, RepairError> {
         let j = self.data_column(data_sector)?;
-        Ok((0..self.gen.rows())
-            .filter(|&q| self.gen.get(q, j) != W::ZERO)
-            .count())
+        Ok(self.patches.get(j).map_or(0, Vec::len))
     }
 
     /// Writes `new_data` into `data_sector` and patches every dependent
@@ -191,23 +211,14 @@ impl<W: GfWord> UpdatePlan<W> {
         ppm_gf::xor_region(stripe.sector(data_sector), delta_scratch);
         stripe.write_sector(data_sector, new_data);
 
-        let mut patched = 0;
-        for (q, &p) in self.parity.iter().enumerate() {
-            let c = self.gen.get(q, j);
-            if c == W::ZERO {
-                continue;
-            }
-            let region = self
-                .regions
-                .get(&c.to_u64())
-                .ok_or(RepairError::Unrecoverable {
-                    needed: self.parity.len(),
-                    rank: 0,
-                })?;
-            region.mul_xor_with(delta_scratch, stripe.sector_mut(p), sink);
-            patched += 1;
+        let patch_list = self.patches.get(j).ok_or(RepairError::Unrecoverable {
+            needed: self.parity.len(),
+            rank: 0,
+        })?;
+        for (p, kernel) in patch_list {
+            kernel.mul_xor_with(delta_scratch, stripe.sector_mut(*p), sink);
         }
-        Ok(patched)
+        Ok(patch_list.len())
     }
 
     /// Applies several updates in sequence (later writes to the same
@@ -412,6 +423,35 @@ mod tests {
             &stripe,
             Backend::Scalar
         ));
+    }
+
+    #[test]
+    fn patch_lists_match_generator_and_share_kernels() {
+        let code = LrcCode::<u8>::new(6, 2, 2, 4).unwrap();
+        let plan = UpdatePlan::build(&code, Backend::Scalar).unwrap();
+        for (j, list) in plan.patches.iter().enumerate() {
+            // The lowered list is exactly the non-zero generator column,
+            // in parity order, with coefficients preserved.
+            let expect: Vec<(usize, u8)> = plan
+                .parity
+                .iter()
+                .enumerate()
+                .filter_map(|(q, &p)| {
+                    let c = plan.gen.get(q, j);
+                    (c != 0).then_some((p, c))
+                })
+                .collect();
+            let got: Vec<(usize, u8)> = list.iter().map(|(p, k)| (*p, k.constant())).collect();
+            assert_eq!(got, expect, "column {j}");
+        }
+        // Kernels are deduplicated plan-wide: every patch with the same
+        // coefficient shares one table, across columns and parities.
+        let mut canon: HashMap<u8, &Arc<RegionMul<u8>>> = HashMap::new();
+        for (_, kernel) in plan.patches.iter().flatten() {
+            let first = canon.entry(kernel.constant()).or_insert(kernel);
+            assert!(Arc::ptr_eq(kernel, first));
+        }
+        assert!(canon.len() > 1, "instance exercises several coefficients");
     }
 
     #[test]

@@ -257,6 +257,141 @@ impl<W: GfWord> RegionMul<W> {
         }
         scalar_apply::<W>(&self.tables, src, dst, accumulate);
     }
+
+    /// [`RegionMul::mul_copy`], recording the operation into `stats`.
+    ///
+    /// The ledger entry is identical to [`RegionMul::mul_xor_with`]'s —
+    /// overwriting and accumulating are the same table pass over the
+    /// same bytes, so a run-head overwrite counts exactly like the XOR
+    /// the graph walker would have issued into zeroed scratch.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or are not a multiple of the word size.
+    pub fn mul_copy_with(&self, src: &[u8], dst: &mut [u8], stats: &RegionStats) {
+        if self.kind != Kind::Zero {
+            stats.record_mult_xor(src.len(), self.kind == Kind::One);
+        }
+        self.mul_copy(src, dst);
+    }
+
+    /// `mul_xor`/`mul_copy` dispatch without the length check — the
+    /// fused entry points validate every term once up front and then
+    /// sweep the destination block by block, where the slicing
+    /// guarantees the invariant per block.
+    fn apply_unchecked(&self, src: &[u8], dst: &mut [u8], accumulate: bool) {
+        match self.kind {
+            Kind::Zero => {
+                if !accumulate {
+                    dst.fill(0);
+                }
+            }
+            Kind::One => {
+                if accumulate {
+                    xor_region(src, dst);
+                } else {
+                    dst.copy_from_slice(src);
+                }
+            }
+            Kind::Table => self.table_apply(src, dst, accumulate),
+        }
+    }
+}
+
+/// Destination block size for the fused accumulate sweep: small enough to
+/// stay resident in L1/L2 while every source term is applied to it, large
+/// enough to amortize loop overhead. A multiple of every word size (1, 2,
+/// 4 bytes).
+const FUSE_BLOCK_BYTES: usize = 256 * 1024;
+
+/// Fused multi-source accumulate: `dst ^= Σ aᵢ · srcᵢ` over all `terms`.
+///
+/// Semantically identical to calling [`RegionMul::mul_xor`] once per term
+/// (per-byte XOR accumulation is order-independent), but the destination
+/// is swept in [`FUSE_BLOCK_BYTES`] blocks with every term applied to a
+/// block before moving on — so for plans whose destinations are fed by
+/// several coefficients, `dst` is written from cache instead of streamed
+/// from memory once per term. This is the execution kernel behind the
+/// plan tape's fused instruction runs.
+///
+/// # Panics
+/// Panics if any source length differs from `dst` or is not a multiple of
+/// the word size.
+pub fn mul_xor_fused<W: GfWord>(terms: &[(&RegionMul<W>, &[u8])], dst: &mut [u8]) {
+    fused_sweep(terms, dst, true);
+}
+
+/// [`mul_xor_fused`] with the first term *overwriting* the destination:
+/// `dst = a₀ · src₀ ^ Σᵢ₌₁ aᵢ · srcᵢ`. With no terms, `dst` is zeroed
+/// (the empty sum).
+///
+/// This is the run-head kernel for compiled plan tapes: the tape knows
+/// each scratch slot's first write, so the head overwrites whatever the
+/// buffer held and the executor never needs zeroed scratch — dropping
+/// the arena's per-decode zeroing sweep.
+///
+/// # Panics
+/// Panics if any source length differs from `dst` or is not a multiple of
+/// the word size.
+pub fn mul_copy_fused<W: GfWord>(terms: &[(&RegionMul<W>, &[u8])], dst: &mut [u8]) {
+    if terms.is_empty() {
+        dst.fill(0);
+        return;
+    }
+    fused_sweep(terms, dst, false);
+}
+
+fn fused_sweep<W: GfWord>(terms: &[(&RegionMul<W>, &[u8])], dst: &mut [u8], accumulate: bool) {
+    for (rm, src) in terms {
+        rm.check(src, dst);
+    }
+    let mut off = 0;
+    while off < dst.len() {
+        let end = (off + FUSE_BLOCK_BYTES).min(dst.len());
+        for (i, (rm, src)) in terms.iter().enumerate() {
+            rm.apply_unchecked(&src[off..end], &mut dst[off..end], accumulate || i > 0);
+        }
+        off = end;
+    }
+}
+
+/// [`mul_xor_fused`], recording each term into `stats`.
+///
+/// The ledger is identical to the unfused loop: every non-zero term
+/// tallies one `mult_XORs` over the full region (coefficient-1 terms also
+/// tally a plain XOR); zero terms record nothing. Executors on the tape
+/// path therefore count exactly what the cost model predicted.
+///
+/// # Panics
+/// Panics if any source length differs from `dst` or is not a multiple of
+/// the word size.
+pub fn mul_xor_fused_with<W: GfWord>(
+    terms: &[(&RegionMul<W>, &[u8])],
+    dst: &mut [u8],
+    stats: &RegionStats,
+) {
+    for (rm, src) in terms {
+        rm.record_with(src.len(), stats);
+    }
+    mul_xor_fused(terms, dst);
+}
+
+/// [`mul_copy_fused`], recording each term into `stats` with the same
+/// ledger as [`mul_xor_fused_with`] — the overwriting head is the same
+/// table pass as an XOR into zeroed scratch, so executed == predicted
+/// is preserved.
+///
+/// # Panics
+/// Panics if any source length differs from `dst` or is not a multiple of
+/// the word size.
+pub fn mul_copy_fused_with<W: GfWord>(
+    terms: &[(&RegionMul<W>, &[u8])],
+    dst: &mut [u8],
+    stats: &RegionStats,
+) {
+    for (rm, src) in terms {
+        rm.record_with(src.len(), stats);
+    }
+    mul_copy_fused(terms, dst);
 }
 
 impl<W: GfWord> std::fmt::Debug for RegionMul<W> {
@@ -502,6 +637,108 @@ mod tests {
         xor_region_with(&src, &mut counted, &stats);
         assert_eq!((stats.mult_xors(), stats.plain_xors()), (2, 2));
         assert_eq!(stats.bytes(), 3 * 64);
+    }
+
+    #[test]
+    fn fused_accumulate_matches_per_term_loop() {
+        // Lengths straddling the fuse block boundary so both the one-block
+        // and multi-block sweeps are exercised.
+        for len in [
+            0usize,
+            64,
+            FUSE_BLOCK_BYTES,
+            FUSE_BLOCK_BYTES + 64,
+            3 * FUSE_BLOCK_BYTES,
+        ] {
+            let srcs: Vec<Vec<u8>> = (0..4).map(|i| pseudo_bytes(len, 50 + i)).collect();
+            let kernels = [
+                RegionMul::<u8>::new(0, Backend::Scalar),
+                RegionMul::<u8>::new(1, Backend::Scalar),
+                RegionMul::<u8>::new(0x1D, Backend::Scalar),
+                RegionMul::<u8>::new(0xAB, Backend::Scalar),
+            ];
+            let base = pseudo_bytes(len, 99);
+
+            let mut unfused = base.clone();
+            for (rm, src) in kernels.iter().zip(&srcs) {
+                rm.mul_xor(src, &mut unfused);
+            }
+
+            let terms: Vec<(&RegionMul<u8>, &[u8])> = kernels
+                .iter()
+                .zip(&srcs)
+                .map(|(rm, src)| (rm, src.as_slice()))
+                .collect();
+            let mut fused = base.clone();
+            mul_xor_fused(&terms, &mut fused);
+            assert_eq!(fused, unfused, "len={len}");
+
+            // Counted variant: same bytes, same ledger as the per-term loop.
+            let stats = RegionStats::new();
+            let mut counted = base.clone();
+            mul_xor_fused_with(&terms, &mut counted, &stats);
+            assert_eq!(counted, unfused, "len={len}");
+            // 3 non-zero terms, of which the coefficient-1 term is a plain XOR.
+            assert_eq!((stats.mult_xors(), stats.plain_xors()), (3, 1));
+            assert_eq!(stats.bytes(), 3 * len as u64);
+        }
+    }
+
+    #[test]
+    fn copy_fused_overwrites_stale_destination() {
+        // The overwrite-head variant must produce, on a garbage-filled
+        // destination, exactly what the accumulate variant produces on a
+        // zeroed one — that is the contract that lets the tape executor
+        // take unzeroed scratch.
+        for len in [0usize, 64, FUSE_BLOCK_BYTES + 64] {
+            let srcs: Vec<Vec<u8>> = (0..3).map(|i| pseudo_bytes(len, 70 + i)).collect();
+            let kernels = [
+                RegionMul::<u8>::new(0x1D, Backend::Scalar),
+                RegionMul::<u8>::new(1, Backend::Scalar),
+                RegionMul::<u8>::new(0xAB, Backend::Scalar),
+            ];
+            let terms: Vec<(&RegionMul<u8>, &[u8])> = kernels
+                .iter()
+                .zip(&srcs)
+                .map(|(rm, src)| (rm, src.as_slice()))
+                .collect();
+
+            let mut reference = vec![0u8; len];
+            mul_xor_fused(&terms, &mut reference);
+
+            let mut dirty = pseudo_bytes(len, 123);
+            mul_copy_fused(&terms, &mut dirty);
+            assert_eq!(dirty, reference, "len={len}");
+
+            // Counted variant: identical bytes and identical ledger.
+            let stats = RegionStats::new();
+            let mut counted = pseudo_bytes(len, 45);
+            mul_copy_fused_with(&terms, &mut counted, &stats);
+            assert_eq!(counted, reference, "len={len}");
+            assert_eq!((stats.mult_xors(), stats.plain_xors()), (3, 1));
+
+            // Single-term head via mul_copy_with: same contract.
+            let mut single = pseudo_bytes(len, 46);
+            let head_stats = RegionStats::new();
+            kernels[0].mul_copy_with(&srcs[0], &mut single, &head_stats);
+            let mut single_ref = vec![0u8; len];
+            kernels[0].mul_xor(&srcs[0], &mut single_ref);
+            assert_eq!(single, single_ref, "len={len}");
+            assert_eq!(head_stats.mult_xors(), 1);
+
+            // No terms: the empty sum, i.e. a zeroed destination.
+            let mut empty = pseudo_bytes(len, 47);
+            mul_copy_fused::<u8>(&[], &mut empty);
+            assert_eq!(empty, vec![0u8; len]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "region length mismatch")]
+    fn fused_length_mismatch_panics() {
+        let rm = RegionMul::<u8>::new(3, Backend::Scalar);
+        let src = [0u8; 4];
+        mul_xor_fused(&[(&rm, &src[..])], &mut [0u8; 8]);
     }
 
     #[test]

@@ -65,9 +65,9 @@
 use ppm::update::trace::{parse_trace, synthesize, SynthKind, TraceOp};
 use ppm::{
     encode, parity_consistent, Backend, Decoder, DecoderConfig, EngineConfig, ErasureCode,
-    EvenOddCode, EvictionPolicy, ExecStats, FailureScenario, FaultInjector, FlushMode, LrcCode,
-    PmdsCode, RdpCode, RepairService, RsCode, SdCode, StarCode, Strategy, Stripe, StripeLayout,
-    UpdateEngine,
+    EvenOddCode, EvictionPolicy, ExecMode, ExecStats, FailureScenario, FaultInjector, FlushMode,
+    LrcCode, PmdsCode, RdpCode, RepairService, RsCode, SdCode, StarCode, Strategy, Stripe,
+    StripeLayout, UpdateEngine,
 };
 use std::fs;
 use std::io::{Read, Write};
@@ -461,7 +461,8 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
     let (flags, pos) = split_flags(args);
     let [dir] = pos.as_slice() else {
         return Err(
-            "usage: repair <dir> [--threads T] [--workers N] [--stats] [--cache] [--verify] [--inject SEED]"
+            "usage: repair <dir> [--threads T] [--workers N] [--stats] [--cache] [--verify] \
+             [--inject SEED] [--tape|--no-tape]"
                 .into(),
         );
     };
@@ -481,6 +482,14 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
     let want_stats = flags.contains_key("stats");
     let mut agg = StatsAgg::default();
 
+    // Execution path: compiled instruction tape by default, --no-tape
+    // falls back to the per-term graph walker (bit-identical output).
+    let exec = match (flags.contains_key("tape"), flags.contains_key("no-tape")) {
+        (true, true) => return Err("--tape and --no-tape are mutually exclusive".into()),
+        (_, true) => ExecMode::Graph,
+        _ => ExecMode::Tape,
+    };
+
     let inject_seed = match flags.get("inject") {
         Some(v) => Some(
             v.parse::<u64>()
@@ -496,7 +505,9 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
                     .into(),
             );
         }
-        return repair_workers(&archive, dyn_code, config, &scenario, want_stats, workers);
+        return repair_workers(
+            &archive, dyn_code, config, &scenario, want_stats, workers, exec,
+        );
     }
     if flags.contains_key("verify") {
         return repair_verified(
@@ -506,6 +517,7 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
             &scenario,
             want_stats,
             inject_seed,
+            exec,
         );
     }
     if inject_seed.is_some() {
@@ -520,16 +532,17 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
         // Session path: the RepairService caches the plan by erasure
         // signature and recycles decode buffers, so stripes 1..N re-use
         // stripe 0's factorization.
-        let service = RepairService::new(dyn_code, config);
+        let service = RepairService::new(dyn_code, config).with_exec_mode(exec);
         let (plan, _) = service
             .plan_for(&scenario)
             .map_err(|e| format!("unrepairable: {e}"))?;
         println!(
-            "repairing {} lost sectors/stripe (strategy {:?}, parallelism {}, {} mult_XORs/stripe, cached plan)",
+            "repairing {} lost sectors/stripe (strategy {:?}, parallelism {}, {} mult_XORs/stripe, cached plan, {:?} execution)",
             scenario.len(),
             plan.strategy(),
             plan.parallelism(),
-            plan.mult_xors()
+            plan.mult_xors(),
+            exec
         );
         let predicted = plan.mult_xors();
         drop(plan);
@@ -580,14 +593,18 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
             return Err(format!("stripe {s}: inconsistent failure pattern"));
         }
         if want_stats {
-            let st = decoder
-                .decode_with_stats(&plan, &mut stripe)
-                .map_err(|e| e.to_string())?;
+            let st = match exec {
+                ExecMode::Tape => decoder.decode_tape_with_stats(&plan, &mut stripe),
+                ExecMode::Graph => decoder.decode_with_stats(&plan, &mut stripe),
+            }
+            .map_err(|e| e.to_string())?;
             agg.add(&st);
         } else {
-            decoder
-                .decode(&plan, &mut stripe)
-                .map_err(|e| e.to_string())?;
+            match exec {
+                ExecMode::Tape => decoder.decode_tape(&plan, &mut stripe),
+                ExecMode::Graph => decoder.decode(&plan, &mut stripe),
+            }
+            .map_err(|e| e.to_string())?;
         }
         archive
             .write_stripe(s, &stripe)
@@ -612,8 +629,9 @@ fn repair_workers(
     scenario: &FailureScenario,
     want_stats: bool,
     workers: usize,
+    exec: ExecMode,
 ) -> Result<(), String> {
-    let service = RepairService::new(dyn_code, config);
+    let service = RepairService::new(dyn_code, config).with_exec_mode(exec);
     let (plan, _) = service
         .plan_for(scenario)
         .map_err(|e| format!("unrepairable: {e}"))?;
@@ -684,8 +702,9 @@ fn repair_verified(
     scenario: &FailureScenario,
     want_stats: bool,
     inject_seed: Option<u64>,
+    exec: ExecMode,
 ) -> Result<(), String> {
-    let service = RepairService::new(dyn_code, config);
+    let service = RepairService::new(dyn_code, config).with_exec_mode(exec);
     let (plan, _) = service
         .plan_for(scenario)
         .map_err(|e| format!("unrepairable: {e}"))?;
@@ -1000,7 +1019,7 @@ fn split_flags(args: &[String]) -> (std::collections::HashMap<String, String>, V
     let mut flags = std::collections::HashMap::new();
     let mut pos = Vec::new();
     // Flags that take no value; everything else consumes the next token.
-    const BOOLEAN: &[&str] = &["stats", "cache", "verify", "naive"];
+    const BOOLEAN: &[&str] = &["stats", "cache", "verify", "naive", "tape", "no-tape"];
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {

@@ -67,9 +67,9 @@ pub use ppm_codes::{
 };
 pub use ppm_core::{
     cost, encode, parity_consistent, ArenaStats, BatchReport, CalcSequence, DecodeError,
-    DecodePlan, Decoder, DecoderConfig, ExecStats, LogTable, ParallelismCase, Partition, PlanCache,
-    PlanCacheStats, PlanKey, RepairError, RepairService, ScratchArena, Strategy, SubPlanStats,
-    UpdatePlan, UpdateStats, VerifyReport, VerifyStats,
+    DecodePlan, Decoder, DecoderConfig, ExecMode, ExecStats, LogTable, ParallelismCase, Partition,
+    PlanCache, PlanCacheStats, PlanKey, PlanTape, RepairError, RepairService, ScratchArena,
+    Strategy, SubPlanStats, UpdatePlan, UpdateStats, VerifyReport, VerifyStats,
 };
 pub use ppm_faults::{BitFlip, FaultInjector};
 pub use ppm_gf::{Backend, GfWord, RegionMul};

@@ -1,0 +1,208 @@
+//! Differential suite for the compiled instruction tape: on every code
+//! family of the evaluation (SD, PMDS, LRC, RS), across thread budgets
+//! and GF backends, the tape executor must be bit-identical to the
+//! per-term graph walker — for decode, for surplus-row verification,
+//! and for the lowered delta-update path — with executed mult_XORs
+//! equal to the planner's prediction on both sides.
+//!
+//! The workload seed is read from `PPM_SEED` (default 2015) so CI can
+//! run this under a seed matrix without recompiling.
+
+use ppm::stripe::random_data_stripe;
+use ppm::{
+    encode, parity_consistent, Backend, Decoder, DecoderConfig, ErasureCode, FailureScenario,
+    LrcCode, PmdsCode, RepairService, RsCode, SdCode, Strategy, Stripe, UpdatePlan,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn seed_from_env() -> u64 {
+    std::env::var("PPM_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2015)
+}
+
+/// The full configuration grid every scenario is checked under.
+const GRID: &[(usize, Backend)] = &[
+    (1, Backend::Scalar),
+    (1, Backend::Auto),
+    (4, Backend::Scalar),
+    (4, Backend::Auto),
+];
+
+/// Runs all three differential legs for one `(code, scenario)` pair on
+/// every grid point. Returns whether the verify leg ran (it needs a
+/// plan with surplus parity-check rows).
+fn differential<C: ErasureCode<u8>>(code: &C, scenario: &FailureScenario, seed: u64) -> bool {
+    let h = code.parity_check_matrix();
+    assert_eq!(
+        h.select_columns(scenario.faulty()).rank(),
+        scenario.len(),
+        "scenario must be decodable"
+    );
+    let mut verified = false;
+    for &(threads, backend) in GRID {
+        let label = format!("threads={threads} backend={backend:?} faulty={scenario:?}");
+        let decoder = Decoder::new(DecoderConfig { threads, backend });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pristine = random_data_stripe(code, 256, &mut rng);
+        encode(code, &decoder, &mut pristine).expect("encode");
+        let plan = decoder.plan(&h, scenario, Strategy::PpmAuto).expect("plan");
+
+        // Decode leg: same bytes, same ledger, both matching prediction.
+        let mut via_graph = pristine.clone();
+        via_graph.erase(scenario);
+        let g = decoder
+            .decode_with_stats(&plan, &mut via_graph)
+            .expect("graph decode");
+        let mut via_tape = pristine.clone();
+        via_tape.erase(scenario);
+        let t = decoder
+            .decode_tape_with_stats(&plan, &mut via_tape)
+            .expect("tape decode");
+        assert_eq!(via_graph, pristine, "graph recovery ({label})");
+        assert_eq!(via_tape, pristine, "tape recovery ({label})");
+        assert!(t.tape && !g.tape, "stats label the path taken ({label})");
+        assert!(g.matches_prediction(), "graph ledger ({label})");
+        assert!(t.matches_prediction(), "tape ledger ({label})");
+        assert_eq!(
+            t.executed_mult_xors(),
+            g.executed_mult_xors(),
+            "identical op counts ({label})"
+        );
+
+        // Verify leg: clean on the recovered stripe, and the same rows
+        // flagged once a surviving sector is corrupted.
+        if plan.supports_verify() {
+            verified = true;
+            let rg = decoder.verify(&plan, &via_graph).expect("graph verify");
+            let rt = decoder.verify_tape(&plan, &via_tape).expect("tape verify");
+            assert!(rg.clean() && rt.clean(), "clean verify ({label})");
+            assert_eq!(rg.rows_checked, rt.rows_checked, "rows checked ({label})");
+
+            let victim = (0..plan.total_sectors())
+                .find(|s| !scenario.faulty().contains(s))
+                .expect("a surviving sector exists");
+            let mut corrupt = via_tape.clone();
+            corrupt.sector_mut(victim)[0] ^= 0x5A;
+            let rg = decoder.verify(&plan, &corrupt).expect("graph verify");
+            let rt = decoder.verify_tape(&plan, &corrupt).expect("tape verify");
+            assert_eq!(
+                rg.violated_rows, rt.violated_rows,
+                "identical violation report ({label})"
+            );
+        }
+
+        // Delta-update leg: the lowered patch lists must be
+        // indistinguishable from writing the data and fully re-encoding,
+        // with the patch count matching the update cost model.
+        delta_update_leg(code, &pristine, threads, backend, seed, &label);
+    }
+    verified
+}
+
+/// One small write through [`UpdatePlan`]'s lowered patch lists and
+/// through the session layer, checked against a full re-encode.
+fn delta_update_leg<C: ErasureCode<u8>>(
+    code: &C,
+    pristine: &Stripe,
+    threads: usize,
+    backend: Backend,
+    seed: u64,
+    label: &str,
+) {
+    let decoder = Decoder::new(DecoderConfig { threads, backend });
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A);
+    let data = code.data_sectors();
+    let d = data[rng.random_range(0..data.len())];
+    let mut new_data = vec![0u8; pristine.sector_bytes()];
+    rng.fill(new_data.as_mut_slice());
+
+    // Reference: write the sector and recompute every parity from scratch.
+    let mut reference = pristine.clone();
+    reference.write_sector(d, &new_data);
+    encode(code, &decoder, &mut reference).expect("re-encode");
+
+    let up = UpdatePlan::build(code, backend).expect("update plan");
+    let mut patched = pristine.clone();
+    up.apply(&mut patched, d, &new_data).expect("apply");
+    assert_eq!(patched, reference, "patched == re-encoded ({label})");
+    assert!(
+        parity_consistent(&code.parity_check_matrix(), &patched, backend),
+        "parity consistent ({label})"
+    );
+
+    // Session path: counted patches must match the update cost model.
+    let service = RepairService::new(code, DecoderConfig { threads, backend });
+    let mut via_service = pristine.clone();
+    let st = service
+        .apply_update(&mut via_service, &[(d, new_data.as_slice())])
+        .expect("session update");
+    assert_eq!(via_service, reference, "session patch ({label})");
+    assert!(st.matches_prediction(), "update ledger ({label})");
+    assert_eq!(
+        st.predicted_mult_xors,
+        up.update_mult_xors(d).expect("cost"),
+        "prediction is the per-sector update cost ({label})"
+    );
+}
+
+/// A light scenario (single lost data sector) that always leaves
+/// surplus parity-check rows, so the verify leg runs.
+fn light_scenario<C: ErasureCode<u8>>(code: &C) -> FailureScenario {
+    let d = code.data_sectors()[0];
+    FailureScenario::new(vec![d])
+}
+
+#[test]
+fn sd_tape_matches_graph() {
+    let seed = seed_from_env();
+    let code = SdCode::<u8>::new(6, 4, 2, 1, vec![1, 2, 4]).expect("code");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let worst = code
+        .decodable_worst_case(1, &mut rng, 300)
+        .expect("worst case");
+    differential(&code, &worst, seed);
+    assert!(differential(&code, &light_scenario(&code), seed));
+}
+
+#[test]
+fn pmds_tape_matches_graph() {
+    let seed = seed_from_env();
+    let code = PmdsCode::<u8>::new(6, 4, 2, 1, vec![1, 2, 4]).expect("code");
+    let h = code.parity_check_matrix();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Scattered patterns are only guaranteed decodable for searched
+    // coefficients; draw until one is (the rank check in differential
+    // re-asserts it).
+    let scattered = (0..100)
+        .map(|_| code.scattered_scenario(&mut rng))
+        .find(|sc| h.select_columns(sc.faulty()).rank() == sc.len())
+        .expect("a decodable scattered scenario within budget");
+    differential(&code, &scattered, seed);
+    assert!(differential(&code, &light_scenario(&code), seed));
+}
+
+#[test]
+fn lrc_tape_matches_graph() {
+    let seed = seed_from_env();
+    let code = LrcCode::<u8>::new(6, 2, 2, 4).expect("code");
+    let h = code.parity_check_matrix();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spread = (0..100)
+        .map(|_| code.spread_disk_failures(&mut rng))
+        .find(|sc| h.select_columns(sc.faulty()).rank() == sc.len())
+        .expect("a decodable spread outage within budget");
+    differential(&code, &spread, seed);
+    assert!(differential(&code, &light_scenario(&code), seed));
+}
+
+#[test]
+fn rs_tape_matches_graph() {
+    let seed = seed_from_env();
+    let code = RsCode::<u8>::new(5, 3, 4).expect("code");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let disks = code.random_disk_failures(3, &mut rng);
+    differential(&code, &disks, seed);
+    assert!(differential(&code, &light_scenario(&code), seed));
+}
