@@ -1,0 +1,133 @@
+//! Repair network bandwidth: partial-block repair vs ship-everything.
+//!
+//! For every code family of the evaluation (SD, PMDS, LRC, RS), run the
+//! same simulated cluster repair job twice through `ppm_cluster::run_sim`
+//! — once in `Partial` mode (wire plans travel to the workers, only
+//! phase-B partial-sum blocks and recovered sectors cross the wire) and
+//! once in `Naive` mode (every surviving sector ships to the
+//! coordinator, recovered sectors ship back) — and compare total bytes
+//! moved. Both runs must repair bit-identically to the single-node
+//! reference; the partial run must move strictly fewer bytes at every
+//! geometry. Results land in `BENCH_repair_bandwidth.json`.
+//!
+//! `cargo run --release -p ppm-bench --bin repair_bandwidth [--smoke] [--seed S] [--threads T]`
+
+use ppm_bench::{write_bench_json, ExpArgs, Table};
+use ppm_cluster::{run_sim, RepairMode, SimConfig};
+use ppm_codes::{ErasureCode, LrcCode, PmdsCode, RsCode, SdCode};
+
+fn geometries() -> Vec<(&'static str, Box<dyn ErasureCode<u8>>)> {
+    vec![
+        (
+            "sd_4_4",
+            Box::new(SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).expect("paper SD code"))
+                as Box<dyn ErasureCode<u8>>,
+        ),
+        (
+            "pmds_6_4",
+            Box::new(PmdsCode::<u8>::search(6, 4, 1, 1, 7, 3).expect("PMDS code")),
+        ),
+        (
+            "lrc_6_2_2",
+            Box::new(LrcCode::<u8>::new(6, 2, 2, 3).expect("LRC code")),
+        ),
+        (
+            "rs_5_3",
+            Box::new(RsCode::<u8>::new(5, 3, 4).expect("RS code")),
+        ),
+    ]
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let cfg = SimConfig {
+        workers: 4,
+        stripes: 1_000_000,
+        damaged: if args.smoke { 8 } else { 24 },
+        scenarios: 3,
+        sector_bytes: if args.smoke { 1024 } else { 16 << 10 },
+        seed: args.seed,
+        threads: args.threads.max(1),
+    };
+    println!(
+        "# Repair bandwidth: partial-block vs ship-everything \
+         ({} workers, {} damaged stripes, {} B sectors, seed {})\n",
+        cfg.workers, cfg.damaged, cfg.sector_bytes, cfg.seed
+    );
+
+    let t = Table::new(&[
+        "code",
+        "sectors",
+        "partial bytes",
+        "naive bytes",
+        "ratio",
+        "plans",
+        "split",
+    ]);
+    let mut rows = Vec::new();
+    for (name, code) in geometries() {
+        let code = &*code;
+        let partial = run_sim(&code, &cfg, RepairMode::Partial)
+            .unwrap_or_else(|e| panic!("{name}: partial sim failed: {e}"));
+        let naive = run_sim(&code, &cfg, RepairMode::Naive)
+            .unwrap_or_else(|e| panic!("{name}: naive sim failed: {e}"));
+
+        // Both modes must land bit-identical to the single-node repair.
+        assert!(partial.identical, "{name}: partial repair diverged");
+        assert!(naive.identical, "{name}: naive repair diverged");
+        assert_eq!(partial.repaired, cfg.damaged, "{name}: partial short");
+        assert_eq!(naive.repaired, cfg.damaged, "{name}: naive short");
+        assert_eq!(partial.violations, 0, "{name}: verify violations");
+
+        let (p, n) = (partial.traffic.total_bytes(), naive.traffic.total_bytes());
+        // The headline claim: moving plans and partial sums beats moving
+        // sectors, strictly, at every tested geometry.
+        assert!(
+            p < n,
+            "{name}: partial repair moved {p} bytes, naive moved {n}"
+        );
+        let ratio = p as f64 / n as f64;
+        let sectors = code.layout().sectors();
+        t.row(&[
+            name.to_string(),
+            sectors.to_string(),
+            p.to_string(),
+            n.to_string(),
+            format!("{ratio:.3}"),
+            partial.plans_shipped.to_string(),
+            partial.split_rests.to_string(),
+        ]);
+        println!(
+            "repair-bandwidth code={name} identical=true partial_bytes={p} naive_bytes={n} \
+             ratio={ratio:.3} plans_shipped={} plan_bytes={} split_rests={} local_rests={}",
+            partial.plans_shipped,
+            partial.traffic.plan_bytes,
+            partial.split_rests,
+            partial.local_rests,
+        );
+        rows.push(format!(
+            "{{\"code\":\"{name}\",\"sectors\":{sectors},\
+             \"partial_bytes\":{p},\"naive_bytes\":{n},\"ratio\":{ratio:.4},\
+             \"plan_bytes\":{},\"plans_shipped\":{},\"split_rests\":{},\
+             \"local_rests\":{},\"partial\":{},\"naive\":{}}}",
+            partial.traffic.plan_bytes,
+            partial.plans_shipped,
+            partial.split_rests,
+            partial.local_rests,
+            partial.to_json(),
+            naive.to_json(),
+        ));
+    }
+
+    let json = format!(
+        "{{\"workers\":{},\"damaged\":{},\"sector_bytes\":{},\"seed\":{},\
+         \"geometries\":[{}]}}",
+        cfg.workers,
+        cfg.damaged,
+        cfg.sector_bytes,
+        cfg.seed,
+        rows.join(",")
+    );
+    let path = write_bench_json("repair_bandwidth", &json);
+    println!("\nwrote {}", path.display());
+}

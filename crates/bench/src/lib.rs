@@ -25,5 +25,5 @@ pub use prep::{
     ledger_plan, prepare_lrc, prepare_rs, prepare_sd, prepare_sd_w, time_plan, time_tape_vs_graph,
     Prepared,
 };
-pub use report::{bench_dir, write_bench_json};
+pub use report::{bench_dir, git_sha, write_bench_json, BENCH_SCHEMA_VERSION};
 pub use table::Table;

@@ -9,6 +9,58 @@
 
 use std::path::{Path, PathBuf};
 
+/// Schema version stamped into every `BENCH_*.json` snapshot. Bump when
+/// the injected envelope (not a bench's own payload) changes shape.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// The workspace's current git commit (short SHA), or `"unknown"` when
+/// git is unavailable — snapshots must still be writable from a bare
+/// source tarball.
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|sha| sha.trim().to_string())
+        .filter(|sha| !sha.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Prepends the schema/provenance envelope to a bench's own JSON
+/// object: `"schema_version"`, then a `"meta"` object carrying the
+/// bench name, git SHA, crate version, and build profile. A payload
+/// that is not a JSON object (or is empty) is passed through untouched
+/// — the envelope only knows how to extend an object.
+fn with_envelope(name: &str, json: &str) -> String {
+    let trimmed = json.trim();
+    let Some(rest) = trimmed.strip_prefix('{') else {
+        return trimmed.to_string();
+    };
+    let separator = if rest.trim_start().starts_with('}') {
+        ""
+    } else {
+        ","
+    };
+    format!(
+        "{{\"schema_version\":{},\"meta\":{{\"bench\":\"{}\",\"git_sha\":\"{}\",\
+         \"crate_version\":\"{}\",\"profile\":\"{}\"}}{}{}",
+        BENCH_SCHEMA_VERSION,
+        name,
+        git_sha(),
+        env!("CARGO_PKG_VERSION"),
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+        separator,
+        rest,
+    )
+}
+
 /// Directory `BENCH_*.json` files are written to: `PPM_BENCH_DIR` if
 /// set, else the workspace root (two levels above this crate).
 pub fn bench_dir() -> PathBuf {
@@ -22,13 +74,19 @@ pub fn bench_dir() -> PathBuf {
 /// path. Panics on I/O failure — a bench that cannot record its result
 /// has failed.
 ///
+/// Object payloads are stamped with a provenance envelope first:
+/// `"schema_version"` ([`BENCH_SCHEMA_VERSION`]) and a `"meta"` object
+/// naming the bench, the git commit ([`git_sha`]), the crate version,
+/// and the build profile, so a committed snapshot records where its
+/// numbers came from.
+///
 /// The write is crash-safe: the content lands in a `.tmp` sibling first
 /// and is renamed over the target, so a bench killed mid-write leaves
 /// the committed snapshot intact rather than truncated.
 pub fn write_bench_json(name: &str, json: &str) -> PathBuf {
     let path = bench_dir().join(format!("BENCH_{name}.json"));
     let tmp = bench_dir().join(format!("BENCH_{name}.json.tmp"));
-    let mut text = json.trim_end().to_string();
+    let mut text = with_envelope(name, json.trim_end());
     text.push('\n');
     std::fs::write(&tmp, text).unwrap_or_else(|e| panic!("cannot write {}: {e}", tmp.display()));
     std::fs::rename(&tmp, &path)
@@ -57,16 +115,38 @@ mod tests {
         let name = format!("selftest_{}", std::process::id());
         let path = write_bench_json(&name, "{\"ok\": true}  \n\n");
         let text = std::fs::read_to_string(&path).expect("snapshot readable");
-        assert_eq!(text, "{\"ok\": true}\n");
+        // The envelope leads, the payload follows, one trailing newline.
+        assert!(text.starts_with("{\"schema_version\":1,\"meta\":{\"bench\":\""));
+        assert!(text.contains(&format!("\"bench\":\"{name}\"")));
+        assert!(text.contains("\"git_sha\":\""));
+        assert!(text.ends_with("\"ok\": true}\n"));
         // The temporary is gone: the only artifact is the snapshot.
         assert!(!path.with_extension("json.tmp").exists());
         // Overwrite goes through the same rename, replacing content.
         let again = write_bench_json(&name, "{\"ok\": false}");
         assert_eq!(again, path);
-        assert_eq!(
-            std::fs::read_to_string(&path).expect("snapshot readable"),
-            "{\"ok\": false}\n"
-        );
+        assert!(std::fs::read_to_string(&path)
+            .expect("snapshot readable")
+            .ends_with("\"ok\": false}\n"));
         std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn envelope_handles_empty_and_non_object_payloads() {
+        let wrapped = with_envelope("x", "{}");
+        assert!(wrapped.starts_with("{\"schema_version\":1,"));
+        assert!(wrapped.ends_with("}}"));
+        assert!(!wrapped.contains(",}"), "no dangling comma in {wrapped}");
+        // Arrays and scalars pass through untouched.
+        assert_eq!(with_envelope("x", "[1,2]"), "[1,2]");
+    }
+
+    #[test]
+    fn git_sha_is_short_hex_or_unknown() {
+        let sha = git_sha();
+        assert!(
+            sha == "unknown" || (sha.len() >= 4 && sha.chars().all(|c| c.is_ascii_hexdigit())),
+            "unexpected sha {sha:?}"
+        );
     }
 }

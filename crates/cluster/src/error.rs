@@ -1,0 +1,60 @@
+//! The cluster crate's error type: transport, plan, repair, and
+//! protocol failures under one roof.
+
+use ppm_core::{RepairError, WireError};
+use std::io;
+
+/// Anything that can go wrong between a coordinator and its workers.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The transport failed (closed channel, broken stream, short read).
+    Io(io::Error),
+    /// A wire plan failed to decode or re-validate.
+    Wire(WireError),
+    /// The repair itself failed (unrecoverable scenario, geometry
+    /// mismatch, verification failure).
+    Repair(RepairError),
+    /// The peer violated the protocol: malformed message, unexpected
+    /// response kind, wrong stripe id, or a worker-side error report.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Io(e) => write!(f, "transport error: {e}"),
+            ClusterError::Wire(e) => write!(f, "wire plan error: {e}"),
+            ClusterError::Repair(e) => write!(f, "repair error: {e}"),
+            ClusterError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Io(e) => Some(e),
+            ClusterError::Wire(e) => Some(e),
+            ClusterError::Repair(e) => Some(e),
+            ClusterError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClusterError {
+    fn from(e: io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+impl From<WireError> for ClusterError {
+    fn from(e: WireError) -> Self {
+        ClusterError::Wire(e)
+    }
+}
+
+impl From<RepairError> for ClusterError {
+    fn from(e: RepairError) -> Self {
+        ClusterError::Repair(e)
+    }
+}

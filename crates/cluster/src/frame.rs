@@ -1,0 +1,103 @@
+//! Length-prefixed frames: every message crosses the wire as a
+//! little-endian `u32` byte count followed by that many payload bytes.
+//!
+//! This is the only thing a stream transport (TCP, Unix socket, pipe)
+//! needs on top of `io::Read`/`io::Write`; the in-process channel
+//! transport moves whole frames and skips the prefix, but both sides
+//! account traffic as if the prefix were present so byte counts are
+//! comparable across transports.
+
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a single frame's payload (256 MiB). A length prefix
+/// above this is treated as stream corruption, not an allocation
+/// request.
+pub const MAX_FRAME: usize = 1 << 28;
+
+/// Writes `payload` as one frame: 4-byte little-endian length, then the
+/// bytes, then a flush so a blocked reader on the other end wakes up.
+///
+/// # Errors
+/// `InvalidInput` when the payload exceeds [`MAX_FRAME`]; otherwise
+/// whatever the underlying writer reports.
+pub fn write_frame<T: Write>(w: &mut T, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame written by [`write_frame`].
+///
+/// # Errors
+/// `UnexpectedEof` on a short read, `InvalidData` when the prefix
+/// exceeds [`MAX_FRAME`]; otherwise whatever the underlying reader
+/// reports.
+pub fn read_frame<T: Read>(r: &mut T) -> io::Result<Vec<u8>> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame prefix of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").expect("write");
+        write_frame(&mut buf, b"").expect("write");
+        write_frame(&mut buf, &[7u8; 300]).expect("write");
+
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).expect("read"), b"hello");
+        assert_eq!(read_frame(&mut r).expect("read"), b"");
+        assert_eq!(read_frame(&mut r).expect("read"), vec![7u8; 300]);
+        assert_eq!(
+            read_frame(&mut r).expect_err("eof").kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn truncated_payload_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").expect("write");
+        buf.truncate(6); // prefix + one byte of five
+        let mut r = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r).expect_err("short").kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversized_prefix_is_invalid_data_not_allocation() {
+        let mut buf = Vec::from(u32::MAX.to_le_bytes());
+        buf.extend_from_slice(b"xx");
+        let mut r = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r).expect_err("oversized").kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

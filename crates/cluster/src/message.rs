@@ -1,0 +1,516 @@
+//! The coordinator/worker wire protocol, hand-rolled like
+//! [`WirePlan`](ppm_core::WirePlan)'s byte format: little-endian
+//! integers, `u32` counts, one leading tag byte per message. No external
+//! serialization crates.
+
+use crate::error::ClusterError;
+
+/// Allocation guard on every decoded count (sectors, blocks, string
+/// bytes): a hostile or corrupt length field fails before the allocation
+/// it names.
+const MAX_COUNT: usize = 1 << 24;
+
+/// What a coordinator asks of a worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoordinatorRequest {
+    /// Repair one owned stripe with the named wire plan. The first
+    /// request naming a key carries the encoded plan bytes; later
+    /// requests name it by key alone and the worker replays its cached
+    /// compilation.
+    Repair {
+        /// Archive-wide stripe id.
+        stripe: u64,
+        /// The plan's identity: the stable `Display` form of its
+        /// [`PlanKey`](ppm_core::PlanKey).
+        plan_key: String,
+        /// Encoded [`WirePlan`](ppm_core::WirePlan) bytes, present only
+        /// the first time this key reaches this worker.
+        plan: Option<Vec<u8>>,
+    },
+    /// Ship whole sectors up — the naive baseline's bulk read.
+    FetchSectors {
+        /// Archive-wide stripe id.
+        stripe: u64,
+        /// Sector indices to return.
+        sectors: Vec<u32>,
+    },
+    /// Write recovered sectors into an owned stripe (the down leg of
+    /// both repair modes).
+    Install {
+        /// Archive-wide stripe id.
+        stripe: u64,
+        /// `(sector, bytes)` pairs to write.
+        sectors: Vec<(u32, Vec<u8>)>,
+    },
+    /// Stop serving and return the shard to whoever spawned the worker.
+    Shutdown,
+}
+
+/// What a worker sends back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkerResponse {
+    /// Outcome of a [`Repair`](CoordinatorRequest::Repair) request.
+    Partials {
+        /// Echo of the request's stripe id.
+        stripe: u64,
+        /// Partial-sum `T` blocks of a split `H_rest`, one per scratch
+        /// slot. Empty when the repair finished locally.
+        rest_blocks: Vec<Vec<u8>>,
+        /// True when the coordinator owes this stripe its phase-B
+        /// sectors (aggregate, then [`Install`](CoordinatorRequest::Install)).
+        rest_pending: bool,
+        /// Violated surplus rows from the local verify pass; `None` when
+        /// verification is deferred until the phase-B install lands.
+        violated_rows: Option<Vec<u32>>,
+    },
+    /// Sectors answering a [`FetchSectors`](CoordinatorRequest::FetchSectors).
+    Sectors {
+        /// Echo of the request's stripe id.
+        stripe: u64,
+        /// `(sector, bytes)` pairs in request order.
+        sectors: Vec<(u32, Vec<u8>)>,
+    },
+    /// Acknowledges an [`Install`](CoordinatorRequest::Install).
+    Installed {
+        /// Echo of the request's stripe id.
+        stripe: u64,
+        /// Violated surplus rows from the post-install verify pass;
+        /// `None` when no verify was pending for the stripe.
+        violated_rows: Option<Vec<u32>>,
+    },
+    /// The worker could not serve the request.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+fn put_sector_list(out: &mut Vec<u8>, sectors: &[(u32, Vec<u8>)]) {
+    put_u32(out, sectors.len() as u32);
+    for (sector, bytes) in sectors {
+        put_u32(out, *sector);
+        put_bytes(out, bytes);
+    }
+}
+
+fn put_violated(out: &mut Vec<u8>, violated: &Option<Vec<u32>>) {
+    match violated {
+        None => out.push(0),
+        Some(rows) => {
+            out.push(1);
+            put_u32(out, rows.len() as u32);
+            for &row in rows {
+                put_u32(out, row);
+            }
+        }
+    }
+}
+
+impl CoordinatorRequest {
+    /// Serializes the request to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            CoordinatorRequest::Repair {
+                stripe,
+                plan_key,
+                plan,
+            } => {
+                out.push(0);
+                put_u64(&mut out, *stripe);
+                put_bytes(&mut out, plan_key.as_bytes());
+                match plan {
+                    None => out.push(0),
+                    Some(bytes) => {
+                        out.push(1);
+                        put_bytes(&mut out, bytes);
+                    }
+                }
+            }
+            CoordinatorRequest::FetchSectors { stripe, sectors } => {
+                out.push(1);
+                put_u64(&mut out, *stripe);
+                put_u32(&mut out, sectors.len() as u32);
+                for &s in sectors {
+                    put_u32(&mut out, s);
+                }
+            }
+            CoordinatorRequest::Install { stripe, sectors } => {
+                out.push(2);
+                put_u64(&mut out, *stripe);
+                put_sector_list(&mut out, sectors);
+            }
+            CoordinatorRequest::Shutdown => out.push(3),
+        }
+        out
+    }
+
+    /// Deserializes a frame payload produced by
+    /// [`encode`](CoordinatorRequest::encode).
+    ///
+    /// # Errors
+    /// [`ClusterError::Protocol`] on any structural defect: unknown tag,
+    /// truncation, oversized count, invalid UTF-8, trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ClusterError> {
+        let mut r = Reader::new(bytes);
+        let msg = match r.u8("request tag")? {
+            0 => {
+                let stripe = r.u64("stripe id")?;
+                let plan_key = r.string("plan key")?;
+                let plan = match r.u8("plan flag")? {
+                    0 => None,
+                    1 => Some(r.bytes("plan bytes")?),
+                    _ => return Err(protocol("bad plan flag")),
+                };
+                CoordinatorRequest::Repair {
+                    stripe,
+                    plan_key,
+                    plan,
+                }
+            }
+            1 => {
+                let stripe = r.u64("stripe id")?;
+                let count = r.count("sector count")?;
+                let mut sectors = Vec::with_capacity(count);
+                for _ in 0..count {
+                    sectors.push(r.u32("sector index")?);
+                }
+                CoordinatorRequest::FetchSectors { stripe, sectors }
+            }
+            2 => {
+                let stripe = r.u64("stripe id")?;
+                let sectors = r.sector_list()?;
+                CoordinatorRequest::Install { stripe, sectors }
+            }
+            3 => CoordinatorRequest::Shutdown,
+            _ => return Err(protocol("unknown request tag")),
+        };
+        r.done()?;
+        Ok(msg)
+    }
+}
+
+impl WorkerResponse {
+    /// Serializes the response to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WorkerResponse::Partials {
+                stripe,
+                rest_blocks,
+                rest_pending,
+                violated_rows,
+            } => {
+                out.push(0);
+                put_u64(&mut out, *stripe);
+                put_u32(&mut out, rest_blocks.len() as u32);
+                for block in rest_blocks {
+                    put_bytes(&mut out, block);
+                }
+                out.push(u8::from(*rest_pending));
+                put_violated(&mut out, violated_rows);
+            }
+            WorkerResponse::Sectors { stripe, sectors } => {
+                out.push(1);
+                put_u64(&mut out, *stripe);
+                put_sector_list(&mut out, sectors);
+            }
+            WorkerResponse::Installed {
+                stripe,
+                violated_rows,
+            } => {
+                out.push(2);
+                put_u64(&mut out, *stripe);
+                put_violated(&mut out, violated_rows);
+            }
+            WorkerResponse::Error { message } => {
+                out.push(3);
+                put_bytes(&mut out, message.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes a frame payload produced by
+    /// [`encode`](WorkerResponse::encode).
+    ///
+    /// # Errors
+    /// [`ClusterError::Protocol`] on any structural defect, as for
+    /// [`CoordinatorRequest::decode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, ClusterError> {
+        let mut r = Reader::new(bytes);
+        let msg = match r.u8("response tag")? {
+            0 => {
+                let stripe = r.u64("stripe id")?;
+                let count = r.count("block count")?;
+                let mut rest_blocks = Vec::with_capacity(count);
+                for _ in 0..count {
+                    rest_blocks.push(r.bytes("rest block")?);
+                }
+                let rest_pending = match r.u8("pending flag")? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(protocol("bad pending flag")),
+                };
+                let violated_rows = r.violated()?;
+                WorkerResponse::Partials {
+                    stripe,
+                    rest_blocks,
+                    rest_pending,
+                    violated_rows,
+                }
+            }
+            1 => {
+                let stripe = r.u64("stripe id")?;
+                let sectors = r.sector_list()?;
+                WorkerResponse::Sectors { stripe, sectors }
+            }
+            2 => {
+                let stripe = r.u64("stripe id")?;
+                let violated_rows = r.violated()?;
+                WorkerResponse::Installed {
+                    stripe,
+                    violated_rows,
+                }
+            }
+            3 => WorkerResponse::Error {
+                message: r.string("error message")?,
+            },
+            _ => return Err(protocol("unknown response tag")),
+        };
+        r.done()?;
+        Ok(msg)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+fn protocol(what: &str) -> ClusterError {
+    ClusterError::Protocol(format!("malformed message: {what}"))
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ClusterError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| protocol(what))?;
+        let slice = self.buf.get(self.pos..end).ok_or_else(|| protocol(what))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, ClusterError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ClusterError> {
+        let b = self.take(4, what)?;
+        let arr: [u8; 4] = b.try_into().map_err(|_| protocol(what))?;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, ClusterError> {
+        let b = self.take(8, what)?;
+        let arr: [u8; 8] = b.try_into().map_err(|_| protocol(what))?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// A `u32` count, bounded by [`MAX_COUNT`] and by the bytes that
+    /// actually remain, so a forged length cannot drive an allocation.
+    fn count(&mut self, what: &str) -> Result<usize, ClusterError> {
+        let n = self.u32(what)? as usize;
+        if n > MAX_COUNT || n > self.buf.len().saturating_sub(self.pos) {
+            return Err(protocol(what));
+        }
+        Ok(n)
+    }
+
+    fn bytes(&mut self, what: &str) -> Result<Vec<u8>, ClusterError> {
+        let n = self.count(what)?;
+        Ok(self.take(n, what)?.to_vec())
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, ClusterError> {
+        let raw = self.bytes(what)?;
+        String::from_utf8(raw).map_err(|_| protocol(what))
+    }
+
+    fn sector_list(&mut self) -> Result<Vec<(u32, Vec<u8>)>, ClusterError> {
+        let count = self.count("sector count")?;
+        let mut sectors = Vec::with_capacity(count);
+        for _ in 0..count {
+            let sector = self.u32("sector index")?;
+            let bytes = self.bytes("sector bytes")?;
+            sectors.push((sector, bytes));
+        }
+        Ok(sectors)
+    }
+
+    fn violated(&mut self) -> Result<Option<Vec<u32>>, ClusterError> {
+        match self.u8("verify flag")? {
+            0 => Ok(None),
+            1 => {
+                let count = self.count("violated row count")?;
+                let mut rows = Vec::with_capacity(count);
+                for _ in 0..count {
+                    rows.push(self.u32("violated row")?);
+                }
+                Ok(Some(rows))
+            }
+            _ => Err(protocol("bad verify flag")),
+        }
+    }
+
+    fn done(&self) -> Result<(), ClusterError> {
+        if self.pos != self.buf.len() {
+            return Err(protocol("trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn requests() -> Vec<CoordinatorRequest> {
+        vec![
+            CoordinatorRequest::Repair {
+                stripe: 951_003,
+                plan_key: "sd|k4|m4|w8|f2.6.10.13.14|ppm-auto".into(),
+                plan: Some(vec![0xAB; 97]),
+            },
+            CoordinatorRequest::Repair {
+                stripe: 7,
+                plan_key: String::new(),
+                plan: None,
+            },
+            CoordinatorRequest::FetchSectors {
+                stripe: u64::MAX,
+                sectors: vec![0, 3, 11],
+            },
+            CoordinatorRequest::Install {
+                stripe: 0,
+                sectors: vec![(2, vec![1, 2, 3]), (14, Vec::new())],
+            },
+            CoordinatorRequest::Shutdown,
+        ]
+    }
+
+    fn responses() -> Vec<WorkerResponse> {
+        vec![
+            WorkerResponse::Partials {
+                stripe: 42,
+                rest_blocks: vec![vec![9; 16], vec![0; 16]],
+                rest_pending: true,
+                violated_rows: None,
+            },
+            WorkerResponse::Partials {
+                stripe: 42,
+                rest_blocks: Vec::new(),
+                rest_pending: false,
+                violated_rows: Some(vec![5, 7]),
+            },
+            WorkerResponse::Sectors {
+                stripe: 1,
+                sectors: vec![(0, vec![4; 8])],
+            },
+            WorkerResponse::Installed {
+                stripe: 3,
+                violated_rows: Some(Vec::new()),
+            },
+            WorkerResponse::Error {
+                message: "no such stripe".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in requests() {
+            let bytes = req.encode();
+            assert_eq!(CoordinatorRequest::decode(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in responses() {
+            let bytes = resp.encode();
+            assert_eq!(WorkerResponse::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_protocol_error_not_a_panic() {
+        for req in requests() {
+            let bytes = req.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    CoordinatorRequest::decode(&bytes[..cut]).is_err(),
+                    "prefix of {cut} bytes decoded"
+                );
+            }
+        }
+        for resp in responses() {
+            let bytes = resp.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    WorkerResponse::decode(&bytes[..cut]).is_err(),
+                    "prefix of {cut} bytes decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_and_bad_tags_are_rejected() {
+        let mut bytes = CoordinatorRequest::Shutdown.encode();
+        bytes.push(0);
+        assert!(CoordinatorRequest::decode(&bytes).is_err());
+        assert!(CoordinatorRequest::decode(&[200]).is_err());
+        assert!(WorkerResponse::decode(&[200]).is_err());
+        assert!(CoordinatorRequest::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn forged_count_fails_before_allocating() {
+        // FetchSectors claiming u32::MAX sectors with a 4-byte body.
+        let mut bytes = vec![1];
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(CoordinatorRequest::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,721 @@
+//! A simulated cluster repair over a sharded archive: the coordinator
+//! keeps the [`Planner`](ppm_core::Planner) half of the repair session,
+//! N worker threads keep the sectors, and only plans and partial-sum
+//! blocks cross the (in-process) wire.
+//!
+//! The archive is *simulated* at scale: stripe ids range over
+//! `0..stripes` (a million by default) but only the damaged stripes are
+//! ever materialized — each one's contents are a deterministic function
+//! of `(seed, id)`, so the simulation holds dozens of stripes in memory
+//! while behaving as if it sharded a million. Failure scenarios are
+//! drawn from a small pool, matching the operational reality that a
+//! failed disk produces the *same* erasure pattern across every stripe
+//! it touches — which is exactly what lets one shipped
+//! [`WirePlan`](ppm_core::WirePlan) amortize over a whole repair job.
+
+use crate::error::ClusterError;
+use crate::message::{CoordinatorRequest, WorkerResponse};
+use crate::transport::{channel_pair, ChannelTransport, Transport};
+use crate::worker::Worker;
+use ppm_codes::{ErasureCode, FailureScenario};
+use ppm_core::{DecoderConfig, ExecutableWirePlan, RepairService};
+use ppm_gf::GfWord;
+use ppm_stripe::{random_data_stripe, Stripe};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// How the coordinator repairs a damaged stripe on a remote worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairMode {
+    /// Ship the wire plan to the data: the worker runs phase A locally
+    /// and only partial-sum blocks cross the wire (the PPM way).
+    Partial,
+    /// Ship the data to the plan: fetch every surviving sector, repair
+    /// centrally, ship the recovered sectors back (the baseline).
+    Naive,
+}
+
+impl RepairMode {
+    /// Stable lowercase name, used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            RepairMode::Partial => "partial",
+            RepairMode::Naive => "naive",
+        }
+    }
+}
+
+/// Shape of a simulated archive repair job.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Worker count; stripes are owned by `id % workers`.
+    pub workers: usize,
+    /// Archive size in stripes — the id space, not the resident set.
+    pub stripes: u64,
+    /// How many stripes carry injected erasures.
+    pub damaged: usize,
+    /// Size of the failure-scenario pool the damage is drawn from.
+    pub scenarios: usize,
+    /// Bytes per sector.
+    pub sector_bytes: usize,
+    /// Seed for damage placement, scenario drawing, and stripe contents.
+    pub seed: u64,
+    /// Thread budget for every decoder in the simulation.
+    pub threads: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            workers: 4,
+            stripes: 1_000_000,
+            damaged: 16,
+            scenarios: 3,
+            sector_bytes: 4096,
+            seed: 2015,
+            threads: 1,
+        }
+    }
+}
+
+/// Bytes and frames moved over every coordinator↔worker link, counted
+/// as framed payloads (each frame costs its payload plus the 4-byte
+/// length prefix a stream transport would add).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Coordinator → worker bytes (requests, shipped plans, installs).
+    pub to_workers_bytes: u64,
+    /// Worker → coordinator bytes (partial blocks, fetched sectors).
+    pub from_workers_bytes: u64,
+    /// Of `to_workers_bytes`, how many were encoded wire plans.
+    pub plan_bytes: u64,
+    /// Frames in both directions.
+    pub frames: u64,
+}
+
+impl Traffic {
+    /// Total bytes moved in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.to_workers_bytes + self.from_workers_bytes
+    }
+}
+
+/// Outcome of one [`run_sim`] call.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Repair mode the job ran under.
+    pub mode: RepairMode,
+    /// Worker count.
+    pub workers: usize,
+    /// Archive id space.
+    pub archive_stripes: u64,
+    /// Bytes per sector.
+    pub sector_bytes: usize,
+    /// Stripes that carried injected erasures.
+    pub damaged: usize,
+    /// Stripes repaired (always equals `damaged` on success).
+    pub repaired: usize,
+    /// Repairs whose `H_rest` was split: phase B ran at the
+    /// coordinator on partial-sum blocks.
+    pub split_rests: usize,
+    /// Repairs finished entirely on the worker (no phase B, or a
+    /// matrix-first `H_rest` that reads sectors directly).
+    pub local_rests: usize,
+    /// Distinct wire plans shipped (once per `(worker, plan key)`).
+    pub plans_shipped: usize,
+    /// Whether every repaired stripe came back bit-identical to the
+    /// single-node [`RepairService`] reference repair.
+    pub identical: bool,
+    /// Repairs whose surplus-row verify pass came back clean.
+    pub verified_clean: usize,
+    /// Total violated surplus rows across all verify passes (zero on
+    /// pure-erasure damage).
+    pub violations: usize,
+    /// Wire accounting.
+    pub traffic: Traffic,
+}
+
+impl SimReport {
+    /// Serializes the report as a JSON object (hand-rolled, like
+    /// [`PlanCacheStats::to_json`](ppm_core::PlanCacheStats::to_json)).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"mode\":\"{}\",\"workers\":{},\"archive_stripes\":{},\
+             \"sector_bytes\":{},\"damaged\":{},\"repaired\":{},\
+             \"split_rests\":{},\"local_rests\":{},\"plans_shipped\":{},\
+             \"identical\":{},\"verified_clean\":{},\"violations\":{},\
+             \"to_workers_bytes\":{},\"from_workers_bytes\":{},\
+             \"plan_bytes\":{},\"frames\":{},\"total_bytes\":{}}}",
+            self.mode.name(),
+            self.workers,
+            self.archive_stripes,
+            self.sector_bytes,
+            self.damaged,
+            self.repaired,
+            self.split_rests,
+            self.local_rests,
+            self.plans_shipped,
+            self.identical,
+            self.verified_clean,
+            self.violations,
+            self.traffic.to_workers_bytes,
+            self.traffic.from_workers_bytes,
+            self.traffic.plan_bytes,
+            self.traffic.frames,
+            self.traffic.total_bytes(),
+        )
+    }
+}
+
+/// One damaged stripe the coordinator tracks: where it lives, what
+/// failed, and what the single-node reference repair says its final
+/// bytes must be.
+struct Case {
+    id: u64,
+    scenario: FailureScenario,
+    expected: Stripe,
+}
+
+/// Runs a full simulated cluster repair and checks it bit-for-bit
+/// against single-node [`RepairService::repair_verified`].
+///
+/// The coordinator materializes each damaged stripe deterministically,
+/// injects the erasures, repairs a retained copy through the reference
+/// service, and hands the damaged original to its owning worker. It
+/// then drives the repair over in-process channel transports in the
+/// requested [`RepairMode`], shuts the workers down, collects the
+/// shards, and compares every repaired stripe against the reference.
+///
+/// # Errors
+/// [`ClusterError::Protocol`] on nonsensical configuration, worker-side
+/// failures, or out-of-protocol responses; [`ClusterError::Repair`] /
+/// [`ClusterError::Wire`] / [`ClusterError::Io`] when planning,
+/// compilation, or transport fail.
+pub fn run_sim<W, C>(code: &C, cfg: &SimConfig, mode: RepairMode) -> Result<SimReport, ClusterError>
+where
+    W: GfWord,
+    C: ErasureCode<W>,
+{
+    if cfg.workers == 0 {
+        return Err(ClusterError::Protocol("workers must be >= 1".into()));
+    }
+    if cfg.stripes == 0 || cfg.damaged == 0 || cfg.scenarios == 0 {
+        return Err(ClusterError::Protocol(
+            "stripes, damaged, and scenarios must all be >= 1".into(),
+        ));
+    }
+    if cfg.damaged as u64 > cfg.stripes {
+        return Err(ClusterError::Protocol(
+            "cannot damage more stripes than the archive holds".into(),
+        ));
+    }
+    if cfg.sector_bytes == 0 || cfg.threads == 0 {
+        return Err(ClusterError::Protocol(
+            "sector_bytes and threads must be >= 1".into(),
+        ));
+    }
+
+    let config = DecoderConfig {
+        threads: cfg.threads,
+        ..DecoderConfig::default()
+    };
+    let service = RepairService::new(code, config);
+    let total_sectors = code.layout().sectors();
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let pool = scenario_pool(&service, cfg, total_sectors, &mut rng)?;
+
+    // Damage placement over the full id space; only these ids are ever
+    // materialized.
+    let mut damaged_ids: BTreeSet<u64> = BTreeSet::new();
+    while damaged_ids.len() < cfg.damaged {
+        damaged_ids.insert(rng.random_range(0..cfg.stripes));
+    }
+
+    let mut cases: Vec<Case> = Vec::with_capacity(cfg.damaged);
+    let mut shards: Vec<HashMap<u64, Stripe>> = (0..cfg.workers).map(|_| HashMap::new()).collect();
+    for &id in &damaged_ids {
+        let mut stripe_rng =
+            StdRng::seed_from_u64(cfg.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut stripe = random_data_stripe(code, cfg.sector_bytes, &mut stripe_rng);
+        service.encode(&mut stripe)?;
+        let scenario = pool
+            .get((id % pool.len() as u64) as usize)
+            .cloned()
+            .unwrap_or_else(|| pool[0].clone());
+        let mut damaged = stripe.clone();
+        damaged.erase(&scenario);
+
+        // The single-node reference: repair a retained copy locally.
+        let mut expected = damaged.clone();
+        service.repair_verified(&mut expected, &scenario)?;
+
+        let owner = (id % cfg.workers as u64) as usize;
+        if let Some(shard) = shards.get_mut(owner) {
+            shard.insert(id, damaged);
+        }
+        cases.push(Case {
+            id,
+            scenario,
+            expected,
+        });
+    }
+
+    // Spawn the workers on their own threads, each holding its shard.
+    let mut links: Vec<ChannelTransport> = Vec::with_capacity(cfg.workers);
+    let mut handles = Vec::with_capacity(cfg.workers);
+    for (w, shard) in shards.into_iter().enumerate() {
+        let (coordinator_end, worker_end) = channel_pair();
+        let worker: Worker<W> = Worker::new(w, shard, config);
+        handles.push(std::thread::spawn(move || worker.run(&worker_end)));
+        links.push(coordinator_end);
+    }
+
+    let mut traffic = Traffic::default();
+    let mut report = SimReport {
+        mode,
+        workers: cfg.workers,
+        archive_stripes: cfg.stripes,
+        sector_bytes: cfg.sector_bytes,
+        damaged: cfg.damaged,
+        repaired: 0,
+        split_rests: 0,
+        local_rests: 0,
+        plans_shipped: 0,
+        identical: true,
+        verified_clean: 0,
+        violations: 0,
+        traffic,
+    };
+
+    // Plans shipped so far, per (worker, key); compiled plans the
+    // coordinator keeps for its own phase-B aggregation, per key.
+    let mut shipped: HashSet<(usize, String)> = HashSet::new();
+    let mut compiled: HashMap<String, ExecutableWirePlan<W>> = HashMap::new();
+
+    let mut drive_err: Option<ClusterError> = None;
+    for case in &cases {
+        let owner = (case.id % cfg.workers as u64) as usize;
+        let Some(link) = links.get(owner) else {
+            drive_err = Some(ClusterError::Protocol(format!(
+                "no link for worker {owner}"
+            )));
+            break;
+        };
+        let outcome = match mode {
+            RepairMode::Partial => repair_partial(
+                &service,
+                case,
+                link,
+                owner,
+                &mut shipped,
+                &mut compiled,
+                cfg.sector_bytes,
+                &mut traffic,
+                &mut report,
+            ),
+            RepairMode::Naive => repair_naive(
+                &service,
+                case,
+                link,
+                total_sectors,
+                cfg.sector_bytes,
+                &mut traffic,
+                &mut report,
+            ),
+        };
+        if let Err(e) = outcome {
+            drive_err = Some(e);
+            break;
+        }
+        report.repaired += 1;
+    }
+
+    // Always shut the workers down and join them, even on a drive
+    // error, so threads never outlive the call.
+    for link in &links {
+        let _ = send(link, &CoordinatorRequest::Shutdown, &mut traffic);
+    }
+    let mut final_shards: Vec<HashMap<u64, Stripe>> = Vec::with_capacity(cfg.workers);
+    for handle in handles {
+        let joined = handle
+            .join()
+            .map_err(|_| ClusterError::Protocol("worker thread panicked".into()))?;
+        final_shards.push(joined?);
+    }
+    if let Some(e) = drive_err {
+        return Err(e);
+    }
+
+    for case in &cases {
+        let owner = (case.id % cfg.workers as u64) as usize;
+        let repaired = final_shards.get(owner).and_then(|s| s.get(&case.id));
+        if repaired != Some(&case.expected) {
+            report.identical = false;
+        }
+    }
+    report.traffic = traffic;
+    Ok(report)
+}
+
+/// Draws a pool of decodable failure scenarios: distinct sector sets of
+/// size `1..=fault_tolerance` for which the planner can actually build
+/// a plan.
+fn scenario_pool<W, C>(
+    service: &RepairService<W, &C>,
+    cfg: &SimConfig,
+    total_sectors: usize,
+    rng: &mut StdRng,
+) -> Result<Vec<FailureScenario>, ClusterError>
+where
+    W: GfWord,
+    C: ErasureCode<W>,
+{
+    let max_faults = service
+        .planner()
+        .fault_tolerance()
+        .min(total_sectors.saturating_sub(1))
+        .max(1);
+    let mut pool: Vec<FailureScenario> = Vec::new();
+    let mut attempts = 0;
+    while pool.len() < cfg.scenarios && attempts < 64 * cfg.scenarios {
+        attempts += 1;
+        let faults = rng.random_range(1..=max_faults);
+        let mut sectors: BTreeSet<usize> = BTreeSet::new();
+        while sectors.len() < faults {
+            sectors.insert(rng.random_range(0..total_sectors));
+        }
+        let scenario = FailureScenario::new(sectors.into_iter().collect());
+        if pool.contains(&scenario) {
+            continue;
+        }
+        if service.planner().plan_for(&scenario).is_ok() {
+            pool.push(scenario);
+        }
+    }
+    if pool.is_empty() {
+        return Err(ClusterError::Protocol(
+            "no decodable failure scenario found for this code".into(),
+        ));
+    }
+    Ok(pool)
+}
+
+/// PPM-mode repair of one stripe: plan up (first time only), partial
+/// blocks back, aggregated sectors down.
+#[allow(clippy::too_many_arguments)]
+fn repair_partial<W, C>(
+    service: &RepairService<W, &C>,
+    case: &Case,
+    link: &ChannelTransport,
+    owner: usize,
+    shipped: &mut HashSet<(usize, String)>,
+    compiled: &mut HashMap<String, ExecutableWirePlan<W>>,
+    sector_bytes: usize,
+    traffic: &mut Traffic,
+    report: &mut SimReport,
+) -> Result<(), ClusterError>
+where
+    W: GfWord,
+    C: ErasureCode<W>,
+{
+    let key = service.planner().plan_key(&case.scenario).to_string();
+    let plan = if shipped.insert((owner, key.clone())) {
+        let (wire, _) = service.planner().wire_plan_for(&case.scenario)?;
+        if !compiled.contains_key(&key) {
+            compiled.insert(key.clone(), wire.compile::<W>(service.planner().backend())?);
+        }
+        let bytes = wire.encode();
+        traffic.plan_bytes += bytes.len() as u64;
+        report.plans_shipped += 1;
+        Some(bytes)
+    } else {
+        None
+    };
+
+    send(
+        link,
+        &CoordinatorRequest::Repair {
+            stripe: case.id,
+            plan_key: key.clone(),
+            plan,
+        },
+        traffic,
+    )?;
+    match recv(link, traffic)? {
+        WorkerResponse::Partials {
+            stripe,
+            rest_blocks,
+            rest_pending,
+            violated_rows,
+        } => {
+            expect_stripe(case.id, stripe)?;
+            if !rest_pending {
+                report.local_rests += 1;
+                tally_verify(report, violated_rows.as_deref());
+                return Ok(());
+            }
+            report.split_rests += 1;
+            let plan = compiled.get(&key).ok_or_else(|| {
+                ClusterError::Protocol(format!("no compiled plan retained for key {key}"))
+            })?;
+            // Phase B: F⁻¹ · T on the shipped partial sums — the
+            // coordinator never holds the stripe.
+            let recovered = service
+                .executor()
+                .finish_rest(plan, &rest_blocks, sector_bytes)?;
+            let sectors = recovered
+                .into_iter()
+                .map(|(sector, bytes)| (sector as u32, bytes))
+                .collect();
+            send(
+                link,
+                &CoordinatorRequest::Install {
+                    stripe: case.id,
+                    sectors,
+                },
+                traffic,
+            )?;
+            match recv(link, traffic)? {
+                WorkerResponse::Installed {
+                    stripe,
+                    violated_rows,
+                } => {
+                    expect_stripe(case.id, stripe)?;
+                    tally_verify(report, violated_rows.as_deref());
+                    Ok(())
+                }
+                other => unexpected(other),
+            }
+        }
+        other => unexpected(other),
+    }
+}
+
+/// Baseline repair of one stripe: every surviving sector up, repair
+/// centrally, recovered sectors down.
+fn repair_naive<W, C>(
+    service: &RepairService<W, &C>,
+    case: &Case,
+    link: &ChannelTransport,
+    total_sectors: usize,
+    sector_bytes: usize,
+    traffic: &mut Traffic,
+    report: &mut SimReport,
+) -> Result<(), ClusterError>
+where
+    W: GfWord,
+    C: ErasureCode<W>,
+{
+    let survivors: Vec<u32> = case
+        .scenario
+        .surviving(total_sectors)
+        .into_iter()
+        .map(|s| s as u32)
+        .collect();
+    send(
+        link,
+        &CoordinatorRequest::FetchSectors {
+            stripe: case.id,
+            sectors: survivors,
+        },
+        traffic,
+    )?;
+    let fetched = match recv(link, traffic)? {
+        WorkerResponse::Sectors { stripe, sectors } => {
+            expect_stripe(case.id, stripe)?;
+            sectors
+        }
+        other => return unexpected(other),
+    };
+
+    // Rebuild the stripe centrally from the shipped survivors and
+    // repair it with the full single-node service.
+    let mut stripe = Stripe::zeroed(service.planner().code().layout(), sector_bytes);
+    for (sector, bytes) in &fetched {
+        let s = *sector as usize;
+        if s >= total_sectors || bytes.len() != sector_bytes {
+            return Err(ClusterError::Protocol(format!(
+                "worker returned malformed sector {s}"
+            )));
+        }
+        stripe.write_sector(s, bytes);
+    }
+    service.repair_verified(&mut stripe, &case.scenario)?;
+    report.verified_clean += 1;
+
+    let sectors = case
+        .scenario
+        .faulty()
+        .iter()
+        .map(|&s| (s as u32, stripe.sector(s).to_vec()))
+        .collect();
+    send(
+        link,
+        &CoordinatorRequest::Install {
+            stripe: case.id,
+            sectors,
+        },
+        traffic,
+    )?;
+    match recv(link, traffic)? {
+        WorkerResponse::Installed { stripe, .. } => {
+            expect_stripe(case.id, stripe)?;
+            Ok(())
+        }
+        other => unexpected(other),
+    }
+}
+
+fn send(
+    link: &ChannelTransport,
+    request: &CoordinatorRequest,
+    traffic: &mut Traffic,
+) -> Result<(), ClusterError> {
+    let frame = request.encode();
+    traffic.to_workers_bytes += 4 + frame.len() as u64;
+    traffic.frames += 1;
+    link.send(frame).map_err(ClusterError::Io)
+}
+
+fn recv(link: &ChannelTransport, traffic: &mut Traffic) -> Result<WorkerResponse, ClusterError> {
+    let frame = link.recv().map_err(ClusterError::Io)?;
+    traffic.from_workers_bytes += 4 + frame.len() as u64;
+    traffic.frames += 1;
+    match WorkerResponse::decode(&frame)? {
+        WorkerResponse::Error { message } => Err(ClusterError::Protocol(message)),
+        response => Ok(response),
+    }
+}
+
+fn expect_stripe(expected: u64, got: u64) -> Result<(), ClusterError> {
+    if expected != got {
+        return Err(ClusterError::Protocol(format!(
+            "response for stripe {got}, expected {expected}"
+        )));
+    }
+    Ok(())
+}
+
+fn unexpected(response: WorkerResponse) -> Result<(), ClusterError> {
+    Err(ClusterError::Protocol(format!(
+        "unexpected response kind: {response:?}"
+    )))
+}
+
+fn tally_verify(report: &mut SimReport, violated: Option<&[u32]>) {
+    if let Some(rows) = violated {
+        if rows.is_empty() {
+            report.verified_clean += 1;
+        } else {
+            report.violations += rows.len();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use ppm_codes::SdCode;
+
+    fn paper_code() -> SdCode<u8> {
+        // The paper's running example: SD^{1,1}_{4,4}(8|1,2).
+        SdCode::new(4, 4, 1, 1, vec![1, 2]).expect("paper code")
+    }
+
+    fn small_cfg(workers: usize) -> SimConfig {
+        SimConfig {
+            workers,
+            stripes: 1_000_000,
+            damaged: 12,
+            scenarios: 3,
+            sector_bytes: 512,
+            seed: 2015,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn partial_repair_is_bit_identical_across_worker_counts() {
+        let code = paper_code();
+        for workers in [1, 2, 4] {
+            let report =
+                run_sim(&code, &small_cfg(workers), RepairMode::Partial).expect("sim runs");
+            assert!(report.identical, "{workers} workers diverged");
+            assert_eq!(report.repaired, report.damaged);
+            assert_eq!(report.split_rests + report.local_rests, report.repaired);
+            assert_eq!(report.violations, 0);
+            // One shipped plan per (worker, scenario) at most.
+            assert!(report.plans_shipped <= workers * 3);
+        }
+    }
+
+    #[test]
+    fn naive_repair_is_bit_identical() {
+        let code = paper_code();
+        let report = run_sim(&code, &small_cfg(4), RepairMode::Naive).expect("sim runs");
+        assert!(report.identical);
+        assert_eq!(report.repaired, report.damaged);
+        assert_eq!(report.verified_clean, report.repaired);
+        assert_eq!(report.plans_shipped, 0);
+    }
+
+    #[test]
+    fn partial_mode_moves_fewer_bytes_than_naive() {
+        let code = paper_code();
+        let cfg = small_cfg(4);
+        let partial = run_sim(&code, &cfg, RepairMode::Partial).expect("partial");
+        let naive = run_sim(&code, &cfg, RepairMode::Naive).expect("naive");
+        assert!(
+            partial.traffic.total_bytes() < naive.traffic.total_bytes(),
+            "partial moved {} bytes, naive {}",
+            partial.traffic.total_bytes(),
+            naive.traffic.total_bytes()
+        );
+    }
+
+    #[test]
+    fn sim_is_deterministic_for_a_seed() {
+        let code = paper_code();
+        let cfg = small_cfg(3);
+        let a = run_sim(&code, &cfg, RepairMode::Partial).expect("a");
+        let b = run_sim(&code, &cfg, RepairMode::Partial).expect("b");
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.plans_shipped, b.plans_shipped);
+        assert_eq!(a.split_rests, b.split_rests);
+    }
+
+    #[test]
+    fn nonsense_configs_are_rejected() {
+        let code = paper_code();
+        let bad = SimConfig {
+            workers: 0,
+            ..small_cfg(1)
+        };
+        assert!(run_sim(&code, &bad, RepairMode::Partial).is_err());
+        let bad = SimConfig {
+            damaged: 100,
+            stripes: 10,
+            ..small_cfg(2)
+        };
+        assert!(run_sim(&code, &bad, RepairMode::Partial).is_err());
+    }
+
+    #[test]
+    fn report_json_carries_the_grep_targets() {
+        let code = paper_code();
+        let report = run_sim(&code, &small_cfg(2), RepairMode::Partial).expect("sim");
+        let json = report.to_json();
+        for needle in [
+            "\"mode\":\"partial\"",
+            "\"workers\":2",
+            "\"identical\":true",
+            "\"total_bytes\":",
+            "\"plan_bytes\":",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! How frames move between a coordinator and a worker.
+//!
+//! [`Transport`] is deliberately tiny — send a frame, receive a frame —
+//! so the protocol layer above it is transport-agnostic.
+//! [`ChannelTransport`] moves frames over in-process `mpsc` channels
+//! (what [`run_sim`](crate::run_sim) uses); [`StreamTransport`] runs the
+//! same protocol over any `io::Read`/`io::Write` pair, which is exactly
+//! the shape of a `TcpStream` and its `try_clone`.
+
+use crate::frame::{read_frame, write_frame};
+use std::io::{self, Read, Write};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Mutex;
+
+/// A bidirectional, frame-oriented link to one peer.
+///
+/// Both methods take `&self`: transports sit behind shared references
+/// on both sides of a thread boundary. Implementations serialize
+/// internally.
+pub trait Transport: Send {
+    /// Delivers one frame to the peer.
+    fn send(&self, frame: Vec<u8>) -> io::Result<()>;
+    /// Blocks until the peer's next frame arrives.
+    fn recv(&self) -> io::Result<Vec<u8>>;
+}
+
+/// Strips a poisoned-lock error: the data behind these locks is a frame
+/// queue or stream handle, still structurally valid after a panicking
+/// holder.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// In-process transport: one end of a pair of `mpsc` channels.
+pub struct ChannelTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Mutex<Receiver<Vec<u8>>>,
+}
+
+/// Creates two connected [`ChannelTransport`] ends: everything sent on
+/// one is received by the other, in order.
+pub fn channel_pair() -> (ChannelTransport, ChannelTransport) {
+    let (tx_ab, rx_ab) = mpsc::channel();
+    let (tx_ba, rx_ba) = mpsc::channel();
+    (
+        ChannelTransport {
+            tx: tx_ab,
+            rx: Mutex::new(rx_ba),
+        },
+        ChannelTransport {
+            tx: tx_ba,
+            rx: Mutex::new(rx_ab),
+        },
+    )
+}
+
+impl Transport for ChannelTransport {
+    fn send(&self, frame: Vec<u8>) -> io::Result<()> {
+        self.tx
+            .send(frame)
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer hung up"))
+    }
+
+    fn recv(&self) -> io::Result<Vec<u8>> {
+        lock(&self.rx)
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "peer hung up"))
+    }
+}
+
+/// Stream transport: frames over any `Read`/`Write` pair via
+/// [`read_frame`]/[`write_frame`]. For TCP:
+/// `StreamTransport::new(stream.try_clone()?, stream)`.
+pub struct StreamTransport<R: Read + Send, W: Write + Send> {
+    reader: Mutex<R>,
+    writer: Mutex<W>,
+}
+
+impl<R: Read + Send, W: Write + Send> StreamTransport<R, W> {
+    /// Wraps a reader/writer pair as a transport.
+    pub fn new(reader: R, writer: W) -> Self {
+        StreamTransport {
+            reader: Mutex::new(reader),
+            writer: Mutex::new(writer),
+        }
+    }
+}
+
+impl<R: Read + Send, W: Write + Send> Transport for StreamTransport<R, W> {
+    fn send(&self, frame: Vec<u8>) -> io::Result<()> {
+        write_frame(&mut *lock(&self.writer), &frame)
+    }
+
+    fn recv(&self) -> io::Result<Vec<u8>> {
+        read_frame(&mut *lock(&self.reader))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn channel_pair_is_bidirectional_and_ordered() {
+        let (a, b) = channel_pair();
+        a.send(vec![1]).unwrap();
+        a.send(vec![2, 2]).unwrap();
+        b.send(vec![3]).unwrap();
+        assert_eq!(b.recv().unwrap(), vec![1]);
+        assert_eq!(b.recv().unwrap(), vec![2, 2]);
+        assert_eq!(a.recv().unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn dropped_peer_surfaces_as_io_error() {
+        let (a, b) = channel_pair();
+        drop(b);
+        assert!(a.send(vec![1]).is_err());
+        assert!(a.recv().is_err());
+    }
+
+    #[test]
+    fn stream_transport_round_trips_over_shared_buffers() {
+        // One direction of a stream link: a sends into a Vec, b reads a
+        // cursor over those bytes.
+        let mut wire = Vec::new();
+        {
+            let a = StreamTransport::new(std::io::empty(), &mut wire);
+            a.send(vec![9, 9, 9]).unwrap();
+            a.send(vec![4]).unwrap();
+        }
+        let b = StreamTransport::new(std::io::Cursor::new(wire), std::io::sink());
+        assert_eq!(b.recv().unwrap(), vec![9, 9, 9]);
+        assert_eq!(b.recv().unwrap(), vec![4]);
+    }
+}

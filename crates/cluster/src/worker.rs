@@ -1,0 +1,242 @@
+//! The worker side: owns a shard of stripes, executes wire plans
+//! against them, and never sees the code or its parity-check matrix —
+//! everything it knows about decoding arrived as a
+//! [`WirePlan`](ppm_core::WirePlan).
+
+use crate::error::ClusterError;
+use crate::message::{CoordinatorRequest, WorkerResponse};
+use crate::transport::Transport;
+use ppm_core::{DecoderConfig, ExecutableWirePlan, Executor, WirePlan};
+use ppm_gf::{Backend, GfWord};
+use ppm_stripe::Stripe;
+use std::collections::HashMap;
+
+/// One worker: a shard of stripes keyed by archive-wide id, an
+/// [`Executor`] for the data path, and a cache of compiled wire plans
+/// keyed by the coordinator's [`PlanKey`](ppm_core::PlanKey) string.
+///
+/// `W` is the Galois-field word the archive's code operates over; the
+/// worker needs it only to re-materialize kernel tables when compiling a
+/// received plan.
+pub struct Worker<W: GfWord> {
+    id: usize,
+    stripes: HashMap<u64, Stripe>,
+    executor: Executor,
+    backend: Backend,
+    plans: HashMap<String, ExecutableWirePlan<W>>,
+    /// Stripes repaired through the split path whose verify pass waits
+    /// for the coordinator's phase-B install, mapped to the plan that
+    /// will verify them.
+    pending_verify: HashMap<u64, String>,
+}
+
+impl<W: GfWord> Worker<W> {
+    /// Creates a worker owning `stripes`, executing with `config`'s
+    /// thread budget and compiling received plans for `config.backend`.
+    pub fn new(id: usize, stripes: HashMap<u64, Stripe>, config: DecoderConfig) -> Self {
+        Worker {
+            id,
+            stripes,
+            executor: Executor::new(config),
+            backend: config.backend,
+            plans: HashMap::new(),
+            pending_verify: HashMap::new(),
+        }
+    }
+
+    /// This worker's index in the cluster.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The stripes this worker currently holds.
+    pub fn stripes(&self) -> &HashMap<u64, Stripe> {
+        &self.stripes
+    }
+
+    /// Distinct plans compiled so far (one network-shipped plan serves
+    /// every stripe sharing its failure scenario).
+    pub fn plans_cached(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Serves requests from `transport` until
+    /// [`Shutdown`](CoordinatorRequest::Shutdown), then returns the
+    /// shard in its final state.
+    ///
+    /// # Errors
+    /// [`ClusterError::Io`] when the transport drops mid-conversation,
+    /// [`ClusterError::Protocol`] on an undecodable request. Request
+    /// handling failures are *not* errors here — they travel back as
+    /// [`WorkerResponse::Error`] and the loop keeps serving.
+    pub fn run<T: Transport>(
+        mut self,
+        transport: &T,
+    ) -> Result<HashMap<u64, Stripe>, ClusterError> {
+        loop {
+            let frame = transport.recv()?;
+            let request = CoordinatorRequest::decode(&frame)?;
+            if matches!(request, CoordinatorRequest::Shutdown) {
+                return Ok(self.stripes);
+            }
+            let response = self.handle(request);
+            transport.send(response.encode())?;
+        }
+    }
+
+    /// Handles one request, folding every failure into
+    /// [`WorkerResponse::Error`]. Exposed so tests and alternative
+    /// event loops can drive a worker without a transport.
+    pub fn handle(&mut self, request: CoordinatorRequest) -> WorkerResponse {
+        let result = match request {
+            CoordinatorRequest::Repair {
+                stripe,
+                plan_key,
+                plan,
+            } => self.repair(stripe, plan_key, plan),
+            CoordinatorRequest::FetchSectors { stripe, sectors } => self.fetch(stripe, &sectors),
+            CoordinatorRequest::Install { stripe, sectors } => self.install(stripe, sectors),
+            CoordinatorRequest::Shutdown => Err("shutdown is handled by the run loop".to_string()),
+        };
+        result.unwrap_or_else(|message| WorkerResponse::Error {
+            message: format!("worker {}: {message}", self.id),
+        })
+    }
+
+    fn repair(
+        &mut self,
+        stripe_id: u64,
+        plan_key: String,
+        plan_bytes: Option<Vec<u8>>,
+    ) -> Result<WorkerResponse, String> {
+        if let Some(bytes) = plan_bytes {
+            let wire = WirePlan::decode(&bytes)
+                .map_err(|e| format!("plan {plan_key} failed to decode: {e}"))?;
+            let compiled = wire
+                .compile::<W>(self.backend)
+                .map_err(|e| format!("plan {plan_key} failed to compile: {e}"))?;
+            self.plans.insert(plan_key.clone(), compiled);
+        }
+        let plan = self
+            .plans
+            .get(&plan_key)
+            .ok_or_else(|| format!("unknown plan {plan_key}"))?;
+        let stripe = self
+            .stripes
+            .get_mut(&stripe_id)
+            .ok_or_else(|| format!("stripe {stripe_id} is not owned here"))?;
+
+        let partials = self
+            .executor
+            .wire_partials(plan, stripe)
+            .map_err(|e| format!("repair of stripe {stripe_id} failed: {e}"))?;
+        let violated_rows = if partials.rest_pending {
+            // Phase B happens at the coordinator; verify once its
+            // install lands.
+            self.pending_verify.insert(stripe_id, plan_key);
+            None
+        } else {
+            Some(verified_rows(&self.executor, plan, stripe)?)
+        };
+        Ok(WorkerResponse::Partials {
+            stripe: stripe_id,
+            rest_blocks: partials.rest_blocks,
+            rest_pending: partials.rest_pending,
+            violated_rows,
+        })
+    }
+
+    fn fetch(&self, stripe_id: u64, sectors: &[u32]) -> Result<WorkerResponse, String> {
+        let stripe = self
+            .stripes
+            .get(&stripe_id)
+            .ok_or_else(|| format!("stripe {stripe_id} is not owned here"))?;
+        let total = stripe.layout().sectors();
+        let mut out = Vec::with_capacity(sectors.len());
+        for &s in sectors {
+            let s = s as usize;
+            if s >= total {
+                return Err(format!("sector {s} out of range (stripe has {total})"));
+            }
+            out.push((s as u32, stripe.sector(s).to_vec()));
+        }
+        Ok(WorkerResponse::Sectors {
+            stripe: stripe_id,
+            sectors: out,
+        })
+    }
+
+    fn install(
+        &mut self,
+        stripe_id: u64,
+        sectors: Vec<(u32, Vec<u8>)>,
+    ) -> Result<WorkerResponse, String> {
+        {
+            let stripe = self
+                .stripes
+                .get_mut(&stripe_id)
+                .ok_or_else(|| format!("stripe {stripe_id} is not owned here"))?;
+            let total = stripe.layout().sectors();
+            let sector_bytes = stripe.sector_bytes();
+            for (s, bytes) in &sectors {
+                let s = *s as usize;
+                if s >= total {
+                    return Err(format!("sector {s} out of range (stripe has {total})"));
+                }
+                if bytes.len() != sector_bytes {
+                    return Err(format!(
+                        "sector {s} carries {} bytes, stripe holds {sector_bytes}",
+                        bytes.len()
+                    ));
+                }
+            }
+            for (s, bytes) in &sectors {
+                stripe.write_sector(*s as usize, bytes);
+            }
+        }
+
+        let violated_rows = match self.pending_verify.remove(&stripe_id) {
+            None => None,
+            Some(plan_key) => {
+                let plan = self
+                    .plans
+                    .get(&plan_key)
+                    .ok_or_else(|| format!("pending verify names unknown plan {plan_key}"))?;
+                let stripe = self
+                    .stripes
+                    .get(&stripe_id)
+                    .ok_or_else(|| format!("stripe {stripe_id} vanished mid-install"))?;
+                Some(verified_rows(&self.executor, plan, stripe)?)
+            }
+        };
+        Ok(WorkerResponse::Installed {
+            stripe: stripe_id,
+            violated_rows,
+        })
+    }
+}
+
+/// Runs the plan's surplus-row verify pass, returning the violated
+/// global row indices (empty means clean — vacuously so when the plan
+/// retained no surplus rows).
+fn verified_rows<W: GfWord>(
+    executor: &Executor,
+    plan: &ExecutableWirePlan<W>,
+    stripe: &Stripe,
+) -> Result<Vec<u32>, String> {
+    let report = executor
+        .verify_wire(plan, stripe)
+        .map_err(|e| format!("verify failed: {e}"))?;
+    Ok(report.violated_rows.iter().map(|&r| r as u32).collect())
+}
+
+impl<W: GfWord> std::fmt::Debug for Worker<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker")
+            .field("id", &self.id)
+            .field("stripes", &self.stripes.len())
+            .field("plans", &self.plans.len())
+            .field("pending_verify", &self.pending_verify.len())
+            .finish()
+    }
+}

@@ -85,9 +85,69 @@ impl PlanKey {
         }
     }
 
+    /// Builds a key directly from its components, canonicalizing the
+    /// faulty set (sorted, deduplicated) — the constructor behind
+    /// [`PlanKey::parse`] and cluster-side key reconstruction.
+    pub fn from_parts(
+        code_id: impl Into<Arc<str>>,
+        gf_width: u32,
+        mut faulty: Vec<usize>,
+        strategy: Strategy,
+    ) -> Self {
+        faulty.sort_unstable();
+        faulty.dedup();
+        PlanKey {
+            code_id: code_id.into(),
+            gf_width,
+            faulty,
+            strategy,
+        }
+    }
+
+    /// The code identity this key stands for (see
+    /// [`ErasureCode::cache_id`](ppm_codes::ErasureCode::cache_id)).
+    pub fn code_id(&self) -> &str {
+        &self.code_id
+    }
+
+    /// The GF word width (in bits) the plan's matrix is expressed in.
+    pub fn gf_width(&self) -> u32 {
+        self.gf_width
+    }
+
     /// The sorted faulty columns this key stands for.
     pub fn faulty(&self) -> &[usize] {
         &self.faulty
+    }
+
+    /// The strategy component of the key.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Parses the stable serialized form produced by the [`Display`]
+    /// (`std::fmt::Display`) impl back into a key. The code-id may
+    /// itself contain `|`, so the three trailing fields are split off
+    /// from the right. Returns `None` for anything malformed.
+    pub fn parse(s: &str) -> Option<PlanKey> {
+        // rsplitn yields the fields right-to-left: strategy, faulty,
+        // width, then everything left of them (the code id, verbatim).
+        let mut fields = s.rsplitn(4, '|');
+        let strategy = Strategy::from_name(fields.next()?)?;
+        let faulty_field = fields.next()?.strip_prefix('f')?;
+        let width_field = fields.next()?.strip_prefix('w')?;
+        let code_id = fields.next()?;
+        let gf_width: u32 = width_field.parse().ok()?;
+        let faulty: Vec<usize> = if faulty_field.is_empty() {
+            Vec::new()
+        } else {
+            faulty_field
+                .split('.')
+                .map(str::parse)
+                .collect::<Result<_, _>>()
+                .ok()?
+        };
+        Some(PlanKey::from_parts(code_id, gf_width, faulty, strategy))
     }
 
     /// The shard this key hashes into, for `shard_count` shards.
@@ -95,6 +155,25 @@ impl PlanKey {
         let mut hasher = DefaultHasher::new();
         self.hash(&mut hasher);
         (hasher.finish() as usize) % shard_count
+    }
+}
+
+/// The stable serialized form: `code-id|w<width>|f<c0.c1...>|<strategy>`,
+/// e.g. `sd:4,4,1,1:1,2|w8|f2.6.14|ppm-auto`. An empty faulty set renders
+/// as a bare `f`. Only the code-id may contain `|`; [`PlanKey::parse`]
+/// splits the trailing fields from the right, so the round trip is exact
+/// for every key. Coordinator logs and cluster messages name plans by
+/// this string.
+impl std::fmt::Display for PlanKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}|w{}|f", self.code_id, self.gf_width)?;
+        for (i, s) in self.faulty.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "|{}", self.strategy.name())
     }
 }
 
@@ -551,6 +630,57 @@ mod tests {
         );
         for wrong in [other_set, other_code, other_width, other_strategy] {
             assert_ne!(a, wrong);
+        }
+    }
+
+    #[test]
+    fn display_form_is_stable_and_round_trips() {
+        let k = PlanKey::new(
+            "sd:4,4,1,1:1,2",
+            8,
+            &FailureScenario::new(vec![14, 2, 6]),
+            Strategy::PpmAuto,
+        );
+        assert_eq!(k.to_string(), "sd:4,4,1,1:1,2|w8|f2.6.14|ppm-auto");
+        assert_eq!(PlanKey::parse(&k.to_string()), Some(k.clone()));
+        assert_eq!(k.code_id(), "sd:4,4,1,1:1,2");
+        assert_eq!(k.gf_width(), 8);
+        assert_eq!(k.strategy(), Strategy::PpmAuto);
+
+        // Every strategy, every width, empty and singleton faulty sets —
+        // and a code id containing the separator — all round trip.
+        for strategy in Strategy::CONCRETE.into_iter().chain([Strategy::PpmAuto]) {
+            for width in [8u32, 16, 32] {
+                for faulty in [vec![], vec![0], vec![3, 1, 3, 7]] {
+                    let key = PlanKey::from_parts("odd|code|id", width, faulty, strategy);
+                    let parsed = PlanKey::parse(&key.to_string());
+                    assert_eq!(parsed, Some(key));
+                }
+            }
+        }
+        // from_parts canonicalizes like FailureScenario does.
+        assert_eq!(
+            PlanKey::from_parts("c", 8, vec![3, 1, 3, 7], Strategy::PpmAuto).faulty(),
+            &[1, 3, 7]
+        );
+        assert_eq!(
+            PlanKey::from_parts("c", 8, vec![], Strategy::PpmAuto).to_string(),
+            "c|w8|f|ppm-auto"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_forms() {
+        for bad in [
+            "",
+            "c|w8|f2",                   // missing strategy
+            "c|w8|f2|nonsense-strategy", // unknown strategy
+            "c|8|f2|ppm-auto",           // missing width marker
+            "c|wx|f2|ppm-auto",          // non-numeric width
+            "c|w8|2.6|ppm-auto",         // missing faulty marker
+            "c|w8|f2.x|ppm-auto",        // non-numeric faulty column
+        ] {
+            assert_eq!(PlanKey::parse(bad), None, "{bad:?} must not parse");
         }
     }
 

@@ -17,7 +17,7 @@
 use crate::arena::ScratchArena;
 use crate::plan::{DecodePlan, Program, RegionCache, Strategy, SubPlan};
 use crate::stats::{ExecStats, SubPlanStats};
-use crate::tape::{Instr, Loc, OpCode, TapeSegment};
+use crate::tape::{Instr, Loc, OpCode, TapeSegment, VerifyRun};
 use crate::DecodeError;
 use ppm_codes::{ErasureCode, FailureScenario};
 use ppm_gf::{mul_copy_fused, mul_copy_fused_with, Backend, GfWord, RegionMul, RegionStats};
@@ -825,42 +825,78 @@ impl Decoder {
             });
         }
         let tape = plan.ensure_tape();
-        let sink = RegionStats::new();
-        let started = Instant::now();
-        let mut violated = Vec::new();
-        // Each run's head overwrites the accumulator, so it needs no
-        // zeroing — not on take, not between rows.
-        let mut acc = take_buf_dirty(arena, stripe.sector_bytes());
-        for run in &tape.verify {
-            if run.instrs.is_empty() {
-                // An all-zero surplus row: the empty XOR sum is zero,
-                // never violated (the graph walker agrees vacuously).
-                continue;
-            }
-            run_tape_section(
-                &run.instrs,
-                |loc| match loc {
-                    Loc::Sector(s) => stripe.sector(s),
-                    // Verify runs are lowered from surplus rows, whose
-                    // terms are all stripe sectors.
-                    Loc::Slot(_) => unreachable!("verify runs read sectors only"),
-                },
-                &mut acc,
-                0,
-                stripe.sector_bytes(),
-                Some(&sink),
-            );
-            if acc.iter().any(|&b| b != 0) {
-                violated.push(run.row);
-            }
+        Ok(run_verify_runs(&tape.verify, stripe, arena))
+    }
+
+    /// Runs independent phase-A tape segments against the stripe —
+    /// through the thread pool when one is configured and there is more
+    /// than one segment, serially otherwise. Returns each segment's flat
+    /// reservation; the caller installs outputs. Shared by the in-process
+    /// tape path and the wire-plan executor.
+    pub(crate) fn run_segments_pooled<W: GfWord>(
+        &self,
+        segments: &[TapeSegment<W>],
+        stripe: &Stripe,
+        arena: Option<&ScratchArena>,
+    ) -> Vec<Vec<u8>> {
+        match &self.pool {
+            Some(pool) if segments.len() > 1 => pool.install(|| {
+                segments
+                    .par_iter()
+                    .map(|seg| run_tape_segment(seg, stripe, None, arena))
+                    .collect()
+            }),
+            _ => segments
+                .iter()
+                .map(|seg| run_tape_segment(seg, stripe, None, arena))
+                .collect(),
         }
-        give_bufs(arena, [acc]);
-        let stats = SubPlanStats::collect(&sink, 0, started.elapsed());
-        Ok(VerifyReport {
-            rows_checked: tape.verify.len(),
-            violated_rows: violated,
-            stats,
-        })
+    }
+}
+
+/// Replays lowered verify runs against a stripe: each surplus row is one
+/// fused run into a single accumulator slot. Shared by the in-process
+/// tape verifier and the wire-plan executor.
+pub(crate) fn run_verify_runs<W: GfWord>(
+    runs: &[VerifyRun<W>],
+    stripe: &Stripe,
+    arena: Option<&ScratchArena>,
+) -> VerifyReport {
+    let sink = RegionStats::new();
+    let started = Instant::now();
+    let mut violated = Vec::new();
+    // Each run's head overwrites the accumulator, so it needs no
+    // zeroing — not on take, not between rows.
+    let mut acc = take_buf_dirty(arena, stripe.sector_bytes());
+    for run in runs {
+        if run.instrs.is_empty() {
+            // An all-zero surplus row: the empty XOR sum is zero,
+            // never violated (the graph walker agrees vacuously).
+            continue;
+        }
+        run_tape_section(
+            &run.instrs,
+            |loc| match loc {
+                Loc::Sector(s) => stripe.sector(s),
+                // Verify runs are lowered from surplus rows, whose
+                // terms are all stripe sectors.
+                Loc::Slot(_) => unreachable!("verify runs read sectors only"),
+            },
+            &mut acc,
+            0,
+            stripe.sector_bytes(),
+            Some(&sink),
+        );
+        if acc.iter().any(|&b| b != 0) {
+            violated.push(run.row);
+        }
+    }
+    give_bufs(arena, [acc]);
+    let stats = SubPlanStats::collect(&sink, 0, started.elapsed());
+    VerifyReport {
+        rows_checked: runs.len(),
+        violated_rows: violated,
+        stats,
     }
 }
 
@@ -899,7 +935,7 @@ fn take_buf(arena: Option<&ScratchArena>, len: usize) -> Vec<u8> {
 
 /// [`take_buf`] without the zeroing guarantee — for the tape executor,
 /// whose overwriting run heads never read the buffer's prior contents.
-fn take_buf_dirty(arena: Option<&ScratchArena>, len: usize) -> Vec<u8> {
+pub(crate) fn take_buf_dirty(arena: Option<&ScratchArena>, len: usize) -> Vec<u8> {
     match arena {
         Some(a) => a.take_dirty(len),
         None => vec![0u8; len],
@@ -907,7 +943,7 @@ fn take_buf_dirty(arena: Option<&ScratchArena>, len: usize) -> Vec<u8> {
 }
 
 /// Returns buffers to `arena` (no-op without one).
-fn give_bufs(arena: Option<&ScratchArena>, bufs: impl IntoIterator<Item = Vec<u8>>) {
+pub(crate) fn give_bufs(arena: Option<&ScratchArena>, bufs: impl IntoIterator<Item = Vec<u8>>) {
     if let Some(a) = arena {
         for buf in bufs {
             a.give(buf);
@@ -1127,7 +1163,7 @@ fn run_subplan_chunked<W: GfWord>(
 // source is below `scratch_slots`, and the reservation is exactly
 // `total_slots()` sectors long.
 #[allow(clippy::indexing_slicing)]
-fn run_tape_segment<W: GfWord>(
+pub(crate) fn run_tape_segment<W: GfWord>(
     seg: &TapeSegment<W>,
     stripe: &Stripe,
     stats: Option<&RegionStats>,
@@ -1183,7 +1219,7 @@ fn run_tape_segment<W: GfWord>(
 // opcodes the compiler emitted, and destinations lie inside this
 // section's slot range.
 #[allow(clippy::indexing_slicing)]
-fn run_tape_section<'a, W: GfWord>(
+pub(crate) fn run_tape_section<'a, W: GfWord>(
     instrs: &[Instr<W>],
     source: impl Fn(Loc) -> &'a [u8],
     dst_region: &mut [u8],
@@ -1246,7 +1282,7 @@ fn run_tape_segment_instrumented<W: GfWord>(
 // `slot * sb..` is in bounds: outputs live inside the reservation the
 // tape sized (see `run_tape_segment`).
 #[allow(clippy::indexing_slicing)]
-fn install_tape_outputs<W: GfWord>(
+pub(crate) fn install_tape_outputs<W: GfWord>(
     seg: &TapeSegment<W>,
     flat: Vec<u8>,
     stripe: &mut Stripe,

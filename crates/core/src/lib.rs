@@ -66,22 +66,28 @@ mod cache;
 pub mod cost;
 mod error;
 mod exec;
+mod executor;
 mod logtable;
 mod partition;
 mod plan;
+mod planner;
 mod service;
 mod stats;
 mod tape;
 mod update;
+mod wire;
 
 pub use arena::{ArenaStats, ScratchArena};
 pub use cache::{PlanCache, PlanCacheStats, PlanKey};
 pub use error::{DecodeError, RepairError};
 pub use exec::{encode, parity_consistent, Decoder, DecoderConfig, VerifyReport};
+pub use executor::{Executor, WirePartials};
 pub use logtable::{LogTable, LogTableRow};
 pub use partition::{ParallelismCase, Partition, SubSystem};
 pub use plan::{CalcSequence, DecodePlan, Strategy};
+pub use planner::Planner;
 pub use service::{BatchReport, ExecMode, RepairService};
 pub use stats::{ExecStats, SubPlanStats, UpdateStats, VerifyStats};
 pub use tape::PlanTape;
 pub use update::UpdatePlan;
+pub use wire::{ExecutableWirePlan, WireError, WirePlan, WIRE_VERSION};

@@ -59,6 +59,41 @@ impl Strategy {
         Strategy::PpmMatrixFirstRest,
         Strategy::PpmNormalRest,
     ];
+
+    /// The strategy's stable wire/display name. These strings are part of
+    /// the serialized [`PlanKey`](crate::PlanKey) form and of cluster
+    /// messages, so they must never change for an existing variant.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::TraditionalNormal => "traditional-normal",
+            Strategy::TraditionalMatrixFirst => "traditional-matrix-first",
+            Strategy::PpmMatrixFirstRest => "ppm-matrix-first-rest",
+            Strategy::PpmNormalRest => "ppm-normal-rest",
+            Strategy::PpmAuto => "ppm-auto",
+        }
+    }
+
+    /// Parses a [`Strategy::name`] back into the strategy.
+    pub fn from_name(name: &str) -> Option<Strategy> {
+        Strategy::CONCRETE
+            .into_iter()
+            .chain([Strategy::PpmAuto])
+            .find(|s| s.name() == name)
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Strategy::from_name(s).ok_or(())
+    }
 }
 
 /// A straight-line region program recovering some faulty sectors.

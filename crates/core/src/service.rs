@@ -22,15 +22,16 @@
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 use crate::arena::ScratchArena;
-use crate::cache::{PlanCache, PlanCacheStats, PlanKey};
+use crate::cache::PlanCacheStats;
 use crate::exec::{Decoder, DecoderConfig, VerifyReport};
+use crate::executor::Executor;
 use crate::plan::{DecodePlan, Strategy};
+use crate::planner::Planner;
 use crate::stats::{ExecStats, SubPlanStats, UpdateStats, VerifyStats};
 use crate::update::UpdatePlan;
 use crate::DecodeError;
 use ppm_codes::{ErasureCode, FailureScenario};
 use ppm_gf::{GfWord, RegionStats};
-use ppm_matrix::Matrix;
 use ppm_stripe::Stripe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
@@ -90,50 +91,35 @@ pub enum ExecMode {
 /// assert_eq!(service.cache_stats().hits, 2);
 /// ```
 pub struct RepairService<W: GfWord, C: ErasureCode<W>> {
-    code: C,
-    code_id: Arc<str>,
-    h: Matrix<W>,
-    decoder: Decoder,
-    /// A one-thread decoder for inter-stripe workers: when each worker
-    /// owns a whole stripe there is nothing left to parallelize inside
-    /// it, and a serial decoder reports its thread budget honestly.
-    serial: Decoder,
-    cache: PlanCache<W>,
-    arena: ScratchArena,
+    /// The planning half: code, parity-check matrix, strategy, and the
+    /// plan cache. Produces in-process plans and serializable
+    /// [`WirePlan`](crate::WirePlan)s.
+    planner: Planner<W, C>,
+    /// The execution half: pooled + serial decoders, scratch arena, and
+    /// the tape/graph switch. Never touches the code or the cache.
+    executor: Executor,
     /// The small-write planner, built lazily on the first update and
     /// shared by every subsequent flush (one generator inversion per
     /// session, like one plan build per erasure signature).
     update_plan: OnceLock<Arc<UpdatePlan<W>>>,
-    strategy: Strategy,
-    exec: ExecMode,
-    /// The code's declared erasure budget
-    /// ([`ErasureCode::fault_tolerance`]), captured once: erasure
-    /// escalation never promotes a scenario past this many sectors.
-    tolerance: usize,
 }
 
 impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     /// Creates a session for `code` with [`Strategy::PpmAuto`] and the
     /// default cache capacity.
     pub fn new(code: C, config: DecoderConfig) -> Self {
-        let code_id: Arc<str> = Arc::from(code.cache_id());
-        let h = code.parity_check_matrix();
-        let tolerance = code.fault_tolerance();
+        Self::from_parts(Planner::new(code, config.backend), Executor::new(config))
+    }
+
+    /// Wires an existing planner and executor into a session — the same
+    /// composition [`RepairService::new`] performs, exposed for callers
+    /// that built the halves separately (a coordinator's planner, a
+    /// worker's executor).
+    pub fn from_parts(planner: Planner<W, C>, executor: Executor) -> Self {
         RepairService {
-            code,
-            code_id,
-            h,
-            decoder: Decoder::new(config),
-            serial: Decoder::new(DecoderConfig {
-                threads: 1,
-                ..config
-            }),
-            cache: PlanCache::with_default_capacity(),
-            arena: ScratchArena::new(),
+            planner,
+            executor,
             update_plan: OnceLock::new(),
-            strategy: Strategy::PpmAuto,
-            exec: ExecMode::Tape,
-            tolerance,
         }
     }
 
@@ -142,7 +128,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     /// compare strategies should use one service per strategy (or accept
     /// the cache holding both).
     pub fn with_strategy(mut self, strategy: Strategy) -> Self {
-        self.strategy = strategy;
+        self.planner = self.planner.with_strategy(strategy);
         self
     }
 
@@ -152,7 +138,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     /// graph walker. Both produce bit-identical bytes and identical
     /// op counts.
     pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
-        self.exec = mode;
+        self.executor = self.executor.with_exec_mode(mode);
         self
     }
 
@@ -163,50 +149,60 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache = PlanCache::new(capacity);
+        self.planner = self.planner.with_cache_capacity(capacity);
         self
+    }
+
+    /// The planning half of the session.
+    pub fn planner(&self) -> &Planner<W, C> {
+        &self.planner
+    }
+
+    /// The execution half of the session.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
     }
 
     /// The code this session repairs.
     pub fn code(&self) -> &C {
-        &self.code
+        self.planner.code()
     }
 
     /// The underlying decoder.
     pub fn decoder(&self) -> &Decoder {
-        &self.decoder
+        self.executor.decoder()
     }
 
     /// The strategy requested for plan builds.
     pub fn strategy(&self) -> Strategy {
-        self.strategy
+        self.planner.strategy()
     }
 
     /// The execution path used for decodes.
     pub fn exec_mode(&self) -> ExecMode {
-        self.exec
+        self.executor.exec_mode()
     }
 
     /// Cumulative plan-cache counters.
     pub fn cache_stats(&self) -> PlanCacheStats {
-        self.cache.stats()
+        self.planner.cache_stats()
     }
 
     /// The session's scratch-buffer arena (telemetry: fresh allocations
     /// vs reuses).
     pub fn arena(&self) -> &ScratchArena {
-        &self.arena
+        self.executor.arena()
     }
 
     /// Drops every cached plan, keeping the cumulative counters.
     pub fn clear_cache(&self) {
-        self.cache.clear();
+        self.planner.clear_cache();
     }
 
     /// Attaches the session's cache and arena counters to `stats`.
     fn attach_counters(&self, stats: &mut ExecStats) {
-        stats.cache = Some(self.cache.stats());
-        stats.arena = Some(self.arena.stats());
+        stats.cache = Some(self.planner.cache_stats());
+        stats.arena = Some(self.executor.arena().stats());
     }
 
     /// The session's plan for `scenario`: cached when seen before (in
@@ -217,10 +213,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
         &self,
         scenario: &FailureScenario,
     ) -> Result<(Arc<DecodePlan<W>>, bool), DecodeError> {
-        let key = PlanKey::new(Arc::clone(&self.code_id), W::WIDTH, scenario, self.strategy);
-        let (h, backend, strategy) = (&self.h, self.decoder.config().backend, self.strategy);
-        self.cache
-            .get_or_build(key, || DecodePlan::build(h, scenario, strategy, backend))
+        self.planner.plan_for(scenario)
     }
 
     /// Decodes one stripe through `decoder` on the session's configured
@@ -231,10 +224,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
         plan: &DecodePlan<W>,
         stripe: &mut Stripe,
     ) -> Result<ExecStats, DecodeError> {
-        match self.exec {
-            ExecMode::Tape => decoder.decode_tape_with_stats_in(plan, stripe, &self.arena),
-            ExecMode::Graph => decoder.decode_with_stats_in(plan, stripe, &self.arena),
-        }
+        self.executor.decode_via(decoder, plan, stripe)
     }
 
     /// Repairs one stripe in place: plans (or re-uses the cached plan
@@ -247,7 +237,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
         scenario: &FailureScenario,
     ) -> Result<ExecStats, DecodeError> {
         let (plan, _) = self.plan_for(scenario)?;
-        let mut stats = self.decode_via(&self.decoder, &plan, stripe)?;
+        let mut stats = self.decode_via(self.executor.decoder(), &plan, stripe)?;
         self.attach_counters(&mut stats);
         Ok(stats)
     }
@@ -255,7 +245,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     /// The escalation budget: the session code's declared
     /// [`ErasureCode::fault_tolerance`], captured at construction.
     pub fn fault_tolerance(&self) -> usize {
-        self.tolerance
+        self.planner.fault_tolerance()
     }
 
     /// Repairs one stripe and *checks the work*: after decoding,
@@ -314,8 +304,8 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
         // stripe as handed in.
         let baseline = stripe.clone();
         let (plan, _) = self.plan_for(scenario)?;
-        let mut stats = self.decode_via(&self.decoder, &plan, stripe)?;
-        let report = self.decoder.verify_in(&plan, stripe, &self.arena)?;
+        let mut stats = self.decode_via(self.executor.decoder(), &plan, stripe)?;
+        let report = self.executor.verify(&plan, stripe)?;
         let mut verify = VerifyStats {
             rows_available: plan.verify_rows(),
             predicted_mult_xors: plan.verify_mult_xors(),
@@ -345,10 +335,10 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
         // corrupt sector, so sectors appearing (with a non-zero
         // coefficient) in *all* violated rows are the strongest suspects.
         // The sort is stable, keeping read-order within each tier.
-        let h = &self.h;
+        let h = self.planner.h();
         suspects.sort_by_key(|&s| report.violated_rows.iter().any(|&r| h.get(r, s) == W::ZERO));
 
-        let budget = self.tolerance;
+        let budget = self.planner.fault_tolerance();
         let mut attempts = 0usize;
         if faulty.len() < budget {
             for suspect in suspects {
@@ -369,8 +359,9 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
                 }
                 attempts += 1;
                 let mut candidate = baseline.clone();
-                let esc_stats = self.decode_via(&self.decoder, &esc_plan, &mut candidate)?;
-                let esc_report = self.decoder.verify_in(&esc_plan, &candidate, &self.arena)?;
+                let esc_stats =
+                    self.decode_via(self.executor.decoder(), &esc_plan, &mut candidate)?;
+                let esc_report = self.executor.verify(&esc_plan, &candidate)?;
                 verify.passes += 1;
                 accumulate_extra(&mut verify.extra, &esc_stats, &esc_report);
                 if esc_report.clean() {
@@ -404,11 +395,13 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
         scenario: &FailureScenario,
     ) -> Result<Vec<ExecStats>, DecodeError> {
         let (plan, _) = self.plan_for(scenario)?;
-        let mut all = self
-            .decoder
-            .decode_batch_with_stats_in(&plan, stripes, &self.arena)?;
-        let cache = self.cache.stats();
-        let arena = self.arena.stats();
+        let mut all = self.executor.decoder().decode_batch_with_stats_in(
+            &plan,
+            stripes,
+            self.executor.arena(),
+        )?;
+        let cache = self.planner.cache_stats();
+        let arena = self.executor.arena().stats();
         for stats in &mut all {
             stats.cache = Some(cache);
             stats.arena = Some(arena);
@@ -426,9 +419,12 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
         chunk_bytes: usize,
     ) -> Result<ExecStats, DecodeError> {
         let (plan, _) = self.plan_for(scenario)?;
-        let mut stats =
-            self.decoder
-                .decode_chunked_with_stats_in(&plan, stripe, chunk_bytes, &self.arena)?;
+        let mut stats = self.executor.decoder().decode_chunked_with_stats_in(
+            &plan,
+            stripe,
+            chunk_bytes,
+            self.executor.arena(),
+        )?;
         self.attach_counters(&mut stats);
         Ok(stats)
     }
@@ -438,7 +434,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
     /// plan is cached like any repair plan, so streaming ingest pays the
     /// plan build once.
     pub fn encode(&self, stripe: &mut Stripe) -> Result<ExecStats, DecodeError> {
-        let scenario = FailureScenario::new(self.code.parity_sectors());
+        let scenario = FailureScenario::new(self.planner.code().parity_sectors());
         self.repair(stripe, &scenario)
     }
 
@@ -451,8 +447,8 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
             return Ok(Arc::clone(plan));
         }
         let built = Arc::new(UpdatePlan::build(
-            &self.code,
-            self.decoder.config().backend,
+            self.planner.code(),
+            self.planner.backend(),
         )?);
         // A lost race keeps the winner's plan — both builds are
         // identical, the session just refuses to hold two.
@@ -492,7 +488,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
             predicted += plan.update_mult_xors(sector)?;
         }
 
-        let mut scratch = self.arena.take(stripe.sector_bytes());
+        let mut scratch = self.executor.arena().take(stripe.sector_bytes());
         let sink = RegionStats::new();
         let mut phase_a = Vec::with_capacity(writes.len());
         let mut parity_patches = 0usize;
@@ -513,17 +509,17 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
                     });
                 }
                 Err(e) => {
-                    self.arena.give(scratch);
+                    self.executor.arena().give(scratch);
                     return Err(e);
                 }
             }
         }
-        self.arena.give(scratch);
+        self.executor.arena().give(scratch);
 
         let parallelism = phase_a.len();
         let phase_a_nanos = phase_a.iter().map(|s| s.nanos).sum();
         let mut stats = ExecStats {
-            strategy: self.strategy,
+            strategy: self.planner.strategy(),
             threads: 1,
             parallelism,
             predicted_mult_xors: predicted,
@@ -608,7 +604,7 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
                         scope.spawn(move || {
                             let mut out = Vec::with_capacity(chunk_stripes.len());
                             for stripe in chunk_stripes.iter_mut() {
-                                out.push(self.decode_via(&self.serial, plan, stripe)?);
+                                out.push(self.decode_via(self.executor.serial(), plan, stripe)?);
                             }
                             Ok(out)
                         })
@@ -625,11 +621,11 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
             workers_used = 1;
             stats = Vec::with_capacity(total);
             for stripe in stripes.iter_mut() {
-                stats.push(self.decode_via(&self.decoder, &plan, stripe)?);
+                stats.push(self.decode_via(self.executor.decoder(), &plan, stripe)?);
             }
         }
-        let cache = self.cache.stats();
-        let arena = self.arena.stats();
+        let cache = self.planner.cache_stats();
+        let arena = self.executor.arena().stats();
         for s in &mut stats {
             s.cache = Some(cache);
             s.arena = Some(arena);
@@ -670,9 +666,9 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
         let (plan, _) = self.plan_for(scenario)?;
         let inter_stripe = workers > 1;
         let worker_decoder = if inter_stripe {
-            &self.serial
+            self.executor.serial()
         } else {
-            &self.decoder
+            self.executor.decoder()
         };
         let source = Mutex::new(stripes.into_iter().enumerate());
         let failed = AtomicBool::new(false);
@@ -710,8 +706,8 @@ impl<W: GfWord, C: ErasureCode<W>> RepairService<W, C> {
             tagged.extend(worker_out?);
         }
         tagged.sort_by_key(|(index, _, _)| *index);
-        let cache = self.cache.stats();
-        let arena = self.arena.stats();
+        let cache = self.planner.cache_stats();
+        let arena = self.executor.arena().stats();
         let mut out_stripes = Vec::with_capacity(tagged.len());
         let mut stats = Vec::with_capacity(tagged.len());
         for (_, stripe, mut s) in tagged {
@@ -800,10 +796,10 @@ fn accumulate_extra(extra: &mut SubPlanStats, decode: &ExecStats, verify: &Verif
 impl<W: GfWord, C: ErasureCode<W>> std::fmt::Debug for RepairService<W, C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RepairService")
-            .field("code", &self.code_id)
-            .field("strategy", &self.strategy)
-            .field("cache", &self.cache)
-            .field("arena", &self.arena)
+            .field("code", &self.planner.code_id())
+            .field("strategy", &self.planner.strategy())
+            .field("cache", self.planner.cache())
+            .field("arena", self.executor.arena())
             .finish()
     }
 }

@@ -13,6 +13,8 @@
 //!                 [--policy lru|mmb|mms] [--buffer BYTES] [--workers N] [--seed S] [--naive] [--stats]
 //! ppm-cli decode  <dir> <output>        # reassemble the original file
 //! ppm-cli info    <dir>
+//! ppm-cli cluster sim [--workers N] [--stripes M] [--damaged D] [--code spec]
+//!                 [--bytes B] [--seed S] [--threads T] [--mode partial|naive|both] [--stats]
 //! ```
 //!
 //! Code specs: `sd:n,r,m,s` · `pmds:n,r,m,s` · `lrc:k,l,g,r` · `rs:k,m,r` ·
@@ -48,6 +50,19 @@
 //! deterministic end-to-end demonstration that silent corruption is
 //! detected, located, and healed.
 //!
+//! `cluster sim` runs a simulated coordinator/worker repair over a
+//! sharded archive (`ppm_cluster::run_sim`): stripe ids shard over `N`
+//! worker threads by ownership, the coordinator ships each failure
+//! scenario's serialized wire plan to the owning worker once, survivors
+//! execute phase A locally, and only partial-sum blocks and recovered
+//! sectors cross the in-process wire. Every repaired stripe is compared
+//! bit-for-bit against a single-node `RepairService` repair; any
+//! divergence is a hard error (nonzero exit). The summary line is
+//! greppable (`cluster-sim ... identical=true ... ratio=...`), and
+//! `--mode both` (the default) also runs the naive ship-everything
+//! baseline so the line carries the measured bandwidth ratio. `--stats`
+//! prints the full JSON report(s).
+//!
 //! `update` replays a small-write trace against a healthy archive
 //! through the buffered update engine (`ppm_update::UpdateEngine`):
 //! writes coalesce in a bounded dirty buffer (`--buffer`, evicting by
@@ -64,10 +79,10 @@
 
 use ppm::update::trace::{parse_trace, synthesize, SynthKind, TraceOp};
 use ppm::{
-    encode, parity_consistent, Backend, Decoder, DecoderConfig, EngineConfig, ErasureCode,
+    encode, parity_consistent, run_sim, Backend, Decoder, DecoderConfig, EngineConfig, ErasureCode,
     EvenOddCode, EvictionPolicy, ExecMode, ExecStats, FailureScenario, FaultInjector, FlushMode,
-    LrcCode, PmdsCode, RdpCode, RepairService, RsCode, SdCode, StarCode, Strategy, Stripe,
-    StripeLayout, UpdateEngine,
+    LrcCode, PmdsCode, RdpCode, RepairMode, RepairService, RsCode, SdCode, SimConfig, SimReport,
+    StarCode, Strategy, Stripe, StripeLayout, UpdateEngine,
 };
 use std::fs;
 use std::io::{Read, Write};
@@ -1015,6 +1030,105 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_cluster(args: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err("usage: cluster sim [--workers N] [--stripes M] ...".into());
+    };
+    match sub.as_str() {
+        "sim" => cluster_sim(rest),
+        other => Err(format!("unknown cluster subcommand {other:?} (try: sim)")),
+    }
+}
+
+/// The `cluster sim` path: repair a simulated sharded archive over N
+/// worker threads and check the result bit-for-bit against a
+/// single-node repair. With `--mode both` (the default) the naive
+/// ship-everything baseline runs on the same damage, and the summary
+/// line reports the measured bandwidth ratio.
+fn cluster_sim(args: &[String]) -> Result<(), String> {
+    let (flags, pos) = split_flags(args);
+    if !pos.is_empty() {
+        return Err(format!(
+            "cluster sim takes no positional arguments, got {pos:?}"
+        ));
+    }
+    let spec = flags
+        .get("code")
+        .cloned()
+        .unwrap_or_else(|| "sd:4,4,1,1".to_string());
+    let code = Code::parse(&spec)?;
+    let dyn_code = code.as_dyn();
+    let parse_u64 = |name: &str, default: u64| -> Result<u64, String> {
+        match flags.get(name) {
+            Some(v) => v.parse().map_err(|e| format!("bad --{name}: {e}")),
+            None => Ok(default),
+        }
+    };
+    let cfg = SimConfig {
+        workers: flag_num(&flags, "workers").unwrap_or(4),
+        stripes: parse_u64("stripes", 1_000_000)?,
+        damaged: flag_num(&flags, "damaged").unwrap_or(16),
+        scenarios: flag_num(&flags, "scenarios").unwrap_or(3),
+        sector_bytes: flag_num(&flags, "bytes").unwrap_or(4096),
+        seed: parse_u64("seed", 2015)?,
+        threads: flag_num(&flags, "threads").unwrap_or(1),
+    };
+    let mode = flags.get("mode").map(String::as_str).unwrap_or("both");
+
+    let run = |mode: RepairMode| -> Result<SimReport, String> {
+        run_sim(&dyn_code, &cfg, mode).map_err(|e| format!("{} sim: {e}", mode.name()))
+    };
+    let (partial, naive) = match mode {
+        "partial" => (Some(run(RepairMode::Partial)?), None),
+        "naive" => (None, Some(run(RepairMode::Naive)?)),
+        "both" => (
+            Some(run(RepairMode::Partial)?),
+            Some(run(RepairMode::Naive)?),
+        ),
+        other => return Err(format!("bad --mode {other:?} (partial|naive|both)")),
+    };
+
+    if flags.contains_key("stats") {
+        let json =
+            |r: &Option<SimReport>| r.as_ref().map(SimReport::to_json).unwrap_or("null".into());
+        println!(
+            "{{\"code\":\"{spec}\",\"partial\":{},\"naive\":{}}}",
+            json(&partial),
+            json(&naive)
+        );
+    }
+
+    let identical = partial.as_ref().map(|r| r.identical).unwrap_or(true)
+        && naive.as_ref().map(|r| r.identical).unwrap_or(true);
+    let mut line = format!(
+        "cluster-sim code={spec} workers={} stripes={} damaged={} identical={identical}",
+        cfg.workers, cfg.stripes, cfg.damaged
+    );
+    if let Some(p) = &partial {
+        line.push_str(&format!(
+            " partial_bytes={} plans_shipped={} plan_bytes={} split_rests={}",
+            p.traffic.total_bytes(),
+            p.plans_shipped,
+            p.traffic.plan_bytes,
+            p.split_rests
+        ));
+    }
+    if let Some(n) = &naive {
+        line.push_str(&format!(" naive_bytes={}", n.traffic.total_bytes()));
+    }
+    if let (Some(p), Some(n)) = (&partial, &naive) {
+        line.push_str(&format!(
+            " ratio={:.3}",
+            p.traffic.total_bytes() as f64 / n.traffic.total_bytes() as f64
+        ));
+    }
+    println!("{line}");
+    if !identical {
+        return Err("cluster repair diverged from the single-node reference".into());
+    }
+    Ok(())
+}
+
 fn split_flags(args: &[String]) -> (std::collections::HashMap<String, String>, Vec<String>) {
     let mut flags = std::collections::HashMap::new();
     let mut pos = Vec::new();
@@ -1043,7 +1157,7 @@ fn flag_num(flags: &std::collections::HashMap<String, String>, name: &str) -> Op
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: ppm-cli <encode|corrupt|repair|update|verify|decode|info> ...");
+        eprintln!("usage: ppm-cli <encode|corrupt|repair|update|verify|decode|info|cluster> ...");
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
@@ -1054,6 +1168,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(rest),
         "decode" => cmd_decode(rest),
         "info" => cmd_info(rest),
+        "cluster" => cmd_cluster(rest),
         other => Err(format!("unknown command {other:?}")),
     };
     match result {

@@ -18,7 +18,10 @@
 //! * [`update`] — the trace-driven small-write path: coalescing dirty
 //!   ranges, a bounded eviction buffer, and a flush engine that picks
 //!   delta-parity patching or full re-encode per flush by the §III-B
-//!   cost model.
+//!   cost model,
+//! * [`cluster`] — coordinator/worker repair over a simulated sharded
+//!   archive: serializable [`WirePlan`]s travel to the data, workers
+//!   run phase A locally, and only partial-sum blocks cross the wire.
 //!
 //! The most common items are re-exported at the crate root; start with
 //! [`Decoder`] and an erasure code from [`codes`].
@@ -53,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ppm_cluster as cluster;
 pub use ppm_codes as codes;
 pub use ppm_core as core;
 pub use ppm_faults as faults;
@@ -61,15 +65,20 @@ pub use ppm_matrix as matrix;
 pub use ppm_stripe as stripe;
 pub use ppm_update as update;
 
+pub use ppm_cluster::{
+    run_sim, ClusterError, CoordinatorRequest, RepairMode, SimConfig, SimReport, Transport, Worker,
+    WorkerResponse,
+};
 pub use ppm_codes::{
     CodeError, ErasureCode, EvenOddCode, FailureScenario, LrcCode, ParityKind, PmdsCode, RdpCode,
     RsCode, SdCode, StarCode, StripeLayout,
 };
 pub use ppm_core::{
     cost, encode, parity_consistent, ArenaStats, BatchReport, CalcSequence, DecodeError,
-    DecodePlan, Decoder, DecoderConfig, ExecMode, ExecStats, LogTable, ParallelismCase, Partition,
-    PlanCache, PlanCacheStats, PlanKey, PlanTape, RepairError, RepairService, ScratchArena,
-    Strategy, SubPlanStats, UpdatePlan, UpdateStats, VerifyReport, VerifyStats,
+    DecodePlan, Decoder, DecoderConfig, ExecMode, ExecStats, ExecutableWirePlan, Executor,
+    LogTable, ParallelismCase, Partition, PlanCache, PlanCacheStats, PlanKey, PlanTape, Planner,
+    RepairError, RepairService, ScratchArena, Strategy, SubPlanStats, UpdatePlan, UpdateStats,
+    VerifyReport, VerifyStats, WireError, WirePartials, WirePlan,
 };
 pub use ppm_faults::{BitFlip, FaultInjector};
 pub use ppm_gf::{Backend, GfWord, RegionMul};
