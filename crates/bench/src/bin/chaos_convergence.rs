@@ -1,0 +1,201 @@
+//! Chaos convergence: cluster repair under injected network faults.
+//!
+//! For a matrix of seeds × fault profiles, run the simulated cluster
+//! repair (`ppm_cluster::run_sim`) through a `ChaosTransport` that
+//! drops, corrupts, truncates, duplicates, reorders, delays, and hangs
+//! frames, and check the two properties the chaos hardening promises:
+//!
+//! 1. **Convergence** — every repaired stripe is bit-identical to the
+//!    single-node reference, no matter what the network did. Hung
+//!    workers fail over (`Adopt` re-homing or degraded local repair);
+//!    corruption is caught by the v2 frame envelope, never decoded.
+//! 2. **Bounded amplification** — the retry/hedge machinery pays for
+//!    survival with extra frames, but only boundedly so: each chaotic
+//!    run's frame count must stay under `AMPLIFICATION_BOUND ×` the
+//!    clean run of the same configuration.
+//!
+//! Results land in `BENCH_chaos_convergence.json`; each matrix cell
+//! also prints a greppable
+//! `chaos-convergence profile=... seed=... identical=true ...` line.
+//!
+//! `cargo run --release -p ppm-bench --bin chaos_convergence [--smoke] [--seed S] [--threads T]`
+
+use ppm_bench::{write_bench_json, ExpArgs, Table};
+use ppm_cluster::{run_sim, ChaosConfig, ChaosRates, RepairMode, RetryPolicy, SimConfig};
+use ppm_codes::SdCode;
+
+/// A chaotic run may move at most this many times the frames of the
+/// clean run of the same configuration. The bound is deliberately
+/// generous — at the matrix's rates (≤ 30% total fault mass) the
+/// measured amplification sits around 1.1–1.8× — so a regression that
+/// loses retry bookkeeping (e.g. retrying forever, or re-shipping whole
+/// plans per duplicate) trips it loudly without flaking on seed luck.
+const AMPLIFICATION_BOUND: f64 = 4.0;
+
+fn profiles() -> Vec<(&'static str, ChaosRates)> {
+    vec![
+        (
+            "drop-heavy",
+            ChaosRates {
+                drop: 0.20,
+                delay: 0.05,
+                ..ChaosRates::default()
+            },
+        ),
+        (
+            "corrupt-heavy",
+            ChaosRates {
+                corrupt: 0.20,
+                truncate: 0.05,
+                ..ChaosRates::default()
+            },
+        ),
+        (
+            "straggler-heavy",
+            ChaosRates {
+                delay: 0.25,
+                reorder: 0.08,
+                duplicate: 0.05,
+                ..ChaosRates::default()
+            },
+        ),
+        (
+            "partition",
+            ChaosRates {
+                drop: 0.10,
+                hang: 0.02,
+                ..ChaosRates::default()
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let code = SdCode::<u8>::new(4, 4, 1, 1, vec![1, 2]).expect("paper SD code");
+    let seeds: Vec<u64> = (0..if args.smoke { 2 } else { 3 })
+        .map(|i| args.seed + i)
+        .collect();
+    let base = SimConfig {
+        workers: 3,
+        stripes: 1_000_000,
+        damaged: if args.smoke { 6 } else { 12 },
+        scenarios: 3,
+        sector_bytes: if args.smoke { 512 } else { 4096 },
+        threads: args.threads.max(1),
+        retry: RetryPolicy::aggressive(),
+        ..SimConfig::default()
+    };
+    println!(
+        "# Chaos convergence: {} workers, {} damaged stripes, {} B sectors, \
+         seeds {seeds:?}, amplification bound {AMPLIFICATION_BOUND}x\n",
+        base.workers, base.damaged, base.sector_bytes
+    );
+
+    let t = Table::new(&[
+        "profile",
+        "seed",
+        "identical",
+        "injected",
+        "retries",
+        "hedges won",
+        "caught",
+        "failovers",
+        "amplification",
+    ]);
+    let mut rows = Vec::new();
+    for (profile, rates) in profiles() {
+        for &seed in &seeds {
+            let clean = SimConfig { seed, ..base };
+            let chaotic = SimConfig {
+                chaos: Some(ChaosConfig {
+                    seed: seed ^ 0xC4A0_57AE,
+                    rates,
+                    delay_ms: 5,
+                }),
+                ..clean
+            };
+            let reference = run_sim(&code, &clean, RepairMode::Partial)
+                .unwrap_or_else(|e| panic!("{profile}/{seed}: clean sim failed: {e}"));
+            let report = run_sim(&code, &chaotic, RepairMode::Partial)
+                .unwrap_or_else(|e| panic!("{profile}/{seed}: chaotic sim failed: {e}"));
+
+            // Property 1: chaos changes the cost, never the bytes.
+            assert!(reference.identical, "{profile}/{seed}: clean run diverged");
+            assert!(report.identical, "{profile}/{seed}: chaotic run diverged");
+            assert_eq!(
+                report.repaired, chaotic.damaged,
+                "{profile}/{seed}: repairs went missing"
+            );
+            assert!(
+                report.chaos.injected.total() > 0,
+                "{profile}/{seed}: chaos profile never fired"
+            );
+            if rates.corrupt > 0.0 {
+                assert!(
+                    report.chaos.corrupt_frames_caught > 0,
+                    "{profile}/{seed}: corruption was injected but never caught"
+                );
+            }
+            if rates.hang > 0.0 && report.chaos.workers_declared_dead > 0 {
+                assert!(
+                    report.chaos.redispatches + report.chaos.degraded_local > 0,
+                    "{profile}/{seed}: dead workers but no failover"
+                );
+            }
+
+            // Property 2: bounded retry amplification.
+            let amplification = report.traffic.frames as f64 / reference.traffic.frames as f64;
+            assert!(
+                amplification <= AMPLIFICATION_BOUND,
+                "{profile}/{seed}: amplification {amplification:.2} exceeds \
+                 bound {AMPLIFICATION_BOUND}"
+            );
+
+            let failovers = report.chaos.redispatches + report.chaos.degraded_local;
+            t.row(&[
+                profile.to_string(),
+                seed.to_string(),
+                report.identical.to_string(),
+                report.chaos.injected.total().to_string(),
+                report.chaos.retries.to_string(),
+                report.chaos.hedges_won.to_string(),
+                report.chaos.corrupt_frames_caught.to_string(),
+                failovers.to_string(),
+                format!("{amplification:.2}"),
+            ]);
+            println!(
+                "chaos-convergence profile={profile} seed={seed} identical={} \
+                 injected={} retries={} timeouts={} hedges_won={} corrupt_caught={} \
+                 dups_dropped={} failovers={failovers} workers_dead={} amplification={amplification:.3}",
+                report.identical,
+                report.chaos.injected.total(),
+                report.chaos.retries,
+                report.chaos.timeouts,
+                report.chaos.hedges_won,
+                report.chaos.corrupt_frames_caught,
+                report.chaos.dup_frames_dropped,
+                report.chaos.workers_declared_dead,
+            );
+            rows.push(format!(
+                "{{\"profile\":\"{profile}\",\"seed\":{seed},\
+                 \"amplification\":{amplification:.4},\
+                 \"clean_frames\":{},\"chaotic_frames\":{},\"report\":{}}}",
+                reference.traffic.frames,
+                report.traffic.frames,
+                report.to_json(),
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\"workers\":{},\"damaged\":{},\"sector_bytes\":{},\
+         \"amplification_bound\":{AMPLIFICATION_BOUND},\"cells\":[{}]}}",
+        base.workers,
+        base.damaged,
+        base.sector_bytes,
+        rows.join(",")
+    );
+    let path = write_bench_json("chaos_convergence", &json);
+    println!("\nwrote {}", path.display());
+}

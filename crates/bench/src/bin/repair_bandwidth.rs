@@ -48,6 +48,7 @@ fn main() {
         sector_bytes: if args.smoke { 1024 } else { 16 << 10 },
         seed: args.seed,
         threads: args.threads.max(1),
+        ..SimConfig::default()
     };
     println!(
         "# Repair bandwidth: partial-block vs ship-everything \

@@ -1,6 +1,16 @@
-//! The cluster crate's error type: transport, plan, repair, and
-//! protocol failures under one roof.
+//! The cluster crate's error type: transport, plan, repair, protocol,
+//! and supervision failures under one roof.
+//!
+//! The supervision variants ([`Timeout`](ClusterError::Timeout),
+//! [`CorruptFrame`](ClusterError::CorruptFrame),
+//! [`WorkerDead`](ClusterError::WorkerDead),
+//! [`RetriesExhausted`](ClusterError::RetriesExhausted)) replace the
+//! generic `io::Error` passthrough the chaos-free coordinator got away
+//! with: a caller can now tell "the wire broke" from "the peer was too
+//! slow" from "the peer is gone", and retry policy dispatches on the
+//! variant instead of string-matching messages.
 
+use crate::frame::FrameError;
 use ppm_core::{RepairError, WireError};
 use std::io;
 
@@ -17,6 +27,34 @@ pub enum ClusterError {
     /// The peer violated the protocol: malformed message, unexpected
     /// response kind, wrong stripe id, or a worker-side error report.
     Protocol(String),
+    /// A request deadline elapsed with no (valid) response.
+    Timeout {
+        /// Worker the request was addressed to.
+        worker: usize,
+        /// Stripe the request concerned.
+        stripe: u64,
+        /// Deadline that elapsed, in milliseconds.
+        after_ms: u64,
+    },
+    /// A frame failed the v2 integrity checks — corruption was
+    /// *detected*, not decoded into garbage.
+    CorruptFrame(FrameError),
+    /// A worker was declared dead after exhausting its retry budget;
+    /// its repairs were re-dispatched.
+    WorkerDead {
+        /// The dead worker's index.
+        worker: usize,
+    },
+    /// Every retry of a request failed; the stripe could not be
+    /// repaired over this link.
+    RetriesExhausted {
+        /// Worker the retries were aimed at.
+        worker: usize,
+        /// Stripe the request concerned.
+        stripe: u64,
+        /// Attempts made (first try plus retries).
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -26,6 +64,26 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Wire(e) => write!(f, "wire plan error: {e}"),
             ClusterError::Repair(e) => write!(f, "repair error: {e}"),
             ClusterError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClusterError::Timeout {
+                worker,
+                stripe,
+                after_ms,
+            } => write!(
+                f,
+                "timeout: worker {worker} gave no response for stripe {stripe} within {after_ms} ms"
+            ),
+            ClusterError::CorruptFrame(e) => write!(f, "corrupt frame: {e}"),
+            ClusterError::WorkerDead { worker } => {
+                write!(f, "worker {worker} declared dead")
+            }
+            ClusterError::RetriesExhausted {
+                worker,
+                stripe,
+                attempts,
+            } => write!(
+                f,
+                "retries exhausted: {attempts} attempts at stripe {stripe} on worker {worker}"
+            ),
         }
     }
 }
@@ -36,7 +94,11 @@ impl std::error::Error for ClusterError {
             ClusterError::Io(e) => Some(e),
             ClusterError::Wire(e) => Some(e),
             ClusterError::Repair(e) => Some(e),
-            ClusterError::Protocol(_) => None,
+            ClusterError::CorruptFrame(e) => Some(e),
+            ClusterError::Protocol(_)
+            | ClusterError::Timeout { .. }
+            | ClusterError::WorkerDead { .. }
+            | ClusterError::RetriesExhausted { .. } => None,
         }
     }
 }
@@ -56,5 +118,93 @@ impl From<WireError> for ClusterError {
 impl From<RepairError> for ClusterError {
     fn from(e: RepairError) -> Self {
         ClusterError::Repair(e)
+    }
+}
+
+impl From<FrameError> for ClusterError {
+    fn from(e: FrameError) -> Self {
+        ClusterError::CorruptFrame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    /// Every supervision variant must round-trip its fields through
+    /// `Display`: the numbers a failure names are the numbers an
+    /// operator greps for.
+    #[test]
+    fn display_round_trips_the_fields() {
+        let cases: Vec<(ClusterError, Vec<String>)> = vec![
+            (
+                ClusterError::Timeout {
+                    worker: 3,
+                    stripe: 951_003,
+                    after_ms: 250,
+                },
+                vec!["worker 3".into(), "951003".into(), "250 ms".into()],
+            ),
+            (
+                ClusterError::WorkerDead { worker: 7 },
+                vec!["worker 7".into(), "dead".into()],
+            ),
+            (
+                ClusterError::RetriesExhausted {
+                    worker: 2,
+                    stripe: 41,
+                    attempts: 5,
+                },
+                vec!["5 attempts".into(), "stripe 41".into(), "worker 2".into()],
+            ),
+            (
+                ClusterError::CorruptFrame(FrameError::Crc {
+                    carried: 1,
+                    computed: 2,
+                }),
+                vec!["corrupt frame".into(), "CRC".into()],
+            ),
+            (
+                ClusterError::Protocol("bad tag".into()),
+                vec!["protocol error".into(), "bad tag".into()],
+            ),
+        ];
+        for (err, needles) in cases {
+            let shown = err.to_string();
+            for needle in &needles {
+                assert!(
+                    shown.contains(needle.as_str()),
+                    "{shown:?} missing {needle:?}"
+                );
+            }
+        }
+    }
+
+    /// Variants wrapping a lower-layer error expose it via `source()`;
+    /// leaf variants do not.
+    #[test]
+    fn sources_are_wired_for_wrapper_variants() {
+        use std::error::Error;
+        let io_err = ClusterError::from(io::Error::new(io::ErrorKind::BrokenPipe, "pipe"));
+        assert!(io_err.source().is_some());
+        let frame_err = ClusterError::from(FrameError::TooShort { got: 2 });
+        assert!(frame_err.source().is_some());
+        assert!(ClusterError::WorkerDead { worker: 0 }.source().is_none());
+        assert!(ClusterError::Timeout {
+            worker: 0,
+            stripe: 0,
+            after_ms: 1
+        }
+        .source()
+        .is_none());
+        assert!(ClusterError::RetriesExhausted {
+            worker: 0,
+            stripe: 0,
+            attempts: 1
+        }
+        .source()
+        .is_none());
     }
 }

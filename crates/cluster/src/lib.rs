@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+mod chaos;
 mod error;
 mod frame;
 mod message;
@@ -47,9 +48,15 @@ mod sim;
 mod transport;
 mod worker;
 
+pub use chaos::{ChaosConfig, ChaosCounters, ChaosTransport, InjectedFaults};
 pub use error::ClusterError;
-pub use frame::{read_frame, write_frame, MAX_FRAME};
+pub use frame::{
+    crc32, read_frame, seal_v2, unseal, write_frame, FrameError, Unsealed, FRAME_V2_MAGIC,
+    FRAME_VERSION, MAX_FRAME, V2_HEADER,
+};
 pub use message::{CoordinatorRequest, WorkerResponse};
-pub use sim::{run_sim, RepairMode, SimConfig, SimReport, Traffic};
+pub use sim::{run_sim, ChaosStats, RepairMode, RetryPolicy, SimConfig, SimReport, Traffic};
 pub use transport::{channel_pair, ChannelTransport, StreamTransport, Transport};
-pub use worker::Worker;
+pub use worker::{Worker, WorkerFrameStats};
+
+pub use ppm_faults::ChaosRates;

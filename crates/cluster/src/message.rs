@@ -42,6 +42,24 @@ pub enum CoordinatorRequest {
         /// `(sector, bytes)` pairs to write.
         sectors: Vec<(u32, Vec<u8>)>,
     },
+    /// Re-home a stripe on this worker (failover): when a stripe's
+    /// owner is declared dead, the coordinator ships the stripe's full
+    /// contents to a survivor, which adopts it into its shard and
+    /// acknowledges with [`Installed`](WorkerResponse::Installed).
+    /// Idempotent — adopting a stripe that is already owned overwrites
+    /// it, so a retried adoption converges.
+    Adopt {
+        /// Archive-wide stripe id.
+        stripe: u64,
+        /// Strip (device) count of the stripe's layout.
+        n: u32,
+        /// Sector-rows per strip.
+        r: u32,
+        /// Bytes per sector.
+        sector_bytes: u32,
+        /// `(sector, bytes)` pairs covering the whole stripe.
+        sectors: Vec<(u32, Vec<u8>)>,
+    },
     /// Stop serving and return the shard to whoever spawned the worker.
     Shutdown,
 }
@@ -158,6 +176,20 @@ impl CoordinatorRequest {
                 put_sector_list(&mut out, sectors);
             }
             CoordinatorRequest::Shutdown => out.push(3),
+            CoordinatorRequest::Adopt {
+                stripe,
+                n,
+                r,
+                sector_bytes,
+                sectors,
+            } => {
+                out.push(4);
+                put_u64(&mut out, *stripe);
+                put_u32(&mut out, *n);
+                put_u32(&mut out, *r);
+                put_u32(&mut out, *sector_bytes);
+                put_sector_list(&mut out, sectors);
+            }
         }
         out
     }
@@ -200,6 +232,20 @@ impl CoordinatorRequest {
                 CoordinatorRequest::Install { stripe, sectors }
             }
             3 => CoordinatorRequest::Shutdown,
+            4 => {
+                let stripe = r.u64("stripe id")?;
+                let n = r.u32("strip count")?;
+                let rows = r.u32("sector rows")?;
+                let sector_bytes = r.u32("sector bytes")?;
+                let sectors = r.sector_list()?;
+                CoordinatorRequest::Adopt {
+                    stripe,
+                    n,
+                    r: rows,
+                    sector_bytes,
+                    sectors,
+                }
+            }
             _ => return Err(protocol("unknown request tag")),
         };
         r.done()?;
@@ -424,6 +470,13 @@ mod tests {
             CoordinatorRequest::Install {
                 stripe: 0,
                 sectors: vec![(2, vec![1, 2, 3]), (14, Vec::new())],
+            },
+            CoordinatorRequest::Adopt {
+                stripe: 88,
+                n: 8,
+                r: 2,
+                sector_bytes: 512,
+                sectors: vec![(0, vec![5; 16]), (1, vec![6; 16])],
             },
             CoordinatorRequest::Shutdown,
         ]

@@ -12,10 +12,31 @@
 //! failed disk produces the *same* erasure pattern across every stripe
 //! it touches — which is exactly what lets one shipped
 //! [`WirePlan`](ppm_core::WirePlan) amortize over a whole repair job.
+//!
+//! # Chaos and supervision
+//!
+//! The links can optionally run through a
+//! [`ChaosTransport`](crate::ChaosTransport) (see [`SimConfig::chaos`]),
+//! which drops, corrupts, truncates, duplicates, reorders, delays, and
+//! hangs frames per a seeded schedule. The coordinator survives all of
+//! it through one supervised exchange primitive: every request gets a
+//! fresh v2-sealed frame (sequence numbers make chaos duplicates
+//! detectable without eating retries), a per-attempt deadline, a
+//! speculative hedge resend for stragglers, and bounded retries with
+//! decorrelated-jitter backoff. When a worker exhausts its retries it
+//! is declared dead and its remaining repairs fail over: the stripe is
+//! re-homed onto a surviving worker via
+//! [`CoordinatorRequest::Adopt`] and repaired there, or — with nobody
+//! left — repaired at the coordinator itself
+//! ([`RepairService::repair_verified`] on the retained damaged copy).
+//! Either way the archive converges bit-identical to the single-node
+//! reference; [`ChaosStats`] reports what it cost.
 
+use crate::chaos::{ChaosConfig, ChaosCounters, ChaosTransport, InjectedFaults};
 use crate::error::ClusterError;
+use crate::frame::{seal_v2, unseal, Unsealed, FRAME_VERSION};
 use crate::message::{CoordinatorRequest, WorkerResponse};
-use crate::transport::{channel_pair, ChannelTransport, Transport};
+use crate::transport::{channel_pair, Transport};
 use crate::worker::Worker;
 use ppm_codes::{ErasureCode, FailureScenario};
 use ppm_core::{DecoderConfig, ExecutableWirePlan, RepairService};
@@ -23,6 +44,8 @@ use ppm_gf::GfWord;
 use ppm_stripe::{random_data_stripe, Stripe};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How the coordinator repairs a damaged stripe on a remote worker.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,6 +68,54 @@ impl RepairMode {
     }
 }
 
+/// How the coordinator supervises each request: per-attempt deadline,
+/// bounded retries with decorrelated-jitter backoff, and an optional
+/// straggler hedge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How long one attempt waits for a matching response.
+    pub deadline_ms: u64,
+    /// Total attempts per exchange before the worker is declared dead.
+    pub max_attempts: u32,
+    /// Backoff floor between attempts.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling between attempts.
+    pub backoff_cap_ms: u64,
+    /// After this much silence within an attempt, resend the request
+    /// speculatively (a hedge against stragglers). `0` disables.
+    pub hedge_after_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // Clean links answer in microseconds; these only matter under
+        // chaos, where tests tighten them. The default deadline is
+        // generous so slow debug builds never time out spuriously, and
+        // hedging is off so clean runs stay byte-deterministic.
+        RetryPolicy {
+            deadline_ms: 10_000,
+            max_attempts: 3,
+            backoff_base_ms: 5,
+            backoff_cap_ms: 100,
+            hedge_after_ms: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A tight policy for chaos tests: short deadlines, fast hedging,
+    /// enough attempts to ride out bursty loss.
+    pub fn aggressive() -> Self {
+        RetryPolicy {
+            deadline_ms: 150,
+            max_attempts: 6,
+            backoff_base_ms: 2,
+            backoff_cap_ms: 20,
+            hedge_after_ms: 40,
+        }
+    }
+}
+
 /// Shape of a simulated archive repair job.
 #[derive(Clone, Copy, Debug)]
 pub struct SimConfig {
@@ -62,6 +133,16 @@ pub struct SimConfig {
     pub seed: u64,
     /// Thread budget for every decoder in the simulation.
     pub threads: usize,
+    /// Frame envelope version on the links: `2` seals every frame with
+    /// a CRC and sequence number, `1` sends raw payloads (the legacy
+    /// wire image, kept for interop).
+    pub frame_version: u8,
+    /// Fault injection on every coordinator↔worker link (per-link
+    /// seeds derive from the configured seed). Requires v2 framing —
+    /// corruption must be detectable to be survivable.
+    pub chaos: Option<ChaosConfig>,
+    /// Supervision policy for every exchange.
+    pub retry: RetryPolicy,
 }
 
 impl Default for SimConfig {
@@ -74,13 +155,19 @@ impl Default for SimConfig {
             sector_bytes: 4096,
             seed: 2015,
             threads: 1,
+            frame_version: FRAME_VERSION,
+            chaos: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
 
 /// Bytes and frames moved over every coordinator↔worker link, counted
 /// as framed payloads (each frame costs its payload plus the 4-byte
-/// length prefix a stream transport would add).
+/// length prefix a stream transport would add). Under chaos this counts
+/// what the coordinator *offered and accepted* — retries, hedges, and
+/// chaos duplicates included — so comparing against a clean run of the
+/// same seed measures retry amplification directly.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Traffic {
     /// Coordinator → worker bytes (requests, shipped plans, installs).
@@ -97,6 +184,61 @@ impl Traffic {
     /// Total bytes moved in both directions.
     pub fn total_bytes(&self) -> u64 {
         self.to_workers_bytes + self.from_workers_bytes
+    }
+}
+
+/// What surviving the chaos cost: supervision-side counters plus the
+/// injected-fault totals from every link's [`ChaosTransport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Full re-sends after a timed-out attempt.
+    pub retries: u64,
+    /// Attempts whose deadline elapsed with no matching response.
+    pub timeouts: u64,
+    /// Speculative straggler re-sends within an attempt.
+    pub hedges: u64,
+    /// Exchanges that completed while a hedge was outstanding.
+    pub hedges_won: u64,
+    /// Stripes re-homed onto a surviving worker via `Adopt`.
+    pub redispatches: u64,
+    /// Stripes repaired at the coordinator because no worker survived.
+    pub degraded_local: u64,
+    /// Frames failing the v2 integrity checks, coordinator and worker
+    /// sides summed.
+    pub corrupt_frames_caught: u64,
+    /// v2 frames discarded for a non-advancing sequence number, both
+    /// sides summed.
+    pub dup_frames_dropped: u64,
+    /// Well-formed responses for the wrong stripe or kind (hedge and
+    /// retry leftovers), discarded.
+    pub stale_discarded: u64,
+    /// Workers that exhausted retries and were failed over.
+    pub workers_declared_dead: u64,
+    /// What the chaos layer actually injected, summed over links.
+    pub injected: InjectedFaults,
+}
+
+impl ChaosStats {
+    /// Hand-rolled JSON object, matching the workspace's report style.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"retries\":{},\"timeouts\":{},\"hedges\":{},\
+             \"hedges_won\":{},\"redispatches\":{},\"degraded_local\":{},\
+             \"corrupt_frames_caught\":{},\"dup_frames_dropped\":{},\
+             \"stale_discarded\":{},\"workers_declared_dead\":{},\
+             \"injected\":{}}}",
+            self.retries,
+            self.timeouts,
+            self.hedges,
+            self.hedges_won,
+            self.redispatches,
+            self.degraded_local,
+            self.corrupt_frames_caught,
+            self.dup_frames_dropped,
+            self.stale_discarded,
+            self.workers_declared_dead,
+            self.injected.to_json(),
+        )
     }
 }
 
@@ -131,8 +273,13 @@ pub struct SimReport {
     /// Total violated surplus rows across all verify passes (zero on
     /// pure-erasure damage).
     pub violations: usize,
+    /// Frame envelope version the links ran.
+    pub frame_version: u8,
     /// Wire accounting.
     pub traffic: Traffic,
+    /// Supervision and fault-injection accounting (all zero on a clean
+    /// run).
+    pub chaos: ChaosStats,
 }
 
 impl SimReport {
@@ -144,8 +291,10 @@ impl SimReport {
              \"sector_bytes\":{},\"damaged\":{},\"repaired\":{},\
              \"split_rests\":{},\"local_rests\":{},\"plans_shipped\":{},\
              \"identical\":{},\"verified_clean\":{},\"violations\":{},\
+             \"frame_version\":{},\
              \"to_workers_bytes\":{},\"from_workers_bytes\":{},\
-             \"plan_bytes\":{},\"frames\":{},\"total_bytes\":{}}}",
+             \"plan_bytes\":{},\"frames\":{},\"total_bytes\":{},\
+             \"chaos\":{}}}",
             self.mode.name(),
             self.workers,
             self.archive_stripes,
@@ -158,22 +307,481 @@ impl SimReport {
             self.identical,
             self.verified_clean,
             self.violations,
+            self.frame_version,
             self.traffic.to_workers_bytes,
             self.traffic.from_workers_bytes,
             self.traffic.plan_bytes,
             self.traffic.frames,
             self.traffic.total_bytes(),
+            self.chaos.to_json(),
         )
     }
 }
 
 /// One damaged stripe the coordinator tracks: where it lives, what
-/// failed, and what the single-node reference repair says its final
-/// bytes must be.
+/// failed, what the single-node reference repair says its final bytes
+/// must be — and a retained copy of the damage itself, which is what
+/// makes failover possible (a dead worker's stripe can be re-homed or
+/// repaired in place from this copy).
 struct Case {
     id: u64,
     scenario: FailureScenario,
     expected: Stripe,
+    damaged: Stripe,
+}
+
+/// Where a case's repaired bytes ended up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Location {
+    /// In worker `w`'s shard (the original owner or an adopter).
+    Worker(usize),
+    /// In the coordinator's orphan map (degraded local repair).
+    Coordinator,
+}
+
+/// Which response kind an exchange is waiting for; anything else for
+/// the right stripe is a stale leftover from a retry or hedge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Want {
+    Partials,
+    Sectors,
+    Installed,
+}
+
+fn matches(response: &WorkerResponse, want: Want, stripe: u64) -> bool {
+    match (want, response) {
+        (Want::Partials, WorkerResponse::Partials { stripe: s, .. }) => *s == stripe,
+        (Want::Sectors, WorkerResponse::Sectors { stripe: s, .. }) => *s == stripe,
+        (Want::Installed, WorkerResponse::Installed { stripe: s, .. }) => *s == stripe,
+        _ => false,
+    }
+}
+
+/// One coordinator↔worker link with its supervision state.
+struct Link {
+    transport: Box<dyn Transport>,
+    /// Injected-fault counters when the link runs through chaos.
+    counters: Option<Arc<ChaosCounters>>,
+    /// Next outbound v2 sequence number; every send — retries and
+    /// hedges included — burns a fresh one, so only *chaos-made*
+    /// duplicates are non-advancing.
+    next_seq: u32,
+    /// Highest inbound v2 sequence number accepted.
+    last_seen: Option<u32>,
+    /// Cleared when the worker exhausts its retries; dead links get no
+    /// further requests and their shard entries are written off.
+    alive: bool,
+}
+
+/// The coordinator's drive state: links, plan bookkeeping, supervision
+/// policy, and the counters everything feeds.
+struct Coordinator<'a, W: GfWord, C: ErasureCode<W>> {
+    service: &'a RepairService<W, &'a C>,
+    links: Vec<Link>,
+    shipped: HashSet<(usize, String)>,
+    compiled: HashMap<String, ExecutableWirePlan<W>>,
+    policy: RetryPolicy,
+    version: u8,
+    jitter: StdRng,
+    traffic: Traffic,
+    stats: ChaosStats,
+    sector_bytes: usize,
+    total_sectors: usize,
+}
+
+impl<'a, W: GfWord, C: ErasureCode<W>> Coordinator<'a, W, C> {
+    fn link_mut(&mut self, worker: usize) -> Result<&mut Link, ClusterError> {
+        self.links
+            .get_mut(worker)
+            .ok_or_else(|| ClusterError::Protocol(format!("no link for worker {worker}")))
+    }
+
+    fn is_alive(&self, worker: usize) -> bool {
+        self.links.get(worker).is_some_and(|l| l.alive)
+    }
+
+    fn declare_dead(&mut self, worker: usize) {
+        if let Some(link) = self.links.get_mut(worker) {
+            if link.alive {
+                link.alive = false;
+                self.stats.workers_declared_dead += 1;
+            }
+        }
+    }
+
+    /// Sends one framed request. Every call seals a fresh frame with
+    /// the link's next sequence number (v2) or ships the raw payload
+    /// (v1).
+    fn send_on(&mut self, worker: usize, payload: &[u8]) -> Result<(), ClusterError> {
+        let version = self.version;
+        let frame = {
+            let link = self.link_mut(worker)?;
+            if version == 2 {
+                let f = seal_v2(link.next_seq, payload);
+                link.next_seq = link.next_seq.wrapping_add(1);
+                f
+            } else {
+                payload.to_vec()
+            }
+        };
+        self.traffic.to_workers_bytes += 4 + frame.len() as u64;
+        self.traffic.frames += 1;
+        self.link_mut(worker)?
+            .transport
+            .send(frame)
+            .map_err(ClusterError::Io)
+    }
+
+    /// Receives decodable responses from one link until `deadline`,
+    /// discarding line noise: frames failing the v2 checks and frames
+    /// demoted to v1 by a corrupted magic byte are counted and skipped,
+    /// duplicates (non-advancing sequence) are counted and skipped.
+    /// `Ok(None)` means the deadline passed in silence.
+    fn recv_until(
+        &mut self,
+        worker: usize,
+        deadline: Instant,
+    ) -> Result<Option<WorkerResponse>, ClusterError> {
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            let received = self
+                .link_mut(worker)?
+                .transport
+                .recv_timeout(remaining)
+                .map_err(ClusterError::Io)?;
+            let Some(frame) = received else {
+                return Ok(None);
+            };
+            self.traffic.from_workers_bytes += 4 + frame.len() as u64;
+            self.traffic.frames += 1;
+            let version = self.version;
+            let payload = match unseal(frame) {
+                Err(_) => {
+                    self.stats.corrupt_frames_caught += 1;
+                    continue;
+                }
+                Ok(Unsealed::V1(payload)) => {
+                    if version == 2 {
+                        // A v2 conversation never legitimately carries
+                        // a bare frame; a flipped magic byte demotes a
+                        // sealed frame to this. Either way: corrupt.
+                        self.stats.corrupt_frames_caught += 1;
+                        continue;
+                    }
+                    payload
+                }
+                Ok(Unsealed::V2 { seq, payload }) => {
+                    let link = self.link_mut(worker)?;
+                    if link.last_seen.is_some_and(|prev| seq <= prev) {
+                        self.stats.dup_frames_dropped += 1;
+                        continue;
+                    }
+                    link.last_seen = Some(seq);
+                    payload
+                }
+            };
+            match WorkerResponse::decode(&payload) {
+                Ok(WorkerResponse::Error { message }) => {
+                    return Err(ClusterError::Protocol(message));
+                }
+                Ok(response) => return Ok(Some(response)),
+                Err(e) if version == 2 => {
+                    // CRC-clean but undecodable is a protocol bug, not
+                    // line noise — surface it.
+                    return Err(e);
+                }
+                Err(_) => {
+                    // v1 has no integrity layer; garbage is all the
+                    // detection we get.
+                    self.stats.corrupt_frames_caught += 1;
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// The supervised request/response primitive everything else rides
+    /// on: per-attempt deadline, optional straggler hedge, bounded
+    /// retries with decorrelated-jitter backoff. Responses that don't
+    /// match (`want`, `stripe`) are stale leftovers and are discarded.
+    ///
+    /// Returns [`ClusterError::RetriesExhausted`] when every attempt
+    /// timed out — the caller's cue to declare the worker dead.
+    fn exchange(
+        &mut self,
+        worker: usize,
+        stripe: u64,
+        payload: &[u8],
+        want: Want,
+    ) -> Result<WorkerResponse, ClusterError> {
+        let policy = self.policy;
+        let deadline_len = Duration::from_millis(policy.deadline_ms.max(1));
+        let mut prev_backoff = policy.backoff_base_ms.max(1);
+        for attempt in 1..=policy.max_attempts.max(1) {
+            if attempt > 1 {
+                self.stats.retries += 1;
+                // Decorrelated jitter: sleep in [base, min(cap, 3·prev)],
+                // feeding the draw back in as the next "prev".
+                let base = policy.backoff_base_ms.max(1);
+                let cap = policy.backoff_cap_ms.max(base + 1);
+                let hi = prev_backoff.saturating_mul(3).clamp(base + 1, cap);
+                let sleep_ms = self.jitter.random_range(base..=hi);
+                prev_backoff = sleep_ms;
+                std::thread::sleep(Duration::from_millis(sleep_ms));
+            }
+            self.send_on(worker, payload)?;
+            let attempt_deadline = Instant::now() + deadline_len;
+            let mut hedged = false;
+            loop {
+                let now = Instant::now();
+                if now >= attempt_deadline {
+                    break;
+                }
+                let hedge_pending = policy.hedge_after_ms > 0 && !hedged;
+                let slice_deadline = if hedge_pending {
+                    attempt_deadline.min(now + Duration::from_millis(policy.hedge_after_ms))
+                } else {
+                    attempt_deadline
+                };
+                match self.recv_until(worker, slice_deadline)? {
+                    Some(response) => {
+                        if matches(&response, want, stripe) {
+                            if hedged {
+                                self.stats.hedges_won += 1;
+                            }
+                            return Ok(response);
+                        }
+                        self.stats.stale_discarded += 1;
+                    }
+                    None => {
+                        if hedge_pending && slice_deadline < attempt_deadline {
+                            // Silence past the hedge threshold: resend
+                            // speculatively and keep waiting out the
+                            // attempt. Workers are idempotent and the
+                            // fresh sequence number keeps the hedge
+                            // from being eaten as a duplicate.
+                            self.stats.hedges += 1;
+                            hedged = true;
+                            self.send_on(worker, payload)?;
+                        }
+                    }
+                }
+            }
+            self.stats.timeouts += 1;
+        }
+        Err(ClusterError::RetriesExhausted {
+            worker,
+            stripe,
+            attempts: policy.max_attempts.max(1),
+        })
+    }
+
+    /// PPM-mode repair of one stripe on `owner`: plan up (first time
+    /// only), partial blocks back, aggregated sectors down.
+    fn repair_partial(
+        &mut self,
+        case: &Case,
+        owner: usize,
+        report: &mut SimReport,
+    ) -> Result<(), ClusterError> {
+        let key = self.service.planner().plan_key(&case.scenario).to_string();
+        let plan = if self.shipped.insert((owner, key.clone())) {
+            let (wire, _) = self.service.planner().wire_plan_for(&case.scenario)?;
+            if !self.compiled.contains_key(&key) {
+                self.compiled.insert(
+                    key.clone(),
+                    wire.compile::<W>(self.service.planner().backend())?,
+                );
+            }
+            let bytes = wire.encode();
+            self.traffic.plan_bytes += bytes.len() as u64;
+            report.plans_shipped += 1;
+            Some(bytes)
+        } else {
+            None
+        };
+
+        let request = CoordinatorRequest::Repair {
+            stripe: case.id,
+            plan_key: key.clone(),
+            plan,
+        }
+        .encode();
+        let response = self.exchange(owner, case.id, &request, Want::Partials)?;
+        let WorkerResponse::Partials {
+            rest_blocks,
+            rest_pending,
+            violated_rows,
+            ..
+        } = response
+        else {
+            return unexpected(response);
+        };
+        if !rest_pending {
+            report.local_rests += 1;
+            tally_verify(report, violated_rows.as_deref());
+            return Ok(());
+        }
+        let compiled = self.compiled.get(&key).ok_or_else(|| {
+            ClusterError::Protocol(format!("no compiled plan retained for key {key}"))
+        })?;
+        // Phase B: F⁻¹ · T on the shipped partial sums — the
+        // coordinator never holds the stripe.
+        let recovered =
+            self.service
+                .executor()
+                .finish_rest(compiled, &rest_blocks, self.sector_bytes)?;
+        let sectors = recovered
+            .into_iter()
+            .map(|(sector, bytes)| (sector as u32, bytes))
+            .collect();
+        let install = CoordinatorRequest::Install {
+            stripe: case.id,
+            sectors,
+        }
+        .encode();
+        let response = self.exchange(owner, case.id, &install, Want::Installed)?;
+        let WorkerResponse::Installed { violated_rows, .. } = response else {
+            return unexpected(response);
+        };
+        report.split_rests += 1;
+        tally_verify(report, violated_rows.as_deref());
+        Ok(())
+    }
+
+    /// Baseline repair of one stripe on `owner`: every surviving sector
+    /// up, repair centrally, recovered sectors down.
+    fn repair_naive(
+        &mut self,
+        case: &Case,
+        owner: usize,
+        report: &mut SimReport,
+    ) -> Result<(), ClusterError> {
+        let survivors: Vec<u32> = case
+            .scenario
+            .surviving(self.total_sectors)
+            .into_iter()
+            .map(|s| s as u32)
+            .collect();
+        let fetch = CoordinatorRequest::FetchSectors {
+            stripe: case.id,
+            sectors: survivors,
+        }
+        .encode();
+        let response = self.exchange(owner, case.id, &fetch, Want::Sectors)?;
+        let WorkerResponse::Sectors {
+            sectors: fetched, ..
+        } = response
+        else {
+            return unexpected(response);
+        };
+
+        // Rebuild the stripe centrally from the shipped survivors and
+        // repair it with the full single-node service.
+        let mut stripe = Stripe::zeroed(self.service.planner().code().layout(), self.sector_bytes);
+        for (sector, bytes) in &fetched {
+            let s = *sector as usize;
+            if s >= self.total_sectors || bytes.len() != self.sector_bytes {
+                return Err(ClusterError::Protocol(format!(
+                    "worker returned malformed sector {s}"
+                )));
+            }
+            stripe.write_sector(s, bytes);
+        }
+        self.service.repair_verified(&mut stripe, &case.scenario)?;
+
+        let sectors = case
+            .scenario
+            .faulty()
+            .iter()
+            .map(|&s| (s as u32, stripe.sector(s).to_vec()))
+            .collect();
+        let install = CoordinatorRequest::Install {
+            stripe: case.id,
+            sectors,
+        }
+        .encode();
+        let response = self.exchange(owner, case.id, &install, Want::Installed)?;
+        let WorkerResponse::Installed { .. } = response else {
+            return unexpected(response);
+        };
+        report.verified_clean += 1;
+        Ok(())
+    }
+
+    fn repair_one(
+        &mut self,
+        mode: RepairMode,
+        case: &Case,
+        owner: usize,
+        report: &mut SimReport,
+    ) -> Result<(), ClusterError> {
+        match mode {
+            RepairMode::Partial => self.repair_partial(case, owner, report),
+            RepairMode::Naive => self.repair_naive(case, owner, report),
+        }
+    }
+
+    /// Failover for a case whose owner is dead: re-home the retained
+    /// damaged copy onto a surviving worker via `Adopt` and repair it
+    /// there; with no survivors, repair it at the coordinator. The
+    /// archive converges either way — failover changes *where*, never
+    /// *whether*.
+    fn failover(
+        &mut self,
+        mode: RepairMode,
+        case: &Case,
+        original: usize,
+        report: &mut SimReport,
+        orphans: &mut HashMap<u64, Stripe>,
+    ) -> Result<Location, ClusterError> {
+        let layout = case.damaged.layout();
+        let candidates: Vec<usize> = (0..self.links.len())
+            .filter(|&w| w != original && self.is_alive(w))
+            .collect();
+        for candidate in candidates {
+            let sectors: Vec<(u32, Vec<u8>)> = (0..layout.sectors())
+                .map(|s| (s as u32, case.damaged.sector(s).to_vec()))
+                .collect();
+            let adopt = CoordinatorRequest::Adopt {
+                stripe: case.id,
+                n: layout.n as u32,
+                r: layout.r as u32,
+                sector_bytes: self.sector_bytes as u32,
+                sectors,
+            }
+            .encode();
+            match self.exchange(candidate, case.id, &adopt, Want::Installed) {
+                Ok(_) => {}
+                Err(ClusterError::RetriesExhausted { .. }) => {
+                    self.declare_dead(candidate);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            self.stats.redispatches += 1;
+            match self.repair_one(mode, case, candidate, report) {
+                Ok(()) => return Ok(Location::Worker(candidate)),
+                Err(ClusterError::RetriesExhausted { .. }) => {
+                    self.declare_dead(candidate);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Nobody left standing: degrade to a local verified repair on
+        // the retained copy. "Data stays put" yields to "data stays
+        // *alive*".
+        let mut stripe = case.damaged.clone();
+        self.service.repair_verified(&mut stripe, &case.scenario)?;
+        report.verified_clean += 1;
+        self.stats.degraded_local += 1;
+        orphans.insert(case.id, stripe);
+        Ok(Location::Coordinator)
+    }
 }
 
 /// Runs a full simulated cluster repair and checks it bit-for-bit
@@ -183,8 +791,12 @@ struct Case {
 /// injects the erasures, repairs a retained copy through the reference
 /// service, and hands the damaged original to its owning worker. It
 /// then drives the repair over in-process channel transports in the
-/// requested [`RepairMode`], shuts the workers down, collects the
-/// shards, and compares every repaired stripe against the reference.
+/// requested [`RepairMode`] — through a fault-injecting
+/// [`ChaosTransport`](crate::ChaosTransport) when [`SimConfig::chaos`]
+/// is set — supervised per [`SimConfig::retry`], with worker failover
+/// on retry exhaustion. Finally it shuts the workers down, collects the
+/// shards (and any degraded-local orphans), and compares every repaired
+/// stripe against the reference.
 ///
 /// # Errors
 /// [`ClusterError::Protocol`] on nonsensical configuration, worker-side
@@ -213,6 +825,25 @@ where
         return Err(ClusterError::Protocol(
             "sector_bytes and threads must be >= 1".into(),
         ));
+    }
+    if !matches!(cfg.frame_version, 1 | 2) {
+        return Err(ClusterError::Protocol(format!(
+            "unknown frame version {} (this build speaks 1 and 2)",
+            cfg.frame_version
+        )));
+    }
+    if let Some(chaos) = &cfg.chaos {
+        if cfg.frame_version != 2 {
+            return Err(ClusterError::Protocol(
+                "chaos requires v2 framing: corruption must be detectable to be survivable".into(),
+            ));
+        }
+        let total = chaos.rates.total();
+        if !(0.0..=1.0).contains(&total) {
+            return Err(ClusterError::Protocol(format!(
+                "chaos rates sum to {total}, must stay within [0, 1]"
+            )));
+        }
     }
 
     let config = DecoderConfig {
@@ -252,26 +883,42 @@ where
 
         let owner = (id % cfg.workers as u64) as usize;
         if let Some(shard) = shards.get_mut(owner) {
-            shard.insert(id, damaged);
+            shard.insert(id, damaged.clone());
         }
         cases.push(Case {
             id,
             scenario,
             expected,
+            damaged,
         });
     }
 
-    // Spawn the workers on their own threads, each holding its shard.
-    let mut links: Vec<ChannelTransport> = Vec::with_capacity(cfg.workers);
+    // Spawn the workers on their own threads, each holding its shard;
+    // wrap the coordinator end of each link in chaos when configured.
+    let mut links: Vec<Link> = Vec::with_capacity(cfg.workers);
     let mut handles = Vec::with_capacity(cfg.workers);
     for (w, shard) in shards.into_iter().enumerate() {
         let (coordinator_end, worker_end) = channel_pair();
         let worker: Worker<W> = Worker::new(w, shard, config);
-        handles.push(std::thread::spawn(move || worker.run(&worker_end)));
-        links.push(coordinator_end);
+        handles.push(std::thread::spawn(move || worker.serve(&worker_end)));
+        let (transport, counters): (Box<dyn Transport>, Option<Arc<ChaosCounters>>) =
+            match &cfg.chaos {
+                Some(chaos) => {
+                    let chaotic = ChaosTransport::new(coordinator_end, chaos.for_link(w as u64));
+                    let counters = chaotic.counters();
+                    (Box::new(chaotic), Some(counters))
+                }
+                None => (Box::new(coordinator_end), None),
+            };
+        links.push(Link {
+            transport,
+            counters,
+            next_seq: 0,
+            last_seen: None,
+            alive: true,
+        });
     }
 
-    let mut traffic = Traffic::default();
     let mut report = SimReport {
         mode,
         workers: cfg.workers,
@@ -285,76 +932,102 @@ where
         identical: true,
         verified_clean: 0,
         violations: 0,
-        traffic,
+        frame_version: cfg.frame_version,
+        traffic: Traffic::default(),
+        chaos: ChaosStats::default(),
     };
 
-    // Plans shipped so far, per (worker, key); compiled plans the
-    // coordinator keeps for its own phase-B aggregation, per key.
-    let mut shipped: HashSet<(usize, String)> = HashSet::new();
-    let mut compiled: HashMap<String, ExecutableWirePlan<W>> = HashMap::new();
+    let mut coordinator = Coordinator {
+        service: &service,
+        links,
+        shipped: HashSet::new(),
+        compiled: HashMap::new(),
+        policy: cfg.retry,
+        version: cfg.frame_version,
+        jitter: StdRng::seed_from_u64(cfg.seed ^ 0x000C_4A05_u64),
+        traffic: Traffic::default(),
+        stats: ChaosStats::default(),
+        sector_bytes: cfg.sector_bytes,
+        total_sectors,
+    };
+
+    // Degraded-local repairs land here; `locations` remembers where
+    // every case's final bytes live for the comparison pass.
+    let mut orphans: HashMap<u64, Stripe> = HashMap::new();
+    let mut locations: HashMap<u64, Location> = HashMap::new();
 
     let mut drive_err: Option<ClusterError> = None;
     for case in &cases {
         let owner = (case.id % cfg.workers as u64) as usize;
-        let Some(link) = links.get(owner) else {
-            drive_err = Some(ClusterError::Protocol(format!(
-                "no link for worker {owner}"
-            )));
-            break;
+        let outcome = if coordinator.is_alive(owner) {
+            coordinator.repair_one(mode, case, owner, &mut report)
+        } else {
+            Err(ClusterError::WorkerDead { worker: owner })
         };
-        let outcome = match mode {
-            RepairMode::Partial => repair_partial(
-                &service,
-                case,
-                link,
-                owner,
-                &mut shipped,
-                &mut compiled,
-                cfg.sector_bytes,
-                &mut traffic,
-                &mut report,
-            ),
-            RepairMode::Naive => repair_naive(
-                &service,
-                case,
-                link,
-                total_sectors,
-                cfg.sector_bytes,
-                &mut traffic,
-                &mut report,
-            ),
+        let location = match outcome {
+            Ok(()) => Ok(Location::Worker(owner)),
+            Err(ClusterError::RetriesExhausted { worker, .. }) => {
+                coordinator.declare_dead(worker);
+                coordinator.failover(mode, case, owner, &mut report, &mut orphans)
+            }
+            Err(ClusterError::WorkerDead { .. }) => {
+                coordinator.failover(mode, case, owner, &mut report, &mut orphans)
+            }
+            Err(e) => Err(e),
         };
-        if let Err(e) = outcome {
-            drive_err = Some(e);
-            break;
+        match location {
+            Ok(location) => {
+                locations.insert(case.id, location);
+                report.repaired += 1;
+            }
+            Err(e) => {
+                drive_err = Some(e);
+                break;
+            }
         }
-        report.repaired += 1;
     }
 
     // Always shut the workers down and join them, even on a drive
-    // error, so threads never outlive the call.
-    for link in &links {
-        let _ = send(link, &CoordinatorRequest::Shutdown, &mut traffic);
+    // error, so threads never outlive the call. Chaos may eat a
+    // Shutdown frame — dropping the links afterwards closes every
+    // channel, and `serve` hands the shard back either way.
+    let shutdown = CoordinatorRequest::Shutdown.encode();
+    for w in 0..cfg.workers {
+        if coordinator.is_alive(w) {
+            let _ = coordinator.send_on(w, &shutdown);
+        }
     }
+    for link in &coordinator.links {
+        if let Some(counters) = &link.counters {
+            coordinator.stats.injected.absorb(&counters.snapshot());
+        }
+    }
+    coordinator.links.clear();
     let mut final_shards: Vec<HashMap<u64, Stripe>> = Vec::with_capacity(cfg.workers);
     for handle in handles {
-        let joined = handle
+        let (shard, _closed, worker_stats) = handle
             .join()
             .map_err(|_| ClusterError::Protocol("worker thread panicked".into()))?;
-        final_shards.push(joined?);
+        coordinator.stats.corrupt_frames_caught += worker_stats.corrupt_caught;
+        coordinator.stats.dup_frames_dropped += worker_stats.dups_dropped;
+        final_shards.push(shard);
     }
     if let Some(e) = drive_err {
         return Err(e);
     }
 
     for case in &cases {
-        let owner = (case.id % cfg.workers as u64) as usize;
-        let repaired = final_shards.get(owner).and_then(|s| s.get(&case.id));
+        let repaired = match locations.get(&case.id) {
+            Some(Location::Worker(w)) => final_shards.get(*w).and_then(|s| s.get(&case.id)),
+            Some(Location::Coordinator) => orphans.get(&case.id),
+            None => None,
+        };
         if repaired != Some(&case.expected) {
             report.identical = false;
         }
     }
-    report.traffic = traffic;
+    report.traffic = coordinator.traffic;
+    report.chaos = coordinator.stats;
     Ok(report)
 }
 
@@ -401,202 +1074,6 @@ where
     Ok(pool)
 }
 
-/// PPM-mode repair of one stripe: plan up (first time only), partial
-/// blocks back, aggregated sectors down.
-#[allow(clippy::too_many_arguments)]
-fn repair_partial<W, C>(
-    service: &RepairService<W, &C>,
-    case: &Case,
-    link: &ChannelTransport,
-    owner: usize,
-    shipped: &mut HashSet<(usize, String)>,
-    compiled: &mut HashMap<String, ExecutableWirePlan<W>>,
-    sector_bytes: usize,
-    traffic: &mut Traffic,
-    report: &mut SimReport,
-) -> Result<(), ClusterError>
-where
-    W: GfWord,
-    C: ErasureCode<W>,
-{
-    let key = service.planner().plan_key(&case.scenario).to_string();
-    let plan = if shipped.insert((owner, key.clone())) {
-        let (wire, _) = service.planner().wire_plan_for(&case.scenario)?;
-        if !compiled.contains_key(&key) {
-            compiled.insert(key.clone(), wire.compile::<W>(service.planner().backend())?);
-        }
-        let bytes = wire.encode();
-        traffic.plan_bytes += bytes.len() as u64;
-        report.plans_shipped += 1;
-        Some(bytes)
-    } else {
-        None
-    };
-
-    send(
-        link,
-        &CoordinatorRequest::Repair {
-            stripe: case.id,
-            plan_key: key.clone(),
-            plan,
-        },
-        traffic,
-    )?;
-    match recv(link, traffic)? {
-        WorkerResponse::Partials {
-            stripe,
-            rest_blocks,
-            rest_pending,
-            violated_rows,
-        } => {
-            expect_stripe(case.id, stripe)?;
-            if !rest_pending {
-                report.local_rests += 1;
-                tally_verify(report, violated_rows.as_deref());
-                return Ok(());
-            }
-            report.split_rests += 1;
-            let plan = compiled.get(&key).ok_or_else(|| {
-                ClusterError::Protocol(format!("no compiled plan retained for key {key}"))
-            })?;
-            // Phase B: F⁻¹ · T on the shipped partial sums — the
-            // coordinator never holds the stripe.
-            let recovered = service
-                .executor()
-                .finish_rest(plan, &rest_blocks, sector_bytes)?;
-            let sectors = recovered
-                .into_iter()
-                .map(|(sector, bytes)| (sector as u32, bytes))
-                .collect();
-            send(
-                link,
-                &CoordinatorRequest::Install {
-                    stripe: case.id,
-                    sectors,
-                },
-                traffic,
-            )?;
-            match recv(link, traffic)? {
-                WorkerResponse::Installed {
-                    stripe,
-                    violated_rows,
-                } => {
-                    expect_stripe(case.id, stripe)?;
-                    tally_verify(report, violated_rows.as_deref());
-                    Ok(())
-                }
-                other => unexpected(other),
-            }
-        }
-        other => unexpected(other),
-    }
-}
-
-/// Baseline repair of one stripe: every surviving sector up, repair
-/// centrally, recovered sectors down.
-fn repair_naive<W, C>(
-    service: &RepairService<W, &C>,
-    case: &Case,
-    link: &ChannelTransport,
-    total_sectors: usize,
-    sector_bytes: usize,
-    traffic: &mut Traffic,
-    report: &mut SimReport,
-) -> Result<(), ClusterError>
-where
-    W: GfWord,
-    C: ErasureCode<W>,
-{
-    let survivors: Vec<u32> = case
-        .scenario
-        .surviving(total_sectors)
-        .into_iter()
-        .map(|s| s as u32)
-        .collect();
-    send(
-        link,
-        &CoordinatorRequest::FetchSectors {
-            stripe: case.id,
-            sectors: survivors,
-        },
-        traffic,
-    )?;
-    let fetched = match recv(link, traffic)? {
-        WorkerResponse::Sectors { stripe, sectors } => {
-            expect_stripe(case.id, stripe)?;
-            sectors
-        }
-        other => return unexpected(other),
-    };
-
-    // Rebuild the stripe centrally from the shipped survivors and
-    // repair it with the full single-node service.
-    let mut stripe = Stripe::zeroed(service.planner().code().layout(), sector_bytes);
-    for (sector, bytes) in &fetched {
-        let s = *sector as usize;
-        if s >= total_sectors || bytes.len() != sector_bytes {
-            return Err(ClusterError::Protocol(format!(
-                "worker returned malformed sector {s}"
-            )));
-        }
-        stripe.write_sector(s, bytes);
-    }
-    service.repair_verified(&mut stripe, &case.scenario)?;
-    report.verified_clean += 1;
-
-    let sectors = case
-        .scenario
-        .faulty()
-        .iter()
-        .map(|&s| (s as u32, stripe.sector(s).to_vec()))
-        .collect();
-    send(
-        link,
-        &CoordinatorRequest::Install {
-            stripe: case.id,
-            sectors,
-        },
-        traffic,
-    )?;
-    match recv(link, traffic)? {
-        WorkerResponse::Installed { stripe, .. } => {
-            expect_stripe(case.id, stripe)?;
-            Ok(())
-        }
-        other => unexpected(other),
-    }
-}
-
-fn send(
-    link: &ChannelTransport,
-    request: &CoordinatorRequest,
-    traffic: &mut Traffic,
-) -> Result<(), ClusterError> {
-    let frame = request.encode();
-    traffic.to_workers_bytes += 4 + frame.len() as u64;
-    traffic.frames += 1;
-    link.send(frame).map_err(ClusterError::Io)
-}
-
-fn recv(link: &ChannelTransport, traffic: &mut Traffic) -> Result<WorkerResponse, ClusterError> {
-    let frame = link.recv().map_err(ClusterError::Io)?;
-    traffic.from_workers_bytes += 4 + frame.len() as u64;
-    traffic.frames += 1;
-    match WorkerResponse::decode(&frame)? {
-        WorkerResponse::Error { message } => Err(ClusterError::Protocol(message)),
-        response => Ok(response),
-    }
-}
-
-fn expect_stripe(expected: u64, got: u64) -> Result<(), ClusterError> {
-    if expected != got {
-        return Err(ClusterError::Protocol(format!(
-            "response for stripe {got}, expected {expected}"
-        )));
-    }
-    Ok(())
-}
-
 fn unexpected(response: WorkerResponse) -> Result<(), ClusterError> {
     Err(ClusterError::Protocol(format!(
         "unexpected response kind: {response:?}"
@@ -618,7 +1095,9 @@ mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]
 
     use super::*;
+    use crate::chaos::ChaosConfig;
     use ppm_codes::SdCode;
+    use ppm_faults::ChaosRates;
 
     fn paper_code() -> SdCode<u8> {
         // The paper's running example: SD^{1,1}_{4,4}(8|1,2).
@@ -634,6 +1113,22 @@ mod tests {
             sector_bytes: 512,
             seed: 2015,
             threads: 1,
+            frame_version: FRAME_VERSION,
+            chaos: None,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    fn chaos_cfg(workers: usize, seed: u64, rates: ChaosRates) -> SimConfig {
+        SimConfig {
+            damaged: 8,
+            chaos: Some(ChaosConfig {
+                seed,
+                rates,
+                delay_ms: 5,
+            }),
+            retry: RetryPolicy::aggressive(),
+            ..small_cfg(workers)
         }
     }
 
@@ -649,6 +1144,8 @@ mod tests {
             assert_eq!(report.violations, 0);
             // One shipped plan per (worker, scenario) at most.
             assert!(report.plans_shipped <= workers * 3);
+            // Clean links: supervision never fires.
+            assert_eq!(report.chaos, ChaosStats::default());
         }
     }
 
@@ -688,6 +1185,20 @@ mod tests {
     }
 
     #[test]
+    fn v1_framing_still_interops() {
+        let code = paper_code();
+        let cfg = SimConfig {
+            frame_version: 1,
+            ..small_cfg(3)
+        };
+        let report = run_sim(&code, &cfg, RepairMode::Partial).expect("v1 sim");
+        assert!(report.identical);
+        assert_eq!(report.repaired, report.damaged);
+        assert_eq!(report.frame_version, 1);
+        assert_eq!(report.chaos, ChaosStats::default());
+    }
+
+    #[test]
     fn nonsense_configs_are_rejected() {
         let code = paper_code();
         let bad = SimConfig {
@@ -701,6 +1212,101 @@ mod tests {
             ..small_cfg(2)
         };
         assert!(run_sim(&code, &bad, RepairMode::Partial).is_err());
+        // Chaos over v1 framing is undetectable corruption — rejected.
+        let bad = SimConfig {
+            frame_version: 1,
+            chaos: Some(ChaosConfig::default()),
+            ..small_cfg(2)
+        };
+        assert!(run_sim(&code, &bad, RepairMode::Partial).is_err());
+        // Fault mass over 1.0 is rejected, not a panic.
+        let bad = SimConfig {
+            chaos: Some(ChaosConfig {
+                rates: ChaosRates {
+                    drop: 0.8,
+                    corrupt: 0.8,
+                    ..ChaosRates::default()
+                },
+                ..ChaosConfig::default()
+            }),
+            ..small_cfg(2)
+        };
+        assert!(run_sim(&code, &bad, RepairMode::Partial).is_err());
+    }
+
+    #[test]
+    fn chaos_drops_are_survived_by_retries() {
+        let code = paper_code();
+        let cfg = chaos_cfg(
+            3,
+            41,
+            ChaosRates {
+                drop: 0.15,
+                delay: 0.10,
+                ..ChaosRates::default()
+            },
+        );
+        let report = run_sim(&code, &cfg, RepairMode::Partial).expect("chaotic sim");
+        assert!(report.identical, "chaos must not change the bytes");
+        assert_eq!(report.repaired, report.damaged);
+        assert!(
+            report.chaos.injected.total() > 0,
+            "the configured chaos must actually fire"
+        );
+        assert!(
+            report.chaos.injected.dropped == 0 || report.chaos.timeouts > 0,
+            "dropped frames must surface as timeouts"
+        );
+    }
+
+    #[test]
+    fn chaos_corruption_is_caught_not_decoded() {
+        let code = paper_code();
+        let cfg = chaos_cfg(
+            3,
+            42,
+            ChaosRates {
+                corrupt: 0.20,
+                truncate: 0.05,
+                ..ChaosRates::default()
+            },
+        );
+        let report = run_sim(&code, &cfg, RepairMode::Partial).expect("chaotic sim");
+        assert!(report.identical);
+        assert!(report.chaos.injected.corrupted > 0);
+        assert!(
+            report.chaos.corrupt_frames_caught > 0,
+            "every corruption that reached a peer must be caught, got stats {:?}",
+            report.chaos
+        );
+        assert_eq!(report.violations, 0);
+    }
+
+    #[test]
+    fn all_links_hanging_degrades_to_local_repair() {
+        let code = paper_code();
+        let mut cfg = chaos_cfg(
+            2,
+            43,
+            ChaosRates {
+                hang: 1.0,
+                ..ChaosRates::default()
+            },
+        );
+        cfg.damaged = 4;
+        cfg.retry = RetryPolicy {
+            deadline_ms: 40,
+            max_attempts: 2,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 5,
+            hedge_after_ms: 0,
+        };
+        let report = run_sim(&code, &cfg, RepairMode::Partial).expect("hung sim");
+        assert!(report.identical, "degraded repairs must still converge");
+        assert_eq!(report.repaired, report.damaged);
+        assert_eq!(report.chaos.workers_declared_dead as usize, cfg.workers);
+        assert_eq!(report.chaos.degraded_local as usize, cfg.damaged);
+        assert_eq!(report.chaos.redispatches, 0);
     }
 
     #[test]
@@ -714,6 +1320,9 @@ mod tests {
             "\"identical\":true",
             "\"total_bytes\":",
             "\"plan_bytes\":",
+            "\"frame_version\":2",
+            "\"chaos\":{\"retries\":0",
+            "\"injected\":{\"dropped\":0",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

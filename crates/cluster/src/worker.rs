@@ -4,12 +4,30 @@
 //! [`WirePlan`](ppm_core::WirePlan).
 
 use crate::error::ClusterError;
+use crate::frame::{seal_v2, unseal, Unsealed};
 use crate::message::{CoordinatorRequest, WorkerResponse};
 use crate::transport::Transport;
+use ppm_codes::StripeLayout;
 use ppm_core::{DecoderConfig, ExecutableWirePlan, Executor, WirePlan};
 use ppm_gf::{Backend, GfWord};
 use ppm_stripe::Stripe;
 use std::collections::HashMap;
+
+/// What a worker's frame layer saw and survived: the detection-side
+/// counters chaos tests assert on (the coordinator keeps its own; the
+/// sum is the cluster's "corrupt frames caught" figure).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerFrameStats {
+    /// Frames that failed the v2 integrity checks and were discarded
+    /// (the coordinator's retry redelivers).
+    pub corrupt_caught: u64,
+    /// v2 frames with a non-advancing sequence number, dropped as
+    /// duplicates or stale reorders.
+    pub dups_dropped: u64,
+    /// CRC-clean frames whose payload still failed to decode; answered
+    /// with a [`WorkerResponse::Error`] instead of killing the loop.
+    pub undecodable: u64,
+}
 
 /// One worker: a shard of stripes keyed by archive-wide id, an
 /// [`Executor`] for the data path, and a cache of compiled wire plans
@@ -62,25 +80,87 @@ impl<W: GfWord> Worker<W> {
 
     /// Serves requests from `transport` until
     /// [`Shutdown`](CoordinatorRequest::Shutdown), then returns the
-    /// shard in its final state.
+    /// shard in its final state. Equivalent to [`Worker::serve`] with
+    /// the frame counters discarded.
     ///
     /// # Errors
-    /// [`ClusterError::Io`] when the transport drops mid-conversation,
-    /// [`ClusterError::Protocol`] on an undecodable request. Request
-    /// handling failures are *not* errors here — they travel back as
-    /// [`WorkerResponse::Error`] and the loop keeps serving.
-    pub fn run<T: Transport>(
+    /// [`ClusterError::Io`] when the transport drops mid-conversation
+    /// (including a coordinator that walked away from a dead link).
+    /// Request handling failures are *not* errors here — they travel
+    /// back as [`WorkerResponse::Error`] and the loop keeps serving —
+    /// and neither is line noise: frames failing the v2 integrity
+    /// checks are counted and dropped, trusting the coordinator's
+    /// retry to redeliver.
+    pub fn run<T: Transport>(self, transport: &T) -> Result<HashMap<u64, Stripe>, ClusterError> {
+        let (stripes, err, _) = self.serve(transport);
+        match err {
+            None => Ok(stripes),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// [`Worker::run`], but the shard and the frame-layer detection
+    /// counters come back even when the loop exits on a transport
+    /// error — a coordinator that walked away from a hung link (the
+    /// worker sees its channel close) must still be able to account
+    /// the shard's repaired stripes and the worker's catches.
+    pub fn serve<T: Transport>(
         mut self,
         transport: &T,
-    ) -> Result<HashMap<u64, Stripe>, ClusterError> {
+    ) -> (HashMap<u64, Stripe>, Option<ClusterError>, WorkerFrameStats) {
+        let mut stats = WorkerFrameStats::default();
+        // Sequence state for the v2 envelope: outbound responses get
+        // this worker's own monotonic stream; inbound requests must
+        // advance the last-seen number or be dropped as duplicates.
+        let mut next_send_seq: u32 = 0;
+        let mut last_seen: Option<u32> = None;
         loop {
-            let frame = transport.recv()?;
-            let request = CoordinatorRequest::decode(&frame)?;
-            if matches!(request, CoordinatorRequest::Shutdown) {
-                return Ok(self.stripes);
+            let frame = match transport.recv() {
+                Ok(f) => f,
+                Err(e) => return (self.stripes, Some(ClusterError::Io(e)), stats),
+            };
+            // Classify the frame: v2 envelopes prove integrity and
+            // freshness; raw v1 frames pass through for old peers. The
+            // response mirrors the request's version, which is the
+            // whole negotiation.
+            let (version, payload) = match unseal(frame) {
+                Err(_) => {
+                    stats.corrupt_caught += 1;
+                    continue;
+                }
+                Ok(Unsealed::V1(payload)) => (1u8, payload),
+                Ok(Unsealed::V2 { seq, payload }) => {
+                    if last_seen.is_some_and(|prev| seq <= prev) {
+                        stats.dups_dropped += 1;
+                        continue;
+                    }
+                    last_seen = Some(seq);
+                    (2, payload)
+                }
+            };
+            let response = match CoordinatorRequest::decode(&payload) {
+                Ok(CoordinatorRequest::Shutdown) => return (self.stripes, None, stats),
+                Ok(request) => self.handle(request),
+                Err(e) => {
+                    // CRC-clean (or v1) but undecodable: report it and
+                    // keep serving rather than dying mid-shard.
+                    stats.undecodable += 1;
+                    WorkerResponse::Error {
+                        message: format!("worker {}: undecodable request: {e}", self.id),
+                    }
+                }
+            };
+            let bytes = response.encode();
+            let out = if version == 2 {
+                let sealed = seal_v2(next_send_seq, &bytes);
+                next_send_seq = next_send_seq.wrapping_add(1);
+                sealed
+            } else {
+                bytes
+            };
+            if let Err(e) = transport.send(out) {
+                return (self.stripes, Some(ClusterError::Io(e)), stats);
             }
-            let response = self.handle(request);
-            transport.send(response.encode())?;
         }
     }
 
@@ -96,6 +176,13 @@ impl<W: GfWord> Worker<W> {
             } => self.repair(stripe, plan_key, plan),
             CoordinatorRequest::FetchSectors { stripe, sectors } => self.fetch(stripe, &sectors),
             CoordinatorRequest::Install { stripe, sectors } => self.install(stripe, sectors),
+            CoordinatorRequest::Adopt {
+                stripe,
+                n,
+                r,
+                sector_bytes,
+                sectors,
+            } => self.adopt(stripe, n, r, sector_bytes, sectors),
             CoordinatorRequest::Shutdown => Err("shutdown is handled by the run loop".to_string()),
         };
         result.unwrap_or_else(|message| WorkerResponse::Error {
@@ -212,6 +299,61 @@ impl<W: GfWord> Worker<W> {
         Ok(WorkerResponse::Installed {
             stripe: stripe_id,
             violated_rows,
+        })
+    }
+
+    /// Failover adoption: build the stripe from the shipped geometry
+    /// and contents and take ownership. Overwrites any existing copy
+    /// (a retried adoption must converge, and a half-repaired orphan
+    /// from a previous owner is stale by definition).
+    fn adopt(
+        &mut self,
+        stripe_id: u64,
+        n: u32,
+        r: u32,
+        sector_bytes: u32,
+        sectors: Vec<(u32, Vec<u8>)>,
+    ) -> Result<WorkerResponse, String> {
+        if n == 0 || r == 0 || sector_bytes == 0 {
+            return Err(format!(
+                "adoption of stripe {stripe_id} names a degenerate geometry {n}x{r}x{sector_bytes}"
+            ));
+        }
+        let layout = StripeLayout::new(n as usize, r as usize);
+        let total = layout.sectors();
+        if sectors.len() != total {
+            return Err(format!(
+                "adoption of stripe {stripe_id} carries {} sectors, layout holds {total}",
+                sectors.len()
+            ));
+        }
+        let mut stripe = Stripe::zeroed(layout, sector_bytes as usize);
+        let mut seen = vec![false; total];
+        for (s, bytes) in &sectors {
+            let s = *s as usize;
+            if s >= total {
+                return Err(format!(
+                    "adopted sector {s} out of range (layout holds {total})"
+                ));
+            }
+            if std::mem::replace(&mut seen[s], true) {
+                return Err(format!("adopted sector {s} appears twice"));
+            }
+            if bytes.len() != sector_bytes as usize {
+                return Err(format!(
+                    "adopted sector {s} carries {} bytes, stripe holds {sector_bytes}",
+                    bytes.len()
+                ));
+            }
+            stripe.write_sector(s, bytes);
+        }
+        // Ownership transfer invalidates any verify still waiting on a
+        // previous incarnation of this stripe.
+        self.pending_verify.remove(&stripe_id);
+        self.stripes.insert(stripe_id, stripe);
+        Ok(WorkerResponse::Installed {
+            stripe: stripe_id,
+            violated_rows: None,
         })
     }
 }

@@ -27,6 +27,14 @@
 //!   flips the process-global switch that makes every SIMD region
 //!   kernel corrupt its first output byte, exercising the
 //!   scalar-fallback self-check in `ppm-gf`.
+//! * **Frame faults** ([`FrameChaos`]): the network family. A seeded
+//!   per-frame decider that tells a transport wrapper what to do to
+//!   the next frame — deliver, drop, delay, duplicate, reorder,
+//!   truncate, bit-flip, or hang — plus the byte-mangling primitives
+//!   themselves. The decider is transport-agnostic: it never touches a
+//!   socket or channel, it only makes deterministic choices and mutates
+//!   byte vectors, so the same seed replays the same fault schedule
+//!   over any link.
 //!
 //! The injector is intentionally free of any dependency on the decode
 //! stack: it mutates stripes and scenarios, and what the repair layer
@@ -240,6 +248,187 @@ impl FaultInjector {
     }
 }
 
+// ---------------------------------------------------------------------
+// Frame chaos: the network fault family
+// ---------------------------------------------------------------------
+
+/// Per-frame fault probabilities, each in `[0.0, 1.0]`. The sum of all
+/// rates must stay `<= 1.0`; whatever is left over is the probability
+/// of clean delivery.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ChaosRates {
+    /// Frame silently vanishes.
+    pub drop: f64,
+    /// One random byte of the frame is bit-flipped.
+    pub corrupt: f64,
+    /// Frame is cut to a strict prefix (possibly empty).
+    pub truncate: f64,
+    /// Frame is delivered twice.
+    pub duplicate: f64,
+    /// Frame is held back and delivered after its successor.
+    pub reorder: f64,
+    /// Frame is delivered late (the wrapper decides how late).
+    pub delay: f64,
+    /// The link goes permanently silent starting with this frame —
+    /// the partition/dead-peer fault. Keep this rate tiny.
+    pub hang: f64,
+}
+
+impl ChaosRates {
+    /// Sum of all fault rates (the probability a frame is *not*
+    /// delivered cleanly).
+    pub fn total(&self) -> f64 {
+        self.drop
+            + self.corrupt
+            + self.truncate
+            + self.duplicate
+            + self.reorder
+            + self.delay
+            + self.hang
+    }
+}
+
+/// What [`FrameChaos::next_fault`] decided to do to one frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FrameFault {
+    /// Pass the frame through untouched.
+    Deliver,
+    /// Lose the frame.
+    Drop,
+    /// Flip one random byte ([`FrameChaos::mangle`]).
+    Corrupt,
+    /// Cut the frame to a random strict prefix
+    /// ([`FrameChaos::truncate_frame`]).
+    Truncate,
+    /// Deliver the frame twice.
+    Duplicate,
+    /// Hold the frame back one slot.
+    Reorder,
+    /// Deliver the frame late.
+    Delay,
+    /// Go permanently silent.
+    Hang,
+}
+
+/// Converts a probability to a 32-bit threshold for a uniform `u32`
+/// draw, saturating at the ends so `1.0` always fires and `0.0` never
+/// does.
+fn threshold(rate: f64) -> u64 {
+    let clamped = rate.clamp(0.0, 1.0);
+    (clamped * f64::from(u32::MAX)) as u64
+}
+
+/// A deterministic, seeded source of *frame* faults, following the
+/// [`FaultInjector`] idiom: every decision comes from the seed, so a
+/// failing chaos test names its seed and CI replays the identical
+/// fault schedule.
+///
+/// One `FrameChaos` serves one direction of one link; give each
+/// direction its own decider (decorrelate with `seed ^ direction`)
+/// so request and response faults draw independent streams.
+#[derive(Clone, Debug)]
+pub struct FrameChaos {
+    seed: u64,
+    rates: ChaosRates,
+    rng: StdRng,
+    decisions: u64,
+}
+
+impl FrameChaos {
+    /// Creates a decider whose entire fault schedule is determined by
+    /// `seed` and `rates`.
+    ///
+    /// # Panics
+    /// Panics if the rates sum above 1.0 — that is a harness bug, not
+    /// a data fault.
+    pub fn new(seed: u64, rates: ChaosRates) -> Self {
+        assert!(
+            rates.total() <= 1.0 + 1e-9,
+            "chaos rates sum to {} > 1.0",
+            rates.total()
+        );
+        FrameChaos {
+            seed,
+            rates,
+            rng: StdRng::seed_from_u64(seed),
+            decisions: 0,
+        }
+    }
+
+    /// The seed this decider was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The rates this decider draws from.
+    pub fn rates(&self) -> ChaosRates {
+        self.rates
+    }
+
+    /// How many fault decisions have been drawn so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Decides the fate of the next frame. One uniform draw,
+    /// partitioned by cumulative rate thresholds in declaration order
+    /// (drop, corrupt, truncate, duplicate, reorder, delay, hang,
+    /// else deliver).
+    pub fn next_fault(&mut self) -> FrameFault {
+        self.decisions += 1;
+        let draw = u64::from(self.rng.random::<u32>());
+        let r = self.rates;
+        let mut edge = threshold(r.drop);
+        if draw < edge {
+            return FrameFault::Drop;
+        }
+        for (rate, fault) in [
+            (r.corrupt, FrameFault::Corrupt),
+            (r.truncate, FrameFault::Truncate),
+            (r.duplicate, FrameFault::Duplicate),
+            (r.reorder, FrameFault::Reorder),
+            (r.delay, FrameFault::Delay),
+            (r.hang, FrameFault::Hang),
+        ] {
+            let next_edge = edge + threshold(rate);
+            if draw < next_edge {
+                return fault;
+            }
+            edge = next_edge;
+        }
+        FrameFault::Deliver
+    }
+
+    /// Flips a random non-zero mask into a random byte of `frame`,
+    /// returning `(offset, mask)`. Empty frames are left alone (there
+    /// is no byte to corrupt) and report `(0, 0)`.
+    pub fn mangle(&mut self, frame: &mut [u8]) -> (usize, u8) {
+        if frame.is_empty() {
+            return (0, 0);
+        }
+        let offset = self.rng.random_range(0..frame.len());
+        let mask = loop {
+            let m: u8 = self.rng.random();
+            if m != 0 {
+                break m;
+            }
+        };
+        frame[offset] ^= mask;
+        (offset, mask)
+    }
+
+    /// Cuts `frame` to a random strict prefix (possibly empty),
+    /// returning the new length. Empty frames stay empty.
+    pub fn truncate_frame(&mut self, frame: &mut Vec<u8>) -> usize {
+        if frame.is_empty() {
+            return 0;
+        }
+        let keep = self.rng.random_range(0..frame.len());
+        frame.truncate(keep);
+        keep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +494,114 @@ mod tests {
             let m = inj.misaligned_stripe(&orig);
             assert_ne!(m.layout().sectors(), orig.layout().sectors());
         }
+    }
+
+    #[test]
+    fn frame_chaos_is_deterministic_per_seed() {
+        let rates = ChaosRates {
+            drop: 0.2,
+            corrupt: 0.2,
+            truncate: 0.1,
+            duplicate: 0.1,
+            reorder: 0.1,
+            delay: 0.1,
+            hang: 0.05,
+        };
+        let mut a = FrameChaos::new(41, rates);
+        let mut b = FrameChaos::new(41, rates);
+        let seq_a: Vec<FrameFault> = (0..256).map(|_| a.next_fault()).collect();
+        let seq_b: Vec<FrameFault> = (0..256).map(|_| b.next_fault()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_eq!(a.decisions(), 256);
+        // A different seed diverges somewhere in a short stream.
+        let mut c = FrameChaos::new(42, rates);
+        assert!(seq_a.iter().any(|&f| f != c.next_fault()));
+    }
+
+    #[test]
+    fn frame_chaos_rates_shape_the_fault_mix() {
+        // All-drop: every frame drops. All-zero: every frame delivers.
+        let mut all_drop = FrameChaos::new(
+            1,
+            ChaosRates {
+                drop: 1.0,
+                ..ChaosRates::default()
+            },
+        );
+        let mut clean = FrameChaos::new(1, ChaosRates::default());
+        for _ in 0..64 {
+            assert_eq!(all_drop.next_fault(), FrameFault::Drop);
+            assert_eq!(clean.next_fault(), FrameFault::Deliver);
+        }
+        // A mixed config produces every named family eventually.
+        let rates = ChaosRates {
+            drop: 0.12,
+            corrupt: 0.12,
+            truncate: 0.12,
+            duplicate: 0.12,
+            reorder: 0.12,
+            delay: 0.12,
+            hang: 0.12,
+        };
+        let mut mixed = FrameChaos::new(7, rates);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4096 {
+            seen.insert(mixed.next_fault());
+        }
+        for fault in [
+            FrameFault::Deliver,
+            FrameFault::Drop,
+            FrameFault::Corrupt,
+            FrameFault::Truncate,
+            FrameFault::Duplicate,
+            FrameFault::Reorder,
+            FrameFault::Delay,
+            FrameFault::Hang,
+        ] {
+            assert!(seen.contains(&fault), "{fault:?} never drawn");
+        }
+    }
+
+    #[test]
+    fn mangle_always_changes_a_nonempty_frame() {
+        let mut chaos = FrameChaos::new(5, ChaosRates::default());
+        for len in [1usize, 2, 64, 1000] {
+            let original = vec![0xA5u8; len];
+            let mut frame = original.clone();
+            let (offset, mask) = chaos.mangle(&mut frame);
+            assert!(offset < len);
+            assert_ne!(mask, 0);
+            assert_ne!(frame, original);
+            assert_eq!(frame[offset], original[offset] ^ mask);
+        }
+        let mut empty: Vec<u8> = Vec::new();
+        assert_eq!(chaos.mangle(&mut empty), (0, 0));
+    }
+
+    #[test]
+    fn truncate_always_shortens_a_nonempty_frame() {
+        let mut chaos = FrameChaos::new(6, ChaosRates::default());
+        for len in [1usize, 2, 64, 1000] {
+            let mut frame = vec![1u8; len];
+            let kept = chaos.truncate_frame(&mut frame);
+            assert!(kept < len, "strict prefix");
+            assert_eq!(frame.len(), kept);
+        }
+        let mut empty: Vec<u8> = Vec::new();
+        assert_eq!(chaos.truncate_frame(&mut empty), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chaos rates sum")]
+    fn oversubscribed_rates_are_a_harness_bug() {
+        let _ = FrameChaos::new(
+            0,
+            ChaosRates {
+                drop: 0.8,
+                corrupt: 0.8,
+                ..ChaosRates::default()
+            },
+        );
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! ppm-cli info    <dir>
 //! ppm-cli cluster sim [--workers N] [--stripes M] [--damaged D] [--code spec]
 //!                 [--bytes B] [--seed S] [--threads T] [--mode partial|naive|both] [--stats]
+//!                 [--chaos SEED] [--drop R] [--corrupt R] [--truncate R] [--duplicate R]
+//!                 [--reorder R] [--delay R] [--hang R] [--delay-ms MS] [--frame-version 1|2]
+//!                 [--deadline MS] [--retries N] [--hedge MS]
 //! ```
 //!
 //! Code specs: `sd:n,r,m,s` · `pmds:n,r,m,s` · `lrc:k,l,g,r` · `rs:k,m,r` ·
@@ -63,6 +66,21 @@
 //! baseline so the line carries the measured bandwidth ratio. `--stats`
 //! prints the full JSON report(s).
 //!
+//! `cluster sim --chaos SEED` injects seeded faults into every
+//! coordinator↔worker link (`ppm_cluster::ChaosTransport`): `--drop`,
+//! `--corrupt`, `--truncate`, `--duplicate`, `--reorder`, `--delay`,
+//! and `--hang` set per-frame probabilities (summing to at most 1),
+//! `--delay-ms` sizes the delay fault. Frames travel in the v2 envelope
+//! (CRC32 + sequence number), so corruption and duplication are caught
+//! at the frame layer, while the supervised coordinator rides out loss
+//! and silence with deadlines (`--deadline`), bounded retries
+//! (`--retries`), straggler hedging (`--hedge`), and worker failover —
+//! the repaired archive must *still* come back bit-identical, or the
+//! command exits nonzero. The summary line gains
+//! `chaos_seed=... injected=... retries=... corrupt_caught=...` fields
+//! for CI to grep. `--frame-version 1` keeps the legacy raw framing
+//! (interop mode; refuses chaos, which would be undetectable).
+//!
 //! `update` replays a small-write trace against a healthy archive
 //! through the buffered update engine (`ppm_update::UpdateEngine`):
 //! writes coalesce in a bounded dirty buffer (`--buffer`, evicting by
@@ -79,10 +97,10 @@
 
 use ppm::update::trace::{parse_trace, synthesize, SynthKind, TraceOp};
 use ppm::{
-    encode, parity_consistent, run_sim, Backend, Decoder, DecoderConfig, EngineConfig, ErasureCode,
-    EvenOddCode, EvictionPolicy, ExecMode, ExecStats, FailureScenario, FaultInjector, FlushMode,
-    LrcCode, PmdsCode, RdpCode, RepairMode, RepairService, RsCode, SdCode, SimConfig, SimReport,
-    StarCode, Strategy, Stripe, StripeLayout, UpdateEngine,
+    encode, parity_consistent, run_sim, Backend, ChaosConfig, ChaosRates, Decoder, DecoderConfig,
+    EngineConfig, ErasureCode, EvenOddCode, EvictionPolicy, ExecMode, ExecStats, FailureScenario,
+    FaultInjector, FlushMode, LrcCode, PmdsCode, RdpCode, RepairMode, RepairService, RetryPolicy,
+    RsCode, SdCode, SimConfig, SimReport, StarCode, Strategy, Stripe, StripeLayout, UpdateEngine,
 };
 use std::fs;
 use std::io::{Read, Write};
@@ -1064,6 +1082,54 @@ fn cluster_sim(args: &[String]) -> Result<(), String> {
             None => Ok(default),
         }
     };
+    let parse_rate = |name: &str| -> Result<f64, String> {
+        match flags.get(name) {
+            Some(v) => {
+                let rate: f64 = v.parse().map_err(|e| format!("bad --{name}: {e}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("bad --{name}: rate {rate} outside [0, 1]"));
+                }
+                Ok(rate)
+            }
+            None => Ok(0.0),
+        }
+    };
+    let rates = ChaosRates {
+        drop: parse_rate("drop")?,
+        corrupt: parse_rate("corrupt")?,
+        truncate: parse_rate("truncate")?,
+        duplicate: parse_rate("duplicate")?,
+        reorder: parse_rate("reorder")?,
+        delay: parse_rate("delay")?,
+        hang: parse_rate("hang")?,
+    };
+    let chaos = match flags.get("chaos") {
+        Some(v) => Some(ChaosConfig {
+            seed: v.parse().map_err(|e| format!("bad --chaos: {e}"))?,
+            rates,
+            delay_ms: parse_u64("delay-ms", 5)?,
+        }),
+        None if rates.total() > 0.0 => {
+            return Err("fault rates need --chaos SEED to take effect".into())
+        }
+        None => None,
+    };
+    // Chaos runs default to the tight supervision profile; individual
+    // knobs override either way.
+    let mut retry = if chaos.is_some() {
+        RetryPolicy::aggressive()
+    } else {
+        RetryPolicy::default()
+    };
+    if let Some(v) = flags.get("deadline") {
+        retry.deadline_ms = v.parse().map_err(|e| format!("bad --deadline: {e}"))?;
+    }
+    if let Some(v) = flags.get("retries") {
+        retry.max_attempts = v.parse().map_err(|e| format!("bad --retries: {e}"))?;
+    }
+    if let Some(v) = flags.get("hedge") {
+        retry.hedge_after_ms = v.parse().map_err(|e| format!("bad --hedge: {e}"))?;
+    }
     let cfg = SimConfig {
         workers: flag_num(&flags, "workers").unwrap_or(4),
         stripes: parse_u64("stripes", 1_000_000)?,
@@ -1072,6 +1138,9 @@ fn cluster_sim(args: &[String]) -> Result<(), String> {
         sector_bytes: flag_num(&flags, "bytes").unwrap_or(4096),
         seed: parse_u64("seed", 2015)?,
         threads: flag_num(&flags, "threads").unwrap_or(1),
+        frame_version: flag_num(&flags, "frame-version").unwrap_or(2) as u8,
+        chaos,
+        retry,
     };
     let mode = flags.get("mode").map(String::as_str).unwrap_or("both");
 
@@ -1120,6 +1189,30 @@ fn cluster_sim(args: &[String]) -> Result<(), String> {
         line.push_str(&format!(
             " ratio={:.3}",
             p.traffic.total_bytes() as f64 / n.traffic.total_bytes() as f64
+        ));
+    }
+    if let Some(chaos) = &cfg.chaos {
+        let mut retries = 0u64;
+        let mut timeouts = 0u64;
+        let mut redispatches = 0u64;
+        let mut degraded = 0u64;
+        let mut corrupt_caught = 0u64;
+        let mut injected = 0u64;
+        let mut workers_dead = 0u64;
+        for r in [&partial, &naive].into_iter().flatten() {
+            retries += r.chaos.retries;
+            timeouts += r.chaos.timeouts;
+            redispatches += r.chaos.redispatches;
+            degraded += r.chaos.degraded_local;
+            corrupt_caught += r.chaos.corrupt_frames_caught;
+            injected += r.chaos.injected.total();
+            workers_dead += r.chaos.workers_declared_dead;
+        }
+        line.push_str(&format!(
+            " chaos_seed={} injected={injected} retries={retries} timeouts={timeouts} \
+             corrupt_caught={corrupt_caught} redispatches={redispatches} \
+             degraded={degraded} workers_dead={workers_dead}",
+            chaos.seed
         ));
     }
     println!("{line}");

@@ -66,8 +66,8 @@ pub use ppm_stripe as stripe;
 pub use ppm_update as update;
 
 pub use ppm_cluster::{
-    run_sim, ClusterError, CoordinatorRequest, RepairMode, SimConfig, SimReport, Transport, Worker,
-    WorkerResponse,
+    run_sim, ChaosConfig, ChaosRates, ChaosStats, ChaosTransport, ClusterError, CoordinatorRequest,
+    RepairMode, RetryPolicy, SimConfig, SimReport, Transport, Worker, WorkerResponse,
 };
 pub use ppm_codes::{
     CodeError, ErasureCode, EvenOddCode, FailureScenario, LrcCode, ParityKind, PmdsCode, RdpCode,
