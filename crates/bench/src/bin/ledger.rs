@@ -142,6 +142,23 @@ fn main() {
         emit(&prep.name, &stats);
     }
 
+    // Product code under correlated failures (rack loss and row burst)
+    // and Hitchhiker-XOR under its worst whole-disk outage.
+    for groups in [3usize, 0] {
+        let Some(prep) =
+            ppm_bench::prepare_product(4, 2, 3, 2, groups, args.stripe_bytes, args.seed)
+        else {
+            continue;
+        };
+        let (stats, _) = ledger_plan(&prep, Strategy::PpmAuto, args.threads);
+        let label = if groups > 0 { "rack" } else { "burst" };
+        emit(&format!("{} [{label}]", prep.name), &stats);
+    }
+    if let Some(prep) = ppm_bench::prepare_hitchhiker(5, 3, args.stripe_bytes, args.seed) {
+        let (stats, _) = ledger_plan(&prep, Strategy::PpmAuto, args.threads);
+        emit(&prep.name, &stats);
+    }
+
     assert!(rows > 0, "no instance prepared");
 
     println!("\n# Warm decode: instruction tape vs graph walker\n");

@@ -14,7 +14,7 @@
 
 use ppm_bench::{write_bench_json, ExpArgs, Table};
 use ppm_cluster::{run_sim, RepairMode, SimConfig};
-use ppm_codes::{ErasureCode, LrcCode, PmdsCode, RsCode, SdCode};
+use ppm_codes::{ErasureCode, HitchhikerXor, LrcCode, PmdsCode, ProductCode, RsCode, SdCode};
 
 fn geometries() -> Vec<(&'static str, Box<dyn ErasureCode<u8>>)> {
     vec![
@@ -34,6 +34,14 @@ fn geometries() -> Vec<(&'static str, Box<dyn ErasureCode<u8>>)> {
         (
             "rs_5_3",
             Box::new(RsCode::<u8>::new(5, 3, 4).expect("RS code")),
+        ),
+        (
+            "pc_4_2_3_2",
+            Box::new(ProductCode::<u8>::new(4, 2, 3, 2).expect("product code")),
+        ),
+        (
+            "hh_5_3",
+            Box::new(HitchhikerXor::<u8>::new(5, 3).expect("Hitchhiker code")),
         ),
     ]
 }

@@ -18,7 +18,7 @@
 //! `cargo run --release -p ppm-bench --bin update_throughput [--smoke] [--threads T] [--seed N]`
 
 use ppm_bench::{write_bench_json, ExpArgs, Table};
-use ppm_codes::{ErasureCode, LrcCode, PmdsCode, RsCode, SdCode};
+use ppm_codes::{ErasureCode, HitchhikerXor, LrcCode, PmdsCode, ProductCode, RsCode, SdCode};
 use ppm_core::{DecoderConfig, RepairService};
 use ppm_gf::Backend;
 use ppm_stripe::random_data_stripe;
@@ -243,6 +243,22 @@ fn main() {
         "RS(6,3,4)",
         false,
         RsCode::<u8>::new(6, 3, 4).expect("rs"),
+        &args,
+        &table,
+        &mut json_rows,
+    );
+    run_family(
+        "PC(6x5,4x3)",
+        true,
+        ProductCode::<u8>::new(4, 2, 3, 2).expect("product"),
+        &args,
+        &table,
+        &mut json_rows,
+    );
+    run_family(
+        "HH-XOR(8,5)",
+        true,
+        HitchhikerXor::<u8>::new(5, 3).expect("hitchhiker"),
         &args,
         &table,
         &mut json_rows,

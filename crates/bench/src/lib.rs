@@ -22,8 +22,8 @@ pub use model::{
     throughput_mbs,
 };
 pub use prep::{
-    ledger_plan, prepare_lrc, prepare_rs, prepare_sd, prepare_sd_w, time_plan, time_tape_vs_graph,
-    Prepared,
+    ledger_plan, prepare_hitchhiker, prepare_lrc, prepare_product, prepare_rs, prepare_sd,
+    prepare_sd_w, time_plan, time_tape_vs_graph, Prepared,
 };
 pub use report::{bench_dir, git_sha, write_bench_json, BENCH_SCHEMA_VERSION};
 pub use table::Table;

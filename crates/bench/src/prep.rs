@@ -1,6 +1,8 @@
 //! Instance preparation and timing loops shared by the figure binaries.
 
-use ppm_codes::{ErasureCode, FailureScenario, LrcCode, RsCode, SdCode};
+use ppm_codes::{
+    ErasureCode, FailureScenario, HitchhikerXor, LrcCode, ProductCode, RsCode, SdCode,
+};
 use ppm_core::{encode, DecodePlan, Decoder, DecoderConfig, ExecStats, ScratchArena, Strategy};
 use ppm_gf::{Backend, GfWord};
 use ppm_matrix::Matrix;
@@ -132,6 +134,82 @@ pub fn prepare_rs<W: GfWord>(
     let scenario = code.random_disk_failures(m, &mut rng);
     let h = code.parity_check_matrix();
     let sectors = code.layout().sectors();
+    let mut pristine = random_data_stripe(&code, sector_bytes(stripe_bytes, sectors), &mut rng);
+    let enc = Decoder::new(DecoderConfig {
+        threads: 1,
+        backend: Backend::Auto,
+    });
+    encode(&code, &enc, &mut pristine).ok()?;
+    Some(Prepared {
+        name: code.name(),
+        h,
+        scenario,
+        pristine,
+    })
+}
+
+/// Builds a product code (`k1 × k2` data grid, `m1` column parities,
+/// `m2` row parities) and injects a correlated failure: a rack loss
+/// (`group` of `groups` contiguous disk groups) when `groups > 0`, or
+/// a row burst across `m1` disks otherwise.
+pub fn prepare_product(
+    k1: usize,
+    m1: usize,
+    k2: usize,
+    m2: usize,
+    groups: usize,
+    stripe_bytes: usize,
+    seed: u64,
+) -> Option<Prepared<u8>> {
+    let code = ProductCode::<u8>::new(k1, m1, k2, m2).ok()?;
+    let layout = code.layout();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scenario = if groups > 0 {
+        FailureScenario::try_disk_group(layout, (seed as usize) % groups, groups).ok()?
+    } else {
+        FailureScenario::random_row_burst(layout, m1, &mut rng).ok()?
+    };
+    let h = code.parity_check_matrix();
+    if h.select_columns(scenario.faulty()).rank() < scenario.len() {
+        return None;
+    }
+    let sectors = layout.sectors();
+    let mut pristine = random_data_stripe(&code, sector_bytes(stripe_bytes, sectors), &mut rng);
+    let enc = Decoder::new(DecoderConfig {
+        threads: 1,
+        backend: Backend::Auto,
+    });
+    encode(&code, &enc, &mut pristine).ok()?;
+    Some(Prepared {
+        name: code.name(),
+        h,
+        scenario,
+        pristine,
+    })
+}
+
+/// Builds a Hitchhiker-XOR instance (`k` data + `m` parity disks, two
+/// coupled sub-stripes) and an `m`-whole-disk failure — the family's
+/// worst tolerable outage.
+pub fn prepare_hitchhiker(
+    k: usize,
+    m: usize,
+    stripe_bytes: usize,
+    seed: u64,
+) -> Option<Prepared<u8>> {
+    let code = HitchhikerXor::<u8>::new(k, m).ok()?;
+    let layout = code.layout();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut disks: Vec<usize> = (0..layout.n).collect();
+    rand::seq::SliceRandom::shuffle(disks.as_mut_slice(), &mut rng);
+    disks.truncate(m);
+    disks.sort_unstable();
+    let scenario = FailureScenario::whole_disks(layout, &disks);
+    let h = code.parity_check_matrix();
+    if h.select_columns(scenario.faulty()).rank() < scenario.len() {
+        return None;
+    }
+    let sectors = layout.sectors();
     let mut pristine = random_data_stripe(&code, sector_bytes(stripe_bytes, sectors), &mut rng);
     let enc = Decoder::new(DecoderConfig {
         threads: 1,
@@ -311,6 +389,19 @@ mod tests {
         assert!(secs > 0.0);
         let rs = prepare_rs::<u8>(4, 2, 2, 4096, 5).expect("rs");
         let (secs, _) = time_plan(&rs, Strategy::TraditionalMatrixFirst, 1, 1);
+        assert!(secs > 0.0);
+    }
+
+    #[test]
+    fn prepare_product_and_hitchhiker() {
+        let rack = prepare_product(4, 2, 3, 2, 3, 4096, 5).expect("product rack");
+        let (stats, _) = ledger_plan(&rack, Strategy::PpmAuto, 2);
+        assert!(stats.matches_prediction());
+        let burst = prepare_product(4, 2, 3, 2, 0, 4096, 5).expect("product burst");
+        assert_eq!(burst.scenario.len(), 2); // width m1
+        let hh = prepare_hitchhiker(5, 3, 4096, 5).expect("hitchhiker");
+        assert_eq!(hh.scenario.len(), 6); // m disks x 2 rows
+        let (secs, _) = time_plan(&hh, Strategy::PpmAuto, 1, 1);
         assert!(secs > 0.0);
     }
 

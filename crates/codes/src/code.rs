@@ -215,6 +215,8 @@ impl<W: GfWord, T: ErasureCode<W> + ?Sized> ErasureCode<W> for &T {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
     use super::*;
 
     #[test]

@@ -1,0 +1,244 @@
+//! Hitchhiker-XOR (Rashmi et al., SIGCOMM'14) as a parity-check matrix.
+//!
+//! Hitchhiker pairs two RS sub-stripes and lets the second sub-stripe's
+//! parities "hitchhike" XOR couplings of first-sub-stripe data blocks,
+//! cutting the bytes read for a single-block repair without touching the
+//! storage overhead. Here the two sub-stripes are the two stripe-rows of
+//! an `n = k + m` disk layout:
+//!
+//! * row-0 check `q` (`q < m`): `Σ_j c(q, j) · b_{0,j} = 0` — the plain
+//!   `[n, k]` Cauchy-RS check on sub-stripe *a*;
+//! * row-1 check `q`: `Σ_j c(q, j) · b_{1,j} ⊕ Σ_{j ∈ G_q} b_{0,j} = 0`
+//!   — the same check on sub-stripe *b*, plus an XOR coupling of the
+//!   row-0 data cells in group `G_q`. `G_0 = ∅` (the first parity stays
+//!   uncoupled) and `G_1 … G_{m−1}` partition the `k` data disks into
+//!   `m − 1` contiguous, nearly equal groups.
+//!
+//! The parity columns of `H` form a block-triangular
+//! `[[C, 0], [0-couplings, C]]` matrix (couplings only ever touch data
+//! columns), so the construction always encodes; any `m` whole-disk
+//! failures decode row 0 through the `m × m` Cauchy block first and row
+//! 1 after it. The asymmetry the PPM partitioner sees: a single failed
+//! data cell in row 1 repairs through any *uncoupled* row-1 check
+//! (footprint 1), while the coupled check drags in its whole group —
+//! exactly the footprint split the log table groups by.
+
+use crate::{CodeError, ErasureCode, ParityKind, StripeLayout};
+use ppm_gf::GfWord;
+use ppm_matrix::Matrix;
+
+/// A two-row Hitchhiker-XOR instance over `k` data and `m` parity disks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HitchhikerXor<W: GfWord> {
+    k: usize,
+    m: usize,
+    _marker: std::marker::PhantomData<W>,
+}
+
+impl<W: GfWord> HitchhikerXor<W> {
+    /// Builds an instance with `k` data disks and `m ≥ 2` parity disks
+    /// (`m = 1` leaves nothing to couple — use [`crate::RsCode`]).
+    /// Requires `n + m ≤ 2^w` for distinct Cauchy points and verifies
+    /// encodability like every family in this crate.
+    pub fn new(k: usize, m: usize) -> Result<Self, CodeError> {
+        if k == 0 {
+            return Err(CodeError::InvalidParams("k must be positive".into()));
+        }
+        if m < 2 {
+            return Err(CodeError::InvalidParams(
+                "Hitchhiker needs m >= 2 parities (m=1 has no coupled check)".into(),
+            ));
+        }
+        let n = k + m;
+        if (n + m) as u64 > (1u64 << W::WIDTH) {
+            return Err(CodeError::InvalidParams(format!(
+                "n+m = {} exceeds GF(2^{})",
+                n + m,
+                W::WIDTH
+            )));
+        }
+        let code = HitchhikerXor {
+            k,
+            m,
+            _marker: std::marker::PhantomData,
+        };
+        let h = code.parity_check_matrix();
+        let f = h.select_columns(&code.parity_sectors());
+        if f.inverse().is_none() {
+            return Err(CodeError::InvalidParams(
+                "Hitchhiker construction not encodable (parity columns singular)".into(),
+            ));
+        }
+        Ok(code)
+    }
+
+    /// Data disks `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Parity disks `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Cauchy coefficient for check `q`, disk `j` (same points as
+    /// [`crate::RsCode`]).
+    fn coeff(&self, q: usize, j: usize) -> W {
+        let x = W::from_u64((self.k + self.m + q) as u64);
+        let y = W::from_u64(j as u64);
+        x.gf_add(y).gf_inv()
+    }
+
+    /// The coupling group of row-1 check `q`: which data disks' row-0
+    /// cells it XORs in. Empty for `q = 0`; `q ≥ 1` gets the `q−1`-th of
+    /// `m − 1` contiguous, nearly equal slices of `0..k`.
+    pub fn coupling_group(&self, q: usize) -> std::ops::Range<usize> {
+        if q == 0 || q >= self.m {
+            return 0..0;
+        }
+        let groups = self.m - 1;
+        let (base, extra) = (self.k / groups, self.k % groups);
+        let g = q - 1;
+        let start = g * base + g.min(extra);
+        start..start + base + usize::from(g < extra)
+    }
+}
+
+impl<W: GfWord> ErasureCode<W> for HitchhikerXor<W> {
+    fn name(&self) -> String {
+        format!("HH-XOR({},{})(w={})", self.k + self.m, self.k, W::WIDTH)
+    }
+
+    fn layout(&self) -> StripeLayout {
+        StripeLayout::new(self.k + self.m, 2)
+    }
+
+    fn parity_check_matrix(&self) -> Matrix<W> {
+        let layout = self.layout();
+        let n = layout.n;
+        let mut h = Matrix::zero(2 * self.m, 2 * n);
+        for q in 0..self.m {
+            for j in 0..n {
+                // Row-0 (sub-stripe a) check.
+                h.set(q, layout.sector(0, j), self.coeff(q, j));
+                // Row-1 (sub-stripe b) check, same coefficients.
+                h.set(self.m + q, layout.sector(1, j), self.coeff(q, j));
+            }
+            // XOR couplings: row-1 check q hitchhikes group G_q of row 0.
+            for j in self.coupling_group(q) {
+                h.set(self.m + q, layout.sector(0, j), W::ONE);
+            }
+        }
+        h
+    }
+
+    fn parity_sectors(&self) -> Vec<usize> {
+        let layout = self.layout();
+        let mut parity = Vec::with_capacity(2 * self.m);
+        for row in 0..2 {
+            for d in self.k..layout.n {
+                parity.push(layout.sector(row, d));
+            }
+        }
+        parity.sort_unstable();
+        parity
+    }
+
+    fn kind_of(&self, sector: usize) -> ParityKind {
+        if self.layout().col_of(sector) < self.k {
+            ParityKind::Data
+        } else {
+            ParityKind::Disk
+        }
+    }
+
+    /// Like RS, the target failure envelope is `m` whole disks — `2m`
+    /// sectors — which is exactly the parity-row count.
+    fn fault_tolerance(&self) -> usize {
+        2 * self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+    use super::*;
+    use crate::FailureScenario;
+
+    #[test]
+    fn shape_matches_contract() {
+        let code = HitchhikerXor::<u8>::new(5, 3).unwrap();
+        let h = code.parity_check_matrix();
+        assert_eq!(h.rows(), 6);
+        assert_eq!(h.cols(), 16);
+        assert_eq!(code.parity_sectors().len(), 6);
+        assert_eq!(code.data_sectors().len(), 10);
+    }
+
+    #[test]
+    fn coupling_groups_partition_data_disks() {
+        let code = HitchhikerXor::<u8>::new(5, 3).unwrap();
+        assert!(code.coupling_group(0).is_empty());
+        let mut all: Vec<usize> = (1..3).flat_map(|q| code.coupling_group(q)).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn any_m_disk_failures_decodable() {
+        let code = HitchhikerXor::<u8>::new(5, 3).unwrap();
+        let h = code.parity_check_matrix();
+        let layout = code.layout();
+        for d0 in 0..8 {
+            for d1 in d0 + 1..8 {
+                for d2 in d1 + 1..8 {
+                    let sc = FailureScenario::whole_disks(layout, &[d0, d1, d2]);
+                    let f = h.select_columns(sc.faulty());
+                    assert_eq!(f.rank(), sc.len(), "disks {d0},{d1},{d2}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn couplings_touch_only_row0_data() {
+        let code = HitchhikerXor::<u8>::new(6, 3).unwrap();
+        let h = code.parity_check_matrix();
+        let layout = code.layout();
+        // Row-0 checks never touch row 1.
+        for q in 0..3 {
+            assert!(h.row_support(q).iter().all(|&c| layout.row_of(c) == 0));
+        }
+        // Row-1 parity columns carry no couplings (block triangular F).
+        for q in 0..3 {
+            for d in 6..9 {
+                assert_eq!(h.get(q, layout.sector(1, d)), 0);
+            }
+        }
+        // Check 0 of row 1 is uncoupled; the others reach into row 0.
+        assert_eq!(h.row_support(3).len(), 9);
+        assert!(h.row_support(4).len() > 9);
+    }
+
+    #[test]
+    fn hitchhiker_is_asymmetric() {
+        // Coupled parities combine more blocks than uncoupled ones.
+        let code = HitchhikerXor::<u8>::new(5, 3).unwrap();
+        assert!(!code.is_symmetric());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(HitchhikerXor::<u8>::new(0, 2).is_err());
+        assert!(HitchhikerXor::<u8>::new(5, 1).is_err()); // nothing to couple
+        assert!(HitchhikerXor::<u8>::new(250, 10).is_err()); // field too small
+    }
+
+    #[test]
+    fn gf16_instance_constructs() {
+        let code = HitchhikerXor::<u16>::new(10, 4).unwrap();
+        assert_eq!(code.parity_check_matrix().rows(), 8);
+    }
+}

@@ -15,7 +15,12 @@
 //! * [`RsCode`] — Cauchy Reed–Solomon, the symmetric-parity baseline,
 //! * [`EvenOddCode`] / [`RdpCode`] / [`StarCode`] — the XOR-only RAID
 //!   schemes the paper's background cites (Blaum et al. '95; Corbett et
-//!   al. FAST'04; Huang & Xu FAST'05).
+//!   al. FAST'04; Huang & Xu FAST'05),
+//! * [`ProductCode`] — two-dimensional row × column Cauchy-RS over the
+//!   sector grid (RSPC-style), whose row/column structure the PPM
+//!   partitioner discovers as independent groups,
+//! * [`HitchhikerXor`] — Rashmi et al.'s Hitchhiker-XOR (SIGCOMM'14):
+//!   two coupled RS sub-stripes with XOR hitchhiking.
 //!
 //! Every code exposes its parity-check matrix `H` (the `R_H × C_H` matrix
 //! with `H · B = 0` for a valid stripe `B`) through the [`ErasureCode`]
@@ -24,11 +29,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 
 mod code;
 mod evenodd;
+mod hitchhiker;
 mod lrc;
 mod pmds;
+mod product;
 mod rdp;
 mod rs;
 mod scenario;
@@ -37,10 +45,12 @@ mod star;
 
 pub use code::{CodeError, ErasureCode, ParityKind, StripeLayout};
 pub use evenodd::EvenOddCode;
+pub use hitchhiker::HitchhikerXor;
 pub use lrc::LrcCode;
 pub use pmds::PmdsCode;
+pub use product::ProductCode;
 pub use rdp::RdpCode;
 pub use rs::RsCode;
-pub use scenario::FailureScenario;
+pub use scenario::{FailureScenario, ScenarioError};
 pub use sd::SdCode;
 pub use star::StarCode;

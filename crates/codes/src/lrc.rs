@@ -227,6 +227,8 @@ impl<W: GfWord> ErasureCode<W> for LrcCode<W> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
     use super::*;
     use rand::rngs::StdRng;
 

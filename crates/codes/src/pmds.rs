@@ -126,6 +126,8 @@ impl<W: GfWord> ErasureCode<W> for PmdsCode<W> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
     use super::*;
 
     #[test]

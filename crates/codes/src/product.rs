@@ -1,0 +1,337 @@
+//! Two-dimensional product codes: row × column RS over the sector grid.
+//!
+//! A product code (the RSPC construction of CD-ROM fame, and the
+//! `k1,m1 × k2,m2` HPC layout of modern archival stores) treats the
+//! stripe as a `(k2+m2) × (k1+m1)` grid: every *grid row* is a codeword
+//! of an `[k1+m1, k1]` Cauchy-RS row code, and every *data column* is a
+//! codeword of an `[k2+m2, k2]` Cauchy-RS column code. The data block is
+//! the top-left `k2 × k1` corner; the right `m1` columns hold row
+//! parities, the bottom `m2` rows hold column parities, and the
+//! bottom-right `m1 × m2` corner ("checks on checks") is reached through
+//! the row code applied to the parity rows.
+//!
+//! The parity-check matrix emits one Cauchy check row per (grid row,
+//! row-check) pair and per (data column, column-check) pair:
+//!
+//! * row check `(i, q)`: `Σ_j cr(q, j) · b_{i,j} = 0` — touches only
+//!   grid row `i`;
+//! * column check `(j, p)`: `Σ_i cc(p, i) · b_{i,j} = 0` — touches only
+//!   data column `j < k1`.
+//!
+//! Column checks are *not* emitted for the `m1` parity columns: a parity
+//! column is a fixed linear combination of the data columns (row-code
+//! linearity), so its column-code membership is implied — emitting those
+//! checks would add `m1·m2` linearly dependent rows and break the
+//! square-encoding contract of [`ErasureCode`]. With them dropped the
+//! row count is exactly `r·m1 + k1·m2 = k2·m1 + k1·m2 + m1·m2`, the
+//! parity-cell count.
+//!
+//! This two-axis structure is what the PPM partitioner is supposed to
+//! discover on its own: a failed column decomposes into one independent
+//! row-check repair per grid row, a co-located row burst into one
+//! column-check repair per hit column — see the partition tests in
+//! `ppm-core` and DESIGN.md §14.
+
+use crate::{CodeError, ErasureCode, ParityKind, StripeLayout};
+use ppm_gf::GfWord;
+use ppm_matrix::Matrix;
+
+/// An `(k1 + m1) × (k2 + m2)` product code: `k1` data columns protected
+/// by `m1` row-parity columns, `k2` data rows protected by `m2`
+/// column-parity rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProductCode<W: GfWord> {
+    k1: usize,
+    m1: usize,
+    k2: usize,
+    m2: usize,
+    _marker: std::marker::PhantomData<W>,
+}
+
+impl<W: GfWord> ProductCode<W> {
+    /// Builds a product code with `k1` data columns, `m1` row-parity
+    /// columns, `k2` data rows and `m2` column-parity rows. Requires the
+    /// Cauchy points of both axes to fit the field
+    /// (`n + m1 ≤ 2^w` and `r + m2 ≤ 2^w`) and verifies the instance can
+    /// encode (parity columns of `H` invertible).
+    pub fn new(k1: usize, m1: usize, k2: usize, m2: usize) -> Result<Self, CodeError> {
+        if k1 == 0 || m1 == 0 || k2 == 0 || m2 == 0 {
+            return Err(CodeError::InvalidParams(
+                "k1, m1, k2, m2 must all be positive".into(),
+            ));
+        }
+        let (n, r) = (k1 + m1, k2 + m2);
+        if (n + m1) as u64 > (1u64 << W::WIDTH) || (r + m2) as u64 > (1u64 << W::WIDTH) {
+            return Err(CodeError::InvalidParams(format!(
+                "Cauchy points exceed GF(2^{}): need n+m1 = {} and r+m2 = {} within field",
+                W::WIDTH,
+                n + m1,
+                r + m2
+            )));
+        }
+        let code = ProductCode {
+            k1,
+            m1,
+            k2,
+            m2,
+            _marker: std::marker::PhantomData,
+        };
+        let h = code.parity_check_matrix();
+        let f = h.select_columns(&code.parity_sectors());
+        if f.inverse().is_none() {
+            return Err(CodeError::InvalidParams(
+                "product construction not encodable (parity columns singular)".into(),
+            ));
+        }
+        Ok(code)
+    }
+
+    /// Data columns `k1`.
+    pub fn k1(&self) -> usize {
+        self.k1
+    }
+
+    /// Row-parity columns `m1`.
+    pub fn m1(&self) -> usize {
+        self.m1
+    }
+
+    /// Data rows `k2`.
+    pub fn k2(&self) -> usize {
+        self.k2
+    }
+
+    /// Column-parity rows `m2`.
+    pub fn m2(&self) -> usize {
+        self.m2
+    }
+
+    /// Row-code Cauchy check coefficient for check `q`, column `j`:
+    /// `1 / (x_q + y_j)` with `x_q = n + q`, `y_j = j` (distinct points,
+    /// so every square submatrix is invertible).
+    fn row_coeff(&self, q: usize, j: usize) -> W {
+        let x = W::from_u64((self.k1 + self.m1 + q) as u64);
+        let y = W::from_u64(j as u64);
+        x.gf_add(y).gf_inv()
+    }
+
+    /// Column-code Cauchy check coefficient for check `p`, grid row `i`.
+    fn col_coeff(&self, p: usize, i: usize) -> W {
+        let x = W::from_u64((self.k2 + self.m2 + p) as u64);
+        let y = W::from_u64(i as u64);
+        x.gf_add(y).gf_inv()
+    }
+
+    /// Number of row-check equations (`H` rows `0 .. r·m1`).
+    pub fn row_check_rows(&self) -> usize {
+        (self.k2 + self.m2) * self.m1
+    }
+}
+
+impl<W: GfWord> ErasureCode<W> for ProductCode<W> {
+    fn name(&self) -> String {
+        format!(
+            "PC({}x{},{}x{})(w={})",
+            self.k1 + self.m1,
+            self.k2 + self.m2,
+            self.k1,
+            self.k2,
+            W::WIDTH
+        )
+    }
+
+    fn layout(&self) -> StripeLayout {
+        StripeLayout::new(self.k1 + self.m1, self.k2 + self.m2)
+    }
+
+    fn parity_check_matrix(&self) -> Matrix<W> {
+        let layout = self.layout();
+        let (n, r) = (layout.n, layout.r);
+        let mut h = Matrix::zero(r * self.m1 + self.k1 * self.m2, n * r);
+        // Row checks: H row i*m1 + q constrains grid row i.
+        for i in 0..r {
+            for q in 0..self.m1 {
+                for j in 0..n {
+                    h.set(i * self.m1 + q, layout.sector(i, j), self.row_coeff(q, j));
+                }
+            }
+        }
+        // Column checks: H row r*m1 + j*m2 + p constrains data column j.
+        let base = r * self.m1;
+        for j in 0..self.k1 {
+            for p in 0..self.m2 {
+                for i in 0..r {
+                    h.set(
+                        base + j * self.m2 + p,
+                        layout.sector(i, j),
+                        self.col_coeff(p, i),
+                    );
+                }
+            }
+        }
+        h
+    }
+
+    fn parity_sectors(&self) -> Vec<usize> {
+        let layout = self.layout();
+        let mut parity = Vec::new();
+        for i in 0..layout.r {
+            for j in 0..layout.n {
+                if i >= self.k2 || j >= self.k1 {
+                    parity.push(layout.sector(i, j));
+                }
+            }
+        }
+        parity
+    }
+
+    fn kind_of(&self, sector: usize) -> ParityKind {
+        let layout = self.layout();
+        let (i, j) = (layout.row_of(sector), layout.col_of(sector));
+        if j >= self.k1 {
+            ParityKind::Disk // row parity lives on dedicated parity disks
+        } else if i >= self.k2 {
+            ParityKind::Sector // column parity: extra sectors on data disks
+        } else {
+            ParityKind::Data
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+    use super::*;
+    use crate::FailureScenario;
+
+    #[test]
+    fn shape_matches_contract() {
+        let code = ProductCode::<u8>::new(4, 2, 3, 2).unwrap();
+        let h = code.parity_check_matrix();
+        let layout = code.layout();
+        assert_eq!(layout.n, 6);
+        assert_eq!(layout.r, 5);
+        // Row count = parity cells = k2*m1 + k1*m2 + m1*m2.
+        assert_eq!(h.rows(), 3 * 2 + 4 * 2 + 2 * 2);
+        assert_eq!(h.rows(), code.parity_sectors().len());
+        assert_eq!(h.cols(), 30);
+        assert_eq!(code.data_sectors().len(), 4 * 3);
+    }
+
+    #[test]
+    fn checks_are_axis_local() {
+        let code = ProductCode::<u8>::new(4, 2, 3, 2).unwrap();
+        let h = code.parity_check_matrix();
+        let layout = code.layout();
+        // Row checks touch exactly one grid row, all n cells of it.
+        for i in 0..layout.r {
+            for q in 0..2 {
+                let support = h.row_support(i * 2 + q);
+                assert_eq!(support.len(), layout.n);
+                assert!(support.iter().all(|&c| layout.row_of(c) == i));
+            }
+        }
+        // Column checks touch exactly one data column, all r cells of it.
+        let base = code.row_check_rows();
+        for j in 0..4 {
+            for p in 0..2 {
+                let support = h.row_support(base + j * 2 + p);
+                assert_eq!(support.len(), layout.r);
+                assert!(support.iter().all(|&c| layout.col_of(c) == j));
+            }
+        }
+    }
+
+    #[test]
+    fn any_m1_column_failures_decodable() {
+        // Row-wise MDS: every pair of failed disks out of 6 decodes.
+        let code = ProductCode::<u8>::new(4, 2, 3, 2).unwrap();
+        let h = code.parity_check_matrix();
+        let layout = code.layout();
+        for d0 in 0..6 {
+            for d1 in d0 + 1..6 {
+                let sc = FailureScenario::whole_disks(layout, &[d0, d1]);
+                let f = h.select_columns(sc.faulty());
+                assert_eq!(f.rank(), sc.len(), "disks {d0},{d1} must be decodable");
+            }
+        }
+    }
+
+    #[test]
+    fn column_wise_failures_decodable() {
+        // Column-wise MDS on data columns: any m2 = 2 cells of one data
+        // column decode through its column checks.
+        let code = ProductCode::<u8>::new(4, 2, 3, 2).unwrap();
+        let h = code.parity_check_matrix();
+        let layout = code.layout();
+        for j in 0..4 {
+            for i0 in 0..5 {
+                for i1 in i0 + 1..5 {
+                    let sc = FailureScenario::new(vec![layout.sector(i0, j), layout.sector(i1, j)]);
+                    let f = h.select_columns(sc.faulty());
+                    assert_eq!(f.rank(), 2, "col {j} cells {i0},{i1}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_pattern_decodable() {
+        // A full grid row plus a full data column (the "cross") stays
+        // within the check budget and is decodable.
+        let code = ProductCode::<u8>::new(4, 2, 3, 2).unwrap();
+        let h = code.parity_check_matrix();
+        let layout = code.layout();
+        let row = FailureScenario::try_row_burst(layout, 1, 0, 6).unwrap();
+        let col: Vec<usize> = (0..5).map(|i| layout.sector(i, 2)).collect();
+        let sc = row.union(&FailureScenario::new(col));
+        assert_eq!(sc.len(), 6 + 5 - 1);
+        let f = h.select_columns(sc.faulty());
+        assert_eq!(f.rank(), sc.len());
+    }
+
+    #[test]
+    fn product_is_asymmetric() {
+        // Row parities combine k1 blocks, column parities k2 (+ the
+        // checks-on-checks corner mixes both): supports differ.
+        let code = ProductCode::<u8>::new(4, 2, 3, 2).unwrap();
+        assert!(!code.is_symmetric());
+    }
+
+    #[test]
+    fn parity_kinds_partition_the_grid() {
+        let code = ProductCode::<u8>::new(4, 2, 3, 2).unwrap();
+        let layout = code.layout();
+        assert_eq!(code.kind_of(layout.sector(0, 0)), ParityKind::Data);
+        assert_eq!(code.kind_of(layout.sector(0, 4)), ParityKind::Disk);
+        assert_eq!(code.kind_of(layout.sector(3, 0)), ParityKind::Sector);
+        assert_eq!(code.kind_of(layout.sector(4, 5)), ParityKind::Disk);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(ProductCode::<u8>::new(0, 2, 3, 2).is_err());
+        assert!(ProductCode::<u8>::new(4, 0, 3, 2).is_err());
+        assert!(ProductCode::<u8>::new(4, 2, 0, 2).is_err());
+        assert!(ProductCode::<u8>::new(4, 2, 3, 0).is_err());
+        assert!(ProductCode::<u8>::new(250, 10, 3, 2).is_err()); // field too small
+    }
+
+    #[test]
+    fn gf16_instance_constructs() {
+        let code = ProductCode::<u16>::new(6, 2, 4, 2).unwrap();
+        assert_eq!(
+            code.parity_check_matrix().rows(),
+            code.parity_sectors().len()
+        );
+    }
+
+    #[test]
+    fn name_is_parameter_unique() {
+        let a = ProductCode::<u8>::new(4, 2, 3, 2).unwrap();
+        let b = ProductCode::<u8>::new(3, 2, 4, 2).unwrap();
+        assert_ne!(ErasureCode::<u8>::name(&a), ErasureCode::<u8>::name(&b));
+        assert_eq!(ErasureCode::<u8>::name(&a), "PC(6x5,4x3)(w=8)");
+    }
+}

@@ -102,6 +102,8 @@ impl<W: GfWord> ErasureCode<W> for RdpCode<W> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
     use super::*;
     use crate::FailureScenario;
 

@@ -4,10 +4,73 @@
 //! `m` random faulty disks plus `s` additional faulty sectors confined to
 //! `z` stripe-rows (`1 ≤ z ≤ s`) — "the worst case" for an
 //! `SD^{m,s}_{n,r}` instance. [`FailureScenario`] captures any such set of
-//! lost sectors and provides the generators the experiments use.
+//! lost sectors and provides the generators the experiments use,
+//! including the correlated patterns real clusters produce: co-located
+//! sector bursts within one stripe-row and full disk-group ("rack")
+//! losses.
+//!
+//! Every generator validates its indices against the [`StripeLayout`] at
+//! the scenario layer — the `try_*` constructors return a structured
+//! [`ScenarioError`], and the panicking conveniences delegate to them —
+//! so an out-of-range disk or an over-large count fails here with a
+//! precise message instead of blowing up deep inside plan building.
 
 use crate::StripeLayout;
 use rand::prelude::*;
+
+/// Structured errors from scenario construction: the request does not fit
+/// the stripe geometry it was issued against.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// A disk (column) index is `>= n`.
+    DiskOutOfRange {
+        /// The offending disk index.
+        disk: usize,
+        /// Number of disks in the layout.
+        n: usize,
+    },
+    /// A stripe-row index is `>= r`.
+    RowOutOfRange {
+        /// The offending row index.
+        row: usize,
+        /// Number of rows in the layout.
+        r: usize,
+    },
+    /// More failures were requested than the stripe (or the addressed
+    /// region of it) has cells.
+    TooMany {
+        /// How many failures the caller asked for.
+        requested: usize,
+        /// How many cells are available.
+        available: usize,
+    },
+    /// The requested shape is inconsistent (e.g. `z > s`, zero-width
+    /// burst, zero disk-groups); the message says which constraint broke.
+    BadShape(String),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::DiskOutOfRange { disk, n } => {
+                write!(f, "disk {disk} out of range (layout has {n} disks)")
+            }
+            ScenarioError::RowOutOfRange { row, r } => {
+                write!(f, "stripe-row {row} out of range (layout has {r} rows)")
+            }
+            ScenarioError::TooMany {
+                requested,
+                available,
+            } => write!(
+                f,
+                "cannot fail {requested} sectors: only {available} available"
+            ),
+            ScenarioError::BadShape(m) => write!(f, "bad scenario shape: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
 
 /// A set of erased (faulty) sectors of one stripe, kept sorted.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -56,64 +119,193 @@ impl FailureScenario {
         FailureScenario::new(all)
     }
 
-    /// Every sector of the given disks (complete device failures).
-    pub fn whole_disks(layout: StripeLayout, disks: &[usize]) -> Self {
+    /// Every sector of the given disks (complete device failures), or a
+    /// [`ScenarioError::DiskOutOfRange`] naming the offending index.
+    pub fn try_whole_disks(layout: StripeLayout, disks: &[usize]) -> Result<Self, ScenarioError> {
         let mut faulty = Vec::with_capacity(disks.len() * layout.r);
         for &d in disks {
-            assert!(d < layout.n, "disk {d} out of range");
+            if d >= layout.n {
+                return Err(ScenarioError::DiskOutOfRange {
+                    disk: d,
+                    n: layout.n,
+                });
+            }
             for row in 0..layout.r {
                 faulty.push(layout.sector(row, d));
             }
         }
-        FailureScenario::new(faulty)
+        Ok(FailureScenario::new(faulty))
     }
 
-    /// `count` distinct random sectors.
-    pub fn random<R: Rng + ?Sized>(layout: StripeLayout, count: usize, rng: &mut R) -> Self {
+    /// Every sector of the given disks (complete device failures).
+    ///
+    /// # Panics
+    /// Panics if any disk index is `>= layout.n`; use
+    /// [`FailureScenario::try_whole_disks`] to handle that as an error.
+    pub fn whole_disks(layout: StripeLayout, disks: &[usize]) -> Self {
+        match Self::try_whole_disks(layout, disks) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// `count` distinct random sectors, or [`ScenarioError::TooMany`] when
+    /// `count` exceeds the stripe's sector count.
+    pub fn try_random<R: Rng + ?Sized>(
+        layout: StripeLayout,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<Self, ScenarioError> {
         let total = layout.sectors();
-        assert!(count <= total, "cannot fail {count} of {total} sectors");
+        if count > total {
+            return Err(ScenarioError::TooMany {
+                requested: count,
+                available: total,
+            });
+        }
         let mut all: Vec<usize> = (0..total).collect();
         all.shuffle(rng);
         all.truncate(count);
-        FailureScenario::new(all)
+        Ok(FailureScenario::new(all))
     }
 
-    /// The paper's SD worst case: `m` random whole-disk failures plus `s`
-    /// additional faulty sectors on surviving disks, spread over exactly
-    /// `z` stripe-rows (each chosen row gets at least one).
+    /// `count` distinct random sectors.
     ///
     /// # Panics
-    /// Panics when the geometry cannot host the request
-    /// (`m ≥ n`, `z > s`, `z > r`, or `s > z·(n−m)`).
-    pub fn sd_worst_case<R: Rng + ?Sized>(
+    /// Panics if `count > layout.sectors()`; use
+    /// [`FailureScenario::try_random`] to handle that as an error.
+    pub fn random<R: Rng + ?Sized>(layout: StripeLayout, count: usize, rng: &mut R) -> Self {
+        match Self::try_random(layout, count, rng) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// A co-located sector burst: `width` consecutive cells of stripe-row
+    /// `row`, starting at disk `start_disk` — the correlated pattern of a
+    /// media scratch or a bad chunk spanning adjacent devices.
+    pub fn try_row_burst(
+        layout: StripeLayout,
+        row: usize,
+        start_disk: usize,
+        width: usize,
+    ) -> Result<Self, ScenarioError> {
+        if row >= layout.r {
+            return Err(ScenarioError::RowOutOfRange { row, r: layout.r });
+        }
+        if width == 0 {
+            return Err(ScenarioError::BadShape("burst width must be >= 1".into()));
+        }
+        if start_disk >= layout.n {
+            return Err(ScenarioError::DiskOutOfRange {
+                disk: start_disk,
+                n: layout.n,
+            });
+        }
+        if start_disk + width > layout.n {
+            return Err(ScenarioError::TooMany {
+                requested: width,
+                available: layout.n - start_disk,
+            });
+        }
+        let faulty = (start_disk..start_disk + width)
+            .map(|d| layout.sector(row, d))
+            .collect();
+        Ok(FailureScenario::new(faulty))
+    }
+
+    /// A random co-located burst of `width` cells: picks a stripe-row and
+    /// a start disk uniformly. See [`FailureScenario::try_row_burst`].
+    pub fn random_row_burst<R: Rng + ?Sized>(
+        layout: StripeLayout,
+        width: usize,
+        rng: &mut R,
+    ) -> Result<Self, ScenarioError> {
+        if width == 0 || width > layout.n {
+            return Err(ScenarioError::BadShape(format!(
+                "burst width {width} does not fit a {}-disk row",
+                layout.n
+            )));
+        }
+        let row = rng.random_range(0..layout.r);
+        let start = rng.random_range(0..=layout.n - width);
+        Self::try_row_burst(layout, row, start, width)
+    }
+
+    /// A full disk-group ("rack") loss: the disks are split into `groups`
+    /// contiguous groups — the first `n % groups` groups one disk wider —
+    /// and every sector of group `group` fails at once, modeling a rack
+    /// or backplane taking all its devices down together.
+    pub fn try_disk_group(
+        layout: StripeLayout,
+        group: usize,
+        groups: usize,
+    ) -> Result<Self, ScenarioError> {
+        if groups == 0 || groups > layout.n {
+            return Err(ScenarioError::BadShape(format!(
+                "need 1 <= groups <= n (groups={groups}, n={})",
+                layout.n
+            )));
+        }
+        if group >= groups {
+            return Err(ScenarioError::BadShape(format!(
+                "group {group} out of range (groups={groups})"
+            )));
+        }
+        let (base, extra) = (layout.n / groups, layout.n % groups);
+        let start = group * base + group.min(extra);
+        let width = base + usize::from(group < extra);
+        let disks: Vec<usize> = (start..start + width).collect();
+        Self::try_whole_disks(layout, &disks)
+    }
+
+    /// The paper's SD worst case, fallible: `m` random whole-disk failures
+    /// plus `s` additional faulty sectors on surviving disks, spread over
+    /// exactly `z` stripe-rows (each chosen row gets at least one).
+    /// Returns a [`ScenarioError`] when the geometry cannot host the
+    /// request (`m ≥ n`, `z` inconsistent with `s`/`r`, or
+    /// `s > z·(n−m)`).
+    pub fn try_sd_worst_case<R: Rng + ?Sized>(
         layout: StripeLayout,
         m: usize,
         s: usize,
         z: usize,
         rng: &mut R,
-    ) -> Self {
+    ) -> Result<Self, ScenarioError> {
         let (n, r) = (layout.n, layout.r);
-        assert!(
-            m < n,
-            "m={m} must leave at least one surviving disk (n={n})"
-        );
+        if m >= n {
+            return Err(ScenarioError::BadShape(format!(
+                "m={m} must leave at least one surviving disk (n={n})"
+            )));
+        }
         if s == 0 {
-            assert_eq!(z, 0, "z must be 0 when s is 0");
+            if z != 0 {
+                return Err(ScenarioError::BadShape(format!(
+                    "z must be 0 when s is 0 (z={z})"
+                )));
+            }
         } else {
-            assert!(z >= 1 && z <= s, "need 1 <= z <= s (z={z}, s={s})");
-            assert!(z <= r, "z={z} rows exceed r={r}");
-            assert!(
-                s <= z * (n - m),
-                "cannot place {s} sector errors on {z} rows of {} surviving disks",
-                n - m
-            );
+            if z == 0 || z > s {
+                return Err(ScenarioError::BadShape(format!(
+                    "need 1 <= z <= s (z={z}, s={s})"
+                )));
+            }
+            if z > r {
+                return Err(ScenarioError::RowOutOfRange { row: z, r });
+            }
+            if s > z * (n - m) {
+                return Err(ScenarioError::TooMany {
+                    requested: s,
+                    available: z * (n - m),
+                });
+            }
         }
 
         // m random faulty disks.
         let mut disks: Vec<usize> = (0..n).collect();
         disks.shuffle(rng);
         disks.truncate(m);
-        let mut scenario = FailureScenario::whole_disks(layout, &disks);
+        let mut scenario = FailureScenario::try_whole_disks(layout, &disks)?;
 
         if s > 0 {
             // z random rows; distribute the s sector errors with >= 1 per row.
@@ -125,9 +317,11 @@ impl FailureScenario {
                 // Add to any row with spare surviving cells.
                 loop {
                     let i = rng.random_range(0..z);
-                    if per_row[i] < n - m {
-                        per_row[i] += 1;
-                        break;
+                    if let Some(slot) = per_row.get_mut(i) {
+                        if *slot < n - m {
+                            *slot += 1;
+                            break;
+                        }
                     }
                 }
             }
@@ -142,7 +336,28 @@ impl FailureScenario {
             }
             scenario = scenario.union(&FailureScenario::new(extra));
         }
-        scenario
+        Ok(scenario)
+    }
+
+    /// The paper's SD worst case: `m` random whole-disk failures plus `s`
+    /// additional faulty sectors on surviving disks, spread over exactly
+    /// `z` stripe-rows (each chosen row gets at least one).
+    ///
+    /// # Panics
+    /// Panics when the geometry cannot host the request
+    /// (`m ≥ n`, `z > s`, `z > r`, or `s > z·(n−m)`); use
+    /// [`FailureScenario::try_sd_worst_case`] to handle that as an error.
+    pub fn sd_worst_case<R: Rng + ?Sized>(
+        layout: StripeLayout,
+        m: usize,
+        s: usize,
+        z: usize,
+        rng: &mut R,
+    ) -> Self {
+        match Self::try_sd_worst_case(layout, m, s, z, rng) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Number of distinct stripe-rows that contain a faulty sector which is
@@ -170,6 +385,8 @@ impl FailureScenario {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
     use super::*;
     use rand::rngs::StdRng;
 
@@ -198,6 +415,36 @@ mod tests {
         let s = FailureScenario::whole_disks(layout, &[1]);
         assert_eq!(s.faulty(), &[1, 5, 9]);
         assert_eq!(s.failed_disks(layout), vec![1]);
+    }
+
+    #[test]
+    fn whole_disks_rejects_out_of_range() {
+        let layout = StripeLayout::new(4, 3);
+        assert_eq!(
+            FailureScenario::try_whole_disks(layout, &[1, 4]),
+            Err(ScenarioError::DiskOutOfRange { disk: 4, n: 4 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disk 7 out of range")]
+    fn whole_disks_panicking_wrapper_panics() {
+        let layout = StripeLayout::new(4, 3);
+        let _ = FailureScenario::whole_disks(layout, &[7]);
+    }
+
+    #[test]
+    fn random_rejects_over_large_count() {
+        let layout = StripeLayout::new(3, 3);
+        let err = FailureScenario::try_random(layout, 10, &mut rng()).unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::TooMany {
+                requested: 10,
+                available: 9
+            }
+        );
+        assert!(err.to_string().contains("cannot fail 10"));
     }
 
     #[test]
@@ -230,6 +477,35 @@ mod tests {
     }
 
     #[test]
+    fn sd_worst_case_rejects_bad_shapes() {
+        let layout = StripeLayout::new(4, 4);
+        let mut r = rng();
+        // All disks failed.
+        assert!(matches!(
+            FailureScenario::try_sd_worst_case(layout, 4, 0, 0, &mut r),
+            Err(ScenarioError::BadShape(_))
+        ));
+        // z > s.
+        assert!(matches!(
+            FailureScenario::try_sd_worst_case(layout, 1, 1, 2, &mut r),
+            Err(ScenarioError::BadShape(_))
+        ));
+        // z > r.
+        assert!(matches!(
+            FailureScenario::try_sd_worst_case(layout, 1, 6, 5, &mut r),
+            Err(ScenarioError::RowOutOfRange { row: 5, r: 4 })
+        ));
+        // More sector errors than surviving cells on z rows.
+        assert!(matches!(
+            FailureScenario::try_sd_worst_case(layout, 2, 3, 1, &mut r),
+            Err(ScenarioError::TooMany {
+                requested: 3,
+                available: 2
+            })
+        ));
+    }
+
+    #[test]
     fn random_draws_distinct() {
         let layout = StripeLayout::new(5, 5);
         let mut r = rng();
@@ -251,5 +527,101 @@ mod tests {
         let a = FailureScenario::new(vec![1, 2]);
         let b = FailureScenario::new(vec![2, 3]);
         assert_eq!(a.union(&b).faulty(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn row_burst_is_colocated() {
+        let layout = StripeLayout::new(6, 4);
+        let s = FailureScenario::try_row_burst(layout, 2, 1, 3).unwrap();
+        assert_eq!(s.faulty(), &[13, 14, 15]);
+        assert_eq!(s.sector_error_rows(layout), 1);
+    }
+
+    #[test]
+    fn row_burst_rejects_bad_bounds() {
+        let layout = StripeLayout::new(6, 4);
+        assert_eq!(
+            FailureScenario::try_row_burst(layout, 4, 0, 2),
+            Err(ScenarioError::RowOutOfRange { row: 4, r: 4 })
+        );
+        assert_eq!(
+            FailureScenario::try_row_burst(layout, 0, 6, 1),
+            Err(ScenarioError::DiskOutOfRange { disk: 6, n: 6 })
+        );
+        assert_eq!(
+            FailureScenario::try_row_burst(layout, 0, 4, 3),
+            Err(ScenarioError::TooMany {
+                requested: 3,
+                available: 2
+            })
+        );
+        assert!(matches!(
+            FailureScenario::try_row_burst(layout, 0, 0, 0),
+            Err(ScenarioError::BadShape(_))
+        ));
+    }
+
+    #[test]
+    fn random_row_burst_stays_in_one_row() {
+        let layout = StripeLayout::new(8, 5);
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = FailureScenario::random_row_burst(layout, 3, &mut r).unwrap();
+            assert_eq!(s.len(), 3);
+            let rows: Vec<usize> = s.faulty().iter().map(|&f| layout.row_of(f)).collect();
+            assert!(rows.windows(2).all(|w| w[0] == w[1]), "burst spans rows");
+            let cols: Vec<usize> = s.faulty().iter().map(|&f| layout.col_of(f)).collect();
+            assert!(cols.windows(2).all(|w| w[1] == w[0] + 1), "burst has gaps");
+        }
+    }
+
+    #[test]
+    fn disk_group_partitions_disks() {
+        let layout = StripeLayout::new(7, 2);
+        // 7 disks in 3 groups: sizes 3, 2, 2.
+        let sizes: Vec<usize> = (0..3)
+            .map(|g| {
+                FailureScenario::try_disk_group(layout, g, 3)
+                    .unwrap()
+                    .failed_disks(layout)
+                    .len()
+            })
+            .collect();
+        assert_eq!(sizes, vec![3, 2, 2]);
+        // The groups tile all disks exactly once.
+        let mut all: Vec<usize> = (0..3)
+            .flat_map(|g| {
+                FailureScenario::try_disk_group(layout, g, 3)
+                    .unwrap()
+                    .failed_disks(layout)
+            })
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disk_group_rejects_bad_shapes() {
+        let layout = StripeLayout::new(4, 2);
+        assert!(matches!(
+            FailureScenario::try_disk_group(layout, 0, 0),
+            Err(ScenarioError::BadShape(_))
+        ));
+        assert!(matches!(
+            FailureScenario::try_disk_group(layout, 2, 2).map(|s| s.len()),
+            Err(ScenarioError::BadShape(_))
+        ));
+        assert!(matches!(
+            FailureScenario::try_disk_group(layout, 0, 5),
+            Err(ScenarioError::BadShape(_))
+        ));
+    }
+
+    #[test]
+    fn scenario_error_display_is_specific() {
+        let e = ScenarioError::DiskOutOfRange { disk: 9, n: 4 };
+        assert_eq!(e.to_string(), "disk 9 out of range (layout has 4 disks)");
+        let e = ScenarioError::RowOutOfRange { row: 3, r: 2 };
+        assert!(e.to_string().contains("stripe-row 3"));
     }
 }

@@ -241,16 +241,14 @@ impl<W: GfWord> ErasureCode<W> for SdCode<W> {
     fn parity_check_matrix(&self) -> Matrix<W> {
         let (n, r, m, s) = (self.n, self.r, self.m, self.s);
         let mut h = Matrix::zero(m * r + s, n * r);
-        for q in 0..m {
-            let a = self.coeffs[q];
+        for (q, &a) in self.coeffs.iter().take(m).enumerate() {
             for i in 0..r {
                 for j in 0..n {
                     h.set(q * r + i, i * n + j, a.gf_pow(j as u64));
                 }
             }
         }
-        for t in 0..s {
-            let a = self.coeffs[m + t];
+        for (t, &a) in self.coeffs.iter().skip(m).enumerate() {
             for l in 0..n * r {
                 h.set(m * r + t, l, a.gf_pow(l as u64));
             }
@@ -297,6 +295,8 @@ impl<W: GfWord> ErasureCode<W> for SdCode<W> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
     use super::*;
 
     /// The paper's running example: SD^{1,1}_{4,4}(8|1,2).
@@ -404,6 +404,8 @@ mod tests {
 
 #[cfg(test)]
 mod sd_s0_tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
     use super::*;
 
     /// SD with s = 0 degenerates to a symmetric, RS-like disk-parity code.

@@ -112,6 +112,8 @@ impl<W: GfWord> ErasureCode<W> for StarCode<W> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
     use super::*;
     use crate::FailureScenario;
 

@@ -484,4 +484,152 @@ mod tests {
         let sc = FailureScenario::whole_disks(layout, &[5]);
         assert_eq!(sc.len(), 4);
     }
+
+    /// The tentpole assertion for product codes: a whole failed column
+    /// decomposes into one independent *row-code* repair per grid row —
+    /// the partitioner discovers the row/column split from `H` alone.
+    #[test]
+    fn product_whole_column_decomposes_per_row() {
+        let code = ppm_codes::ProductCode::<u8>::new(4, 2, 3, 2).unwrap();
+        let h = code.parity_check_matrix();
+        let layout = code.layout();
+        let sc = FailureScenario::whole_disks(layout, &[1]);
+        let p = Partition::build(&h, &sc);
+        // One 1×1 group per grid row (r = k2 + m2 = 5), nothing left over.
+        assert_eq!(p.degree(), 5);
+        assert_eq!(p.case(), ParallelismCase::MaximumParallelism);
+        assert!(p.rest.is_none());
+        // Every group solves through a row-check equation (H rows 0..r·m1).
+        let row_checks = code.row_check_rows();
+        for sub in &p.independent {
+            assert!(
+                sub.rows.iter().all(|&row| row < row_checks),
+                "column failure must repair through row checks, got rows {:?}",
+                sub.rows
+            );
+        }
+        assert_eq!(p.independent_faulty(), sc.faulty().to_vec());
+    }
+
+    /// The dual split: a co-located burst within one stripe-row
+    /// decomposes into one independent *column-code* repair per hit data
+    /// column.
+    #[test]
+    fn product_row_burst_decomposes_per_column() {
+        let code = ppm_codes::ProductCode::<u8>::new(4, 2, 3, 2).unwrap();
+        let h = code.parity_check_matrix();
+        let layout = code.layout();
+        let sc = FailureScenario::try_row_burst(layout, 1, 0, 3).unwrap();
+        let p = Partition::build(&h, &sc);
+        assert_eq!(p.degree(), 3);
+        assert_eq!(p.case(), ParallelismCase::MaximumParallelism);
+        assert!(p.rest.is_none());
+        // Every group solves through a column-check equation.
+        let row_checks = code.row_check_rows();
+        for sub in &p.independent {
+            assert!(
+                sub.rows.iter().all(|&row| row >= row_checks),
+                "burst must repair through column checks, got rows {:?}",
+                sub.rows
+            );
+        }
+    }
+
+    /// A "cross" (one full grid row plus one full data column) exercises
+    /// both axes at once: the off-cross cells split into independent
+    /// row-check and column-check groups, the row parities at the
+    /// intersection fall to H_rest — the paper's common case.
+    #[test]
+    fn product_cross_is_common_with_both_axes() {
+        let code = ppm_codes::ProductCode::<u8>::new(4, 2, 3, 2).unwrap();
+        let h = code.parity_check_matrix();
+        let layout = code.layout();
+        let row = FailureScenario::try_row_burst(layout, 1, 0, 6).unwrap();
+        let col: Vec<usize> = (0..5).map(|i| layout.sector(i, 2)).collect();
+        let sc = row.union(&FailureScenario::new(col));
+        let p = Partition::build(&h, &sc);
+        // (k1 − 1) column repairs in the burst row + (r − 1) row repairs
+        // in the failed column.
+        assert_eq!(p.degree(), 3 + 4);
+        assert_eq!(p.case(), ParallelismCase::Common);
+        let row_checks = code.row_check_rows();
+        let via_row_checks = p
+            .independent
+            .iter()
+            .filter(|s| s.rows.iter().all(|&row| row < row_checks))
+            .count();
+        let via_col_checks = p
+            .independent
+            .iter()
+            .filter(|s| s.rows.iter().all(|&row| row >= row_checks))
+            .count();
+        assert_eq!(
+            via_row_checks, 4,
+            "one per surviving grid row of the column"
+        );
+        assert_eq!(
+            via_col_checks, 3,
+            "one per surviving data column of the row"
+        );
+        // The intersection cell and the burst row's parity cells remain.
+        let rest = p.rest.as_ref().expect("cross leaves a rest");
+        assert_eq!(
+            rest.faulty,
+            vec![
+                layout.sector(1, 2),
+                layout.sector(1, 4),
+                layout.sector(1, 5)
+            ]
+        );
+    }
+
+    /// Hitchhiker: a single failed data disk splits into two independent
+    /// sub-stripe repairs — the coupled row-1 check is avoided because
+    /// its footprint differs from the uncoupled checks'.
+    #[test]
+    fn hitchhiker_single_disk_splits_substripes() {
+        let code = ppm_codes::HitchhikerXor::<u8>::new(5, 3).unwrap();
+        let h = code.parity_check_matrix();
+        let sc = FailureScenario::whole_disks(code.layout(), &[1]);
+        let p = Partition::build(&h, &sc);
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.case(), ParallelismCase::MaximumParallelism);
+        assert!(p.rest.is_none());
+    }
+
+    /// Hitchhiker worst case (`m` whole disks): sub-stripe a's Cauchy
+    /// block is the single independent group, sub-stripe b — whose
+    /// coupled checks have divergent footprints — goes to H_rest.
+    #[test]
+    fn hitchhiker_m_disk_loss_is_single_independent() {
+        let code = ppm_codes::HitchhikerXor::<u8>::new(5, 3).unwrap();
+        let h = code.parity_check_matrix();
+        let layout = code.layout();
+        let sc = FailureScenario::whole_disks(layout, &[0, 1, 2]);
+        let p = Partition::build(&h, &sc);
+        assert_eq!(p.case(), ParallelismCase::SingleIndependent);
+        // The independent group is row 0 (sub-stripe a): its faulty cells
+        // all live in stripe-row 0.
+        assert_eq!(p.independent.len(), 1);
+        assert!(p.independent[0]
+            .faulty
+            .iter()
+            .all(|&f| layout.row_of(f) == 0));
+        assert_eq!(p.rest.as_ref().unwrap().faulty.len(), 3);
+    }
+
+    /// Correlated rack loss on a product code: a two-disk group failure
+    /// still decomposes row-by-row (each grid row loses 2 ≤ m1 cells).
+    #[test]
+    fn product_rack_loss_decomposes_per_row() {
+        let code = ppm_codes::ProductCode::<u8>::new(4, 2, 3, 2).unwrap();
+        let layout = code.layout();
+        // 6 disks in 3 groups of 2; lose group 1 (disks 2 and 3).
+        let sc = FailureScenario::try_disk_group(layout, 1, 3).unwrap();
+        assert_eq!(sc.failed_disks(layout), vec![2, 3]);
+        let p = Partition::build(&code.parity_check_matrix(), &sc);
+        assert_eq!(p.degree(), 5);
+        assert_eq!(p.case(), ParallelismCase::AllIndependent);
+        assert!(p.independent.iter().all(|s| s.faulty.len() == 2));
+    }
 }

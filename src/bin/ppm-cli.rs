@@ -21,7 +21,8 @@
 //! ```
 //!
 //! Code specs: `sd:n,r,m,s` · `pmds:n,r,m,s` · `lrc:k,l,g,r` · `rs:k,m,r` ·
-//! `evenodd:p` · `rdp:p` · `star:p`.
+//! `evenodd:p` · `rdp:p` · `star:p` · `pc:k1,m1,k2,m2` (row × column
+//! product code over the sector grid) · `hh:k,m` (Hitchhiker-XOR).
 //!
 //! `--stats` instruments the decode data path and prints one JSON object
 //! to stdout: aggregate executed `mult_XORs` (counted by the region
@@ -99,8 +100,9 @@ use ppm::update::trace::{parse_trace, synthesize, SynthKind, TraceOp};
 use ppm::{
     encode, parity_consistent, run_sim, Backend, ChaosConfig, ChaosRates, Decoder, DecoderConfig,
     EngineConfig, ErasureCode, EvenOddCode, EvictionPolicy, ExecMode, ExecStats, FailureScenario,
-    FaultInjector, FlushMode, LrcCode, PmdsCode, RdpCode, RepairMode, RepairService, RetryPolicy,
-    RsCode, SdCode, SimConfig, SimReport, StarCode, Strategy, Stripe, StripeLayout, UpdateEngine,
+    FaultInjector, FlushMode, HitchhikerXor, LrcCode, PmdsCode, ProductCode, RdpCode, RepairMode,
+    RepairService, RetryPolicy, RsCode, SdCode, SimConfig, SimReport, StarCode, Strategy, Stripe,
+    StripeLayout, UpdateEngine,
 };
 use std::fs;
 use std::io::{Read, Write};
@@ -116,6 +118,8 @@ enum Code {
     EvenOdd(EvenOddCode<u8>),
     Rdp(RdpCode<u8>),
     Star(StarCode<u8>),
+    Product(ProductCode<u8>),
+    Hitchhiker(HitchhikerXor<u8>),
 }
 
 impl Code {
@@ -183,6 +187,21 @@ impl Code {
                 }
                 Code::Star(StarCode::new(nums[0]).map_err(|e| e.to_string())?)
             }
+            "pc" => {
+                if nums.len() != 4 {
+                    return Err(wrong(4));
+                }
+                Code::Product(
+                    ProductCode::new(nums[0], nums[1], nums[2], nums[3])
+                        .map_err(|e| e.to_string())?,
+                )
+            }
+            "hh" => {
+                if nums.len() != 2 {
+                    return Err(wrong(2));
+                }
+                Code::Hitchhiker(HitchhikerXor::new(nums[0], nums[1]).map_err(|e| e.to_string())?)
+            }
             other => return Err(format!("unknown code family {other:?}")),
         };
         Ok(code)
@@ -197,6 +216,8 @@ impl Code {
             Code::EvenOdd(c) => c,
             Code::Rdp(c) => c,
             Code::Star(c) => c,
+            Code::Product(c) => c,
+            Code::Hitchhiker(c) => c,
         }
     }
 }

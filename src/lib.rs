@@ -6,8 +6,9 @@
 //!
 //! * [`gf`] — GF(2^8/16/32) arithmetic and SIMD `mult_XORs` region ops,
 //! * [`matrix`] — dense matrix algebra over those fields,
-//! * [`codes`] — SD / PMDS / LRC / RS parity-check constructions and
-//!   failure scenarios,
+//! * [`codes`] — SD / PMDS / LRC / RS / product / Hitchhiker-XOR
+//!   parity-check constructions and failure scenarios, including
+//!   correlated row-burst and disk-group (rack) generators,
 //! * [`stripe`] — sector buffers and workload generation,
 //! * [`core`] — the PPM algorithm (log table, partition, cost model
 //!   `C₁..C₄`, bounded-thread parallel decode), the traditional
@@ -70,8 +71,8 @@ pub use ppm_cluster::{
     RepairMode, RetryPolicy, SimConfig, SimReport, Transport, Worker, WorkerResponse,
 };
 pub use ppm_codes::{
-    CodeError, ErasureCode, EvenOddCode, FailureScenario, LrcCode, ParityKind, PmdsCode, RdpCode,
-    RsCode, SdCode, StarCode, StripeLayout,
+    CodeError, ErasureCode, EvenOddCode, FailureScenario, HitchhikerXor, LrcCode, ParityKind,
+    PmdsCode, ProductCode, RdpCode, RsCode, ScenarioError, SdCode, StarCode, StripeLayout,
 };
 pub use ppm_core::{
     cost, encode, parity_consistent, ArenaStats, BatchReport, CalcSequence, DecodeError,

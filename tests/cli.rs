@@ -119,6 +119,16 @@ fn tiny_file_single_stripe() {
     roundtrip("tiny", "rdp:5", "1", 100);
 }
 
+#[test]
+fn product_roundtrip_two_columns_lost() {
+    roundtrip("pc", "pc:4,2,3,2", "1,4", 120_000);
+}
+
+#[test]
+fn hitchhiker_roundtrip_m_disks_lost() {
+    roundtrip("hh", "hh:5,3", "0,2,6", 120_000);
+}
+
 /// `--stats` on encode and repair emits the JSON telemetry summary, and
 /// the executed mult_XOR ledger matches the planner's prediction.
 #[test]
@@ -209,7 +219,14 @@ fn unrepairable_outage_reported() {
 fn bad_specs_rejected() {
     let dir = workdir("badspec");
     let input = make_input(&dir, 1000, 4);
-    for spec in ["nope:1,2", "sd:1", "rs:0,0,0", "evenodd:4"] {
+    for spec in [
+        "nope:1,2",
+        "sd:1",
+        "rs:0,0,0",
+        "evenodd:4",
+        "pc:4,2",
+        "hh:5,1",
+    ] {
         let err = run_err(&[
             "encode",
             "--code",

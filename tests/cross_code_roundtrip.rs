@@ -4,7 +4,8 @@
 use ppm::stripe::random_data_stripe;
 use ppm::{
     encode, parity_consistent, Backend, Decoder, DecoderConfig, ErasureCode, EvenOddCode,
-    FailureScenario, GfWord, LrcCode, PmdsCode, RdpCode, RsCode, SdCode, Strategy,
+    FailureScenario, GfWord, HitchhikerXor, LrcCode, PmdsCode, ProductCode, RdpCode, RsCode,
+    SdCode, Strategy,
 };
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -176,4 +177,72 @@ fn parity_sector_failures() {
     let parity = code.parity_sectors();
     let sc = FailureScenario::new(vec![parity[0], parity[parity.len() - 1]]);
     roundtrip(&code, &sc, 50, 2);
+}
+
+/// Product codes across word widths and both failure axes: whole
+/// columns (repaired row-wise), co-located row bursts (repaired
+/// column-wise), and the mixed "cross".
+#[test]
+fn product_both_axes_and_widths() {
+    let code = ProductCode::<u8>::new(4, 2, 3, 2).unwrap();
+    let layout = code.layout();
+    // Whole-column failures, up to the row code's tolerance.
+    for disks in [vec![1usize], vec![0, 4], vec![2, 3]] {
+        let sc = FailureScenario::whole_disks(layout, &disks);
+        roundtrip(&code, &sc, 110 + disks[0] as u64, 2);
+    }
+    // Co-located bursts within one stripe-row.
+    for (row, start, width) in [(0usize, 0usize, 3usize), (2, 1, 4), (4, 0, 2)] {
+        let sc = FailureScenario::try_row_burst(layout, row, start, width).unwrap();
+        roundtrip(&code, &sc, 120 + row as u64, 2);
+    }
+    // The cross: a full grid row plus a full data column.
+    let cross = FailureScenario::try_row_burst(layout, 1, 0, layout.n)
+        .unwrap()
+        .union(&FailureScenario::new(
+            (0..layout.r).map(|i| layout.sector(i, 2)).collect(),
+        ));
+    roundtrip(&code, &cross, 130, 4);
+
+    let code16 = ProductCode::<u16>::new(5, 2, 3, 2).unwrap();
+    let sc = FailureScenario::whole_disks(code16.layout(), &[1, 6]);
+    roundtrip(&code16, &sc, 131, 2);
+}
+
+/// Correlated rack loss: a full disk-group failure on a product code
+/// and on RS, generated through the scenario layer's group splitter.
+#[test]
+fn rack_loss_roundtrips() {
+    let code = ProductCode::<u8>::new(4, 2, 3, 2).unwrap();
+    // 6 disks in 3 groups of 2 — losing any rack stays within m1.
+    for group in 0..3 {
+        let sc = FailureScenario::try_disk_group(code.layout(), group, 3).unwrap();
+        roundtrip(&code, &sc, 140 + group as u64, 2);
+    }
+    let rs = RsCode::<u8>::new(5, 3, 4).unwrap();
+    // 8 disks in 4 racks of 2 ≤ m = 3.
+    for group in 0..4 {
+        let sc = FailureScenario::try_disk_group(rs.layout(), group, 4).unwrap();
+        roundtrip(&rs, &sc, 150 + group as u64, 2);
+    }
+}
+
+/// Hitchhiker-XOR: single-disk, coupled-pair, and full `m`-disk
+/// failures all round-trip under every strategy.
+#[test]
+fn hitchhiker_failures() {
+    let code = HitchhikerXor::<u8>::new(5, 3).unwrap();
+    let layout = code.layout();
+    for disks in [vec![1usize], vec![0, 3], vec![0, 1, 2], vec![2, 5, 7]] {
+        let sc = FailureScenario::whole_disks(layout, &disks);
+        roundtrip(&code, &sc, 160 + disks[0] as u64, 2);
+    }
+    // Mixed sub-stripe pattern: one row-0 cell, one row-1 cell on
+    // different disks.
+    let sc = FailureScenario::new(vec![layout.sector(0, 1), layout.sector(1, 4)]);
+    roundtrip(&code, &sc, 170, 2);
+
+    let code16 = HitchhikerXor::<u16>::new(6, 3).unwrap();
+    let sc = FailureScenario::whole_disks(code16.layout(), &[0, 4, 8]);
+    roundtrip(&code16, &sc, 171, 2);
 }

@@ -19,8 +19,8 @@
 use ppm::faults::kernel_fallbacks;
 use ppm::stripe::random_data_stripe;
 use ppm::{
-    Backend, DecoderConfig, ErasureCode, FailureScenario, FaultInjector, LrcCode, PmdsCode,
-    RepairError, RepairService, SdCode,
+    Backend, DecoderConfig, ErasureCode, FailureScenario, FaultInjector, HitchhikerXor, LrcCode,
+    PmdsCode, ProductCode, RepairError, RepairService, SdCode,
 };
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
@@ -140,6 +140,30 @@ proptest! {
         let scenario = FailureScenario::new(vec![2, 13]);
         for config in config_matrix() {
             let code = LrcCode::<u8>::new(6, 2, 2, 3).unwrap();
+            corrupt_locate_repair(code, &scenario, seed, config)?;
+        }
+    }
+
+    /// Product code: a correlated row burst is repaired column-wise and
+    /// a corrupt survivor is still located and healed.
+    #[test]
+    fn product_corruption_round_trips(seed in any::<u64>()) {
+        let probe = ProductCode::<u8>::new(4, 2, 3, 2).unwrap();
+        let scenario = FailureScenario::try_row_burst(probe.layout(), 1, 0, 2).unwrap();
+        for config in config_matrix() {
+            let code = ProductCode::<u8>::new(4, 2, 3, 2).unwrap();
+            corrupt_locate_repair(code, &scenario, seed, config)?;
+        }
+    }
+
+    /// Hitchhiker-XOR: a lost disk touches both coupled sub-stripes;
+    /// the same detect/locate/heal contract holds.
+    #[test]
+    fn hitchhiker_corruption_round_trips(seed in any::<u64>()) {
+        let probe = HitchhikerXor::<u8>::new(5, 3).unwrap();
+        let scenario = FailureScenario::whole_disks(probe.layout(), &[2]);
+        for config in config_matrix() {
+            let code = HitchhikerXor::<u8>::new(5, 3).unwrap();
             corrupt_locate_repair(code, &scenario, seed, config)?;
         }
     }

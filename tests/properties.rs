@@ -4,8 +4,9 @@
 use ppm::core::cost::analyze;
 use ppm::stripe::random_data_stripe;
 use ppm::{
-    encode, parity_consistent, Backend, Decoder, DecoderConfig, ErasureCode, FailureScenario,
-    LrcCode, Partition, SdCode, Strategy,
+    encode, parity_consistent, Backend, Decoder, DecoderConfig, ErasureCode, EvenOddCode,
+    FailureScenario, HitchhikerXor, LrcCode, Partition, PmdsCode, ProductCode, RdpCode, RsCode,
+    SdCode, StarCode, Strategy,
 };
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
@@ -19,6 +20,73 @@ fn sd_params() -> impl ProptestStrategy<Value = (usize, usize, usize, usize, u64
 }
 
 use proptest::strategy::Strategy as ProptestStrategy;
+
+/// The shared partition contract, for any code and any scenario: the
+/// independent groups are square and pairwise disjoint, every sector
+/// they claim is faulty, the rest never overlaps a group, and
+/// independent ∪ rest reproduces the scenario exactly.
+fn check_partition_invariants<C: ErasureCode<u8>>(
+    code: &C,
+    scenario: &FailureScenario,
+) -> Result<(), TestCaseError> {
+    let h = code.parity_check_matrix();
+    let part = Partition::build(&h, scenario);
+    let mut seen = std::collections::HashSet::new();
+    for sub in &part.independent {
+        prop_assert_eq!(
+            sub.rows.len(),
+            sub.faulty.len(),
+            "square groups ({})",
+            code.name()
+        );
+        for &f in &sub.faulty {
+            prop_assert!(seen.insert(f), "sector claimed twice ({})", code.name());
+            prop_assert!(
+                scenario.contains(f),
+                "claimed sector not faulty ({})",
+                code.name()
+            );
+        }
+    }
+    let mut all: Vec<usize> = seen.iter().copied().collect();
+    if let Some(rest) = &part.rest {
+        for &f in &rest.faulty {
+            prop_assert!(
+                scenario.contains(f),
+                "rest sector not faulty ({})",
+                code.name()
+            );
+            prop_assert!(
+                !seen.contains(&f),
+                "rest overlaps a group ({})",
+                code.name()
+            );
+        }
+        all.extend(rest.faulty.iter().copied());
+    }
+    all.sort_unstable();
+    prop_assert_eq!(
+        all,
+        scenario.faulty().to_vec(),
+        "coverage ({})",
+        code.name()
+    );
+    Ok(())
+}
+
+/// Draws a random scenario sized within the code's fault tolerance and
+/// runs the shared partition contract on it.
+fn random_scenario_invariants<C: ErasureCode<u8>>(
+    code: &C,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let layout = code.layout();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max = code.fault_tolerance().min(layout.n * layout.r - 1);
+    let count = 1 + (seed as usize) % max;
+    let scenario = FailureScenario::random(layout, count, &mut rng);
+    check_partition_invariants(code, &scenario)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -101,6 +169,32 @@ proptest! {
         }
         all.sort_unstable();
         prop_assert_eq!(all, scenario.faulty().to_vec());
+    }
+
+    /// The same partition contract over EVERY family in the crate —
+    /// symmetric, asymmetric, and the 2-D/coupled newcomers — plus the
+    /// correlated burst and rack generators on the product code.
+    #[test]
+    fn partition_invariants_all_families(seed in any::<u64>()) {
+        random_scenario_invariants(&SdCode::<u8>::new(6, 4, 2, 1, vec![1, 2, 4]).unwrap(), seed)?;
+        random_scenario_invariants(&PmdsCode::<u8>::new(6, 4, 2, 1, vec![1, 2, 4]).unwrap(), seed)?;
+        random_scenario_invariants(&LrcCode::<u8>::new(6, 2, 2, 3).unwrap(), seed)?;
+        random_scenario_invariants(&RsCode::<u8>::new(5, 3, 4).unwrap(), seed)?;
+        random_scenario_invariants(&EvenOddCode::<u8>::new(5).unwrap(), seed)?;
+        random_scenario_invariants(&RdpCode::<u8>::new(5).unwrap(), seed)?;
+        random_scenario_invariants(&StarCode::<u8>::new(5).unwrap(), seed)?;
+        random_scenario_invariants(&ProductCode::<u8>::new(4, 2, 3, 2).unwrap(), seed)?;
+        random_scenario_invariants(&HitchhikerXor::<u8>::new(5, 3).unwrap(), seed)?;
+
+        let pc = ProductCode::<u8>::new(4, 2, 3, 2).unwrap();
+        let burst =
+            FailureScenario::try_row_burst(pc.layout(), (seed as usize) % 5, 0, 2).unwrap();
+        check_partition_invariants(&pc, &burst)?;
+        let rack = FailureScenario::try_disk_group(pc.layout(), (seed as usize) % 3, 3).unwrap();
+        check_partition_invariants(&pc, &rack)?;
+        let hh = HitchhikerXor::<u8>::new(5, 3).unwrap();
+        let rack = FailureScenario::try_disk_group(hh.layout(), (seed as usize) % 4, 4).unwrap();
+        check_partition_invariants(&hh, &rack)?;
     }
 
     /// Cost-model invariants: PpmAuto's plan is never more expensive than

@@ -11,7 +11,8 @@
 use ppm::stripe::random_data_stripe;
 use ppm::{
     encode, parity_consistent, Backend, Decoder, DecoderConfig, ErasureCode, FailureScenario,
-    LrcCode, PmdsCode, RepairService, RsCode, SdCode, Strategy, Stripe, UpdatePlan,
+    HitchhikerXor, LrcCode, PmdsCode, ProductCode, RepairService, RsCode, SdCode, Strategy, Stripe,
+    UpdatePlan,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -204,5 +205,34 @@ fn rs_tape_matches_graph() {
     let mut rng = StdRng::seed_from_u64(seed);
     let disks = code.random_disk_failures(3, &mut rng);
     differential(&code, &disks, seed);
+    assert!(differential(&code, &light_scenario(&code), seed));
+}
+
+#[test]
+fn product_tape_matches_graph() {
+    let seed = seed_from_env();
+    let code = ProductCode::<u8>::new(4, 2, 3, 2).expect("code");
+    let layout = code.layout();
+    // Whole column — decomposes into per-row groups.
+    let column = FailureScenario::whole_disks(layout, &[1]);
+    differential(&code, &column, seed);
+    // Correlated row burst — decomposes into per-column groups.
+    let burst = FailureScenario::try_row_burst(layout, 2, 0, 3).expect("burst");
+    differential(&code, &burst, seed);
+    // Rack loss (disk group 1 of 3 → disks 2,3).
+    let rack = FailureScenario::try_disk_group(layout, 1, 3).expect("rack");
+    differential(&code, &rack, seed);
+    assert!(differential(&code, &light_scenario(&code), seed));
+}
+
+#[test]
+fn hitchhiker_tape_matches_graph() {
+    let seed = seed_from_env();
+    let code = HitchhikerXor::<u8>::new(5, 3).expect("code");
+    let layout = code.layout();
+    let single = FailureScenario::whole_disks(layout, &[2]);
+    differential(&code, &single, seed);
+    let triple = FailureScenario::whole_disks(layout, &[0, 3, 6]);
+    differential(&code, &triple, seed);
     assert!(differential(&code, &light_scenario(&code), seed));
 }

@@ -13,8 +13,8 @@
 
 use ppm::stripe::random_data_stripe;
 use ppm::{
-    Backend, DecoderConfig, ErasureCode, FailureScenario, LrcCode, PmdsCode, RepairService, RsCode,
-    SdCode, Strategy, WirePlan,
+    Backend, DecoderConfig, ErasureCode, FailureScenario, HitchhikerXor, LrcCode, PmdsCode,
+    ProductCode, RepairService, RsCode, SdCode, Strategy, WirePlan,
 };
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -174,6 +174,33 @@ fn rs_wire_plan_matches_in_process() {
     let mut rng = StdRng::seed_from_u64(seed);
     let disks = code.random_disk_failures(3, &mut rng);
     wire_differential(&code, &disks, Strategy::PpmAuto, seed);
+    wire_differential(&code, &light_scenario(&code), Strategy::PpmAuto, seed);
+}
+
+#[test]
+fn product_wire_plan_matches_in_process() {
+    let seed = seed_from_env();
+    let code = ProductCode::<u8>::new(4, 2, 3, 2).expect("code");
+    let layout = code.layout();
+    // Whole column, correlated row burst, and rack loss all travel.
+    let column = FailureScenario::whole_disks(layout, &[1]);
+    wire_differential(&code, &column, Strategy::PpmAuto, seed);
+    let burst = FailureScenario::try_row_burst(layout, 2, 1, 4).expect("burst");
+    wire_differential(&code, &burst, Strategy::PpmAuto, seed);
+    let rack = FailureScenario::try_disk_group(layout, 2, 3).expect("rack");
+    wire_differential(&code, &rack, Strategy::PpmAuto, seed);
+    wire_differential(&code, &light_scenario(&code), Strategy::PpmAuto, seed);
+}
+
+#[test]
+fn hitchhiker_wire_plan_matches_in_process() {
+    let seed = seed_from_env();
+    let code = HitchhikerXor::<u8>::new(5, 3).expect("code");
+    let layout = code.layout();
+    let single = FailureScenario::whole_disks(layout, &[1]);
+    wire_differential(&code, &single, Strategy::PpmAuto, seed);
+    let triple = FailureScenario::whole_disks(layout, &[0, 2, 5]);
+    wire_differential(&code, &triple, Strategy::PpmAuto, seed);
     wire_differential(&code, &light_scenario(&code), Strategy::PpmAuto, seed);
 }
 
